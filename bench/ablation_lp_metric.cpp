@@ -1,0 +1,31 @@
+// Ablation A3: the L_p metric used by L_Selection (paper footnote 2 allows
+// any L_p). L1 has the line-isometry fast path; L2/LInf run the literal
+// O(n^3) Compute_L_Error, so they use a small heuristic cap S.
+#include <iostream>
+
+#include "table_common.h"
+
+int main() {
+  using namespace fpopt;
+  using namespace fpopt::bench;
+
+  std::cout << "Ablation A3: L_p metric for L_Selection (FP4 case 1, K1 = 40,\n"
+               "K2 = 1000, theta = 0.75, S = 256)\n\n";
+
+  const FloorplanTree tree = make_paper_floorplan(4, 1);
+  TextTable table({"metric", "M", "CPU", "area", "L_Sel calls"});
+
+  const std::pair<LpMetric, const char*> metrics[] = {
+      {LpMetric::L1, "L1 (Manhattan)"}, {LpMetric::L2, "L2 (Euclidean)"},
+      {LpMetric::LInf, "Linf (Chebyshev)"}};
+  for (const auto& [metric, name] : metrics) {
+    OptimizerOptions o = rl_selection_options(40, 1000, 0.75, 256);
+    o.selection.metric = metric;
+    const CaseResult r = run_case(tree, o);
+    table.add_row({name, format_m(r, kPaperMemoryBudget), format_cpu(r),
+                   r.oom ? "-" : std::to_string(r.area),
+                   std::to_string(r.stats.l_selection_calls)});
+  }
+  std::cout << table.to_string() << std::endl;
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation A2: the Section 5 engineering knobs — the L_Selection trigger
+// theta and the heuristic pre-reduction cap S — on FP4 case 1
+// (K1 = 40, K2 = 1000). theta < 1 skips reductions whose relative
+// overshoot is small; smaller S trades selection optimality for speed.
+#include <chrono>
+#include <iostream>
+
+#include "core/l_selection.h"
+#include "table_common.h"
+
+namespace {
+
+/// Part 2: the S cap on a synthetic long chain, where it actually bites
+/// (FP4's chains are shorter than any reasonable cap). Builds one
+/// irreducible L-list with n entries and reduces it to k, timing the
+/// two-stage heuristic+optimal path against the optimal-only path.
+void long_chain_s_sweep() {
+  using namespace fpopt;
+  constexpr std::size_t kN = 20'000;
+  constexpr std::size_t kK = 500;
+
+  Pcg32 rng(99);
+  std::vector<LEntry> entries(kN);
+  Dim w1 = static_cast<Dim>(3 * kN + 100);
+  Dim h1 = 8, h2 = 6;
+  for (std::size_t i = 0; i < kN; ++i) {
+    entries[i] = {{w1, 50, h1, h2}, static_cast<std::uint32_t>(i)};
+    w1 -= 1 + static_cast<Dim>(rng.below(3));
+    h2 += static_cast<Dim>(rng.below(3));
+    h1 = std::max(h1 + static_cast<Dim>(rng.below(3)), h2) + 1;
+  }
+  const LList chain = LList::from_chain_unchecked(std::move(entries));
+
+  std::cout << "Part 2: heuristic cap S on one " << kN << "-entry chain, k = " << kK
+            << " (L1 metric; both Section-5 heuristic candidates)\n\n";
+  TextTable table({"S", "heuristic", "CPU (ms)", "ERROR(L, L')", "error vs optimal"});
+
+  double optimal_error = 0;
+  for (const std::size_t s_cap : {std::size_t{0}, std::size_t{8192}, std::size_t{2048},
+                                  std::size_t{1024}, std::size_t{512}}) {
+    for (const LHeuristic heuristic : {LHeuristic::UniformSubsample, LHeuristic::GreedyDrop}) {
+      if (s_cap == 0 && heuristic == LHeuristic::GreedyDrop) continue;  // no heuristic runs
+      LList copy = chain;
+      LSelectionOptions opts;
+      opts.heuristic_cap = s_cap;
+      opts.heuristic = heuristic;
+      const auto start = std::chrono::steady_clock::now();
+      const Weight err = reduce_l_list(copy, kK, opts);
+      const double ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+              .count();
+      if (s_cap == 0) optimal_error = err;
+      char cpu[32], ebuf[32], rbuf[32];
+      std::snprintf(cpu, sizeof cpu, "%.1f", ms);
+      std::snprintf(ebuf, sizeof ebuf, "%.0f", err);
+      std::snprintf(rbuf, sizeof rbuf, "%+.2f%%", 100.0 * (err - optimal_error) /
+                                                      (optimal_error > 0 ? optimal_error : 1));
+      table.add_row({s_cap == 0 ? "off (optimal)" : std::to_string(s_cap),
+                     s_cap == 0            ? "-"
+                     : heuristic == LHeuristic::GreedyDrop ? "greedy drop"
+                                                           : "uniform",
+                     cpu, ebuf, rbuf});
+    }
+  }
+  std::cout << table.to_string() << std::endl;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fpopt;
+  using namespace fpopt::bench;
+
+  std::cout << "Ablation A2: L_Selection trigger theta and heuristic cap S\n"
+               "(FP4 case 1, K1 = 40, K2 = 1000, L1 metric)\n\n";
+
+  const FloorplanTree tree = make_paper_floorplan(4, 1);
+  TextTable table({"theta", "S", "M", "CPU", "area", "L_Sel calls", "L_Sel error"});
+
+  for (const double theta : {0.25, 0.5, 0.75, 1.0}) {
+    for (const std::size_t s_cap : {std::size_t{256}, std::size_t{1024}, std::size_t{4096}}) {
+      const CaseResult r = run_case(tree, rl_selection_options(40, 1000, theta, s_cap));
+      char tbuf[16];
+      std::snprintf(tbuf, sizeof tbuf, "%.2f", theta);
+      char ebuf[32];
+      std::snprintf(ebuf, sizeof ebuf, "%.3g", r.stats.l_selection_error);
+      table.add_row({tbuf, std::to_string(s_cap), format_m(r, kPaperMemoryBudget),
+                     format_cpu(r), r.oom ? "-" : std::to_string(r.area),
+                     std::to_string(r.stats.l_selection_calls), ebuf});
+    }
+  }
+  std::cout << table.to_string() << std::endl;
+  long_chain_s_sweep();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation A8: the Wong-Liu area/wirelength trade-off — sweeping lambda
+// in cost = area + lambda * HPWL2 and reporting both metrics of the best
+// topology found.
+#include <iostream>
+
+#include "io/table.h"
+#include "net/netlist.h"
+#include "topology/annealing.h"
+#include "workload/module_gen.h"
+
+int main() {
+  using namespace fpopt;
+
+  std::cout << "Ablation A8: area vs wirelength trade-off (16 modules, 24 random\n"
+               "nets, SA cost = area + lambda * HPWL2)\n\n";
+  TextTable table({"lambda", "area", "HPWL2", "cost", "accepted/moves"});
+
+  ModuleGenConfig cfg;
+  cfg.impl_count = 5;
+  cfg.min_dim = 4;
+  cfg.max_dim = 30;
+  cfg.min_area = 100;
+  cfg.max_area = 500;
+  const auto modules = generate_modules(16, cfg, 3);
+  const Netlist nl = random_netlist(16, 24, 4, 3);
+
+  for (const double lambda : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    AnnealingOptions sa;
+    sa.seed = 12;
+    sa.max_total_moves = 6'000;
+    sa.netlist = &nl;
+    sa.lambda = lambda;
+    const AnnealingResult r = anneal_slicing_topology(modules, sa);
+    const Placement p = r.best.place(modules);
+    char lbuf[16], cbuf[32], mbuf[32];
+    std::snprintf(lbuf, sizeof lbuf, "%.2f", lambda);
+    std::snprintf(cbuf, sizeof cbuf, "%.0f", r.best_cost);
+    std::snprintf(mbuf, sizeof mbuf, "%zu/%zu", r.accepted, r.moves);
+    table.add_row({lbuf, std::to_string(p.chip_area()), std::to_string(hpwl2(nl, p)), cbuf,
+                   mbuf});
+  }
+  std::cout << table.to_string() << std::endl;
+  std::cout << "Expected shape: HPWL2 falls as lambda grows, area rises — the\n"
+               "classic Pareto trade-off the topology step navigates before this\n"
+               "paper's area optimizer takes over.\n";
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Table 1: FP1 (25 modules, a pinwheel of pinwheels) — exact [9] vs
+// [9] + R_Selection for 4 module sets and 3 limits each.
+#include "table_common.h"
+
+int main() {
+  fpopt::bench::run_r_selection_table(
+      1, "Table 1 reproduction: FP1 (25 modules), [9] vs [9]+R_Selection");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Table 2: FP2 (49 modules, wheel-rich hierarchy) — exact [9] vs
+// [9] + R_Selection for 4 module sets and 3 limits each.
+#include "table_common.h"
+
+int main() {
+  fpopt::bench::run_r_selection_table(
+      2, "Table 2 reproduction: FP2 (49 modules), [9] vs [9]+R_Selection");
+  return 0;
+}

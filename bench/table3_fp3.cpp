@@ -1,0 +1,10 @@
+// Table 3: FP3 (120 modules, Figure 8(d) pinwheel over 24-module blocks).
+// The exact optimizer [9] exhausts memory on the large cases; R_Selection
+// makes every case feasible.
+#include "table_common.h"
+
+int main() {
+  fpopt::bench::run_r_selection_table(
+      3, "Table 3 reproduction: FP3 (120 modules), [9] vs [9]+R_Selection");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 4: FP4 (245 modules, Figure 8(d) pinwheel over the 49-module FP2
+// blocks). [9] alone always exhausts memory; [9]+R_Selection (K1=40)
+// handles the N=20 cases only; adding L_Selection (K2 in {1000,1500,2000})
+// makes every case feasible, trading a few percent of area.
+#include "table_common.h"
+
+int main() {
+  using namespace fpopt;
+  using namespace fpopt::bench;
+
+  std::cout << "Table 4 reproduction: FP4 (245 modules), [9]+R_Selection vs"
+               " [9]+R_Selection+L_Selection\n"
+            << "(K1 = 40, theta = 0.75, S = 1024, L1 metric; memory budget "
+            << kPaperMemoryBudget << " implementations)\n\n";
+
+  TextTable table({"Case", "N", "K1", "M +R", "CPU +R", "K2", "M +R+L", "CPU +R+L",
+                   "(A_R+L - A_R)/A_R"});
+
+  constexpr std::size_t kK1 = 40;
+  constexpr double kTheta = 0.75;
+  constexpr std::size_t kSCap = 1024;
+
+  for (int cs = 1; cs <= 4; ++cs) {
+    const PaperCase pc = paper_case(4, cs);
+    const FloorplanTree tree = make_paper_floorplan(4, cs);
+    const CaseResult r_only = run_case(tree, r_selection_options(kK1));
+
+    const std::size_t k2s[3] = {1000, 1500, 2000};
+    for (int row = 0; row < 3; ++row) {
+      const CaseResult rl =
+          run_case(tree, rl_selection_options(kK1, k2s[row], kTheta, kSCap));
+      table.add_row({row == 1 ? std::to_string(cs) : "", row == 1 ? std::to_string(pc.n) : "",
+                     row == 1 ? std::to_string(kK1) : "",
+                     row == 1 ? format_m(r_only, kPaperMemoryBudget) : "",
+                     row == 1 ? format_cpu(r_only) : "", std::to_string(k2s[row]),
+                     format_m(rl, kPaperMemoryBudget), format_cpu(rl),
+                     format_quality_pct(rl.area, r_only.area)});
+    }
+  }
+  std::cout << table.to_string() << std::endl;
+  return 0;
+}

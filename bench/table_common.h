@@ -1,0 +1,69 @@
+// Shared driver for the paper-table benches (Tables 1-4 of Wang & Wong).
+//
+// Each table bench is a plain executable that re-runs the paper's
+// experiment and prints rows in the paper's format. Absolute numbers
+// differ from the 1991 SPARC; the reproduction target is the *shape*:
+// which runs exhaust memory, how much selection shrinks M and CPU, and
+// how close the bounded areas stay to optimal. See EXPERIMENTS.md.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "io/table.h"
+#include "workload/experiment.h"
+#include "workload/floorplans.h"
+
+namespace fpopt::bench {
+
+inline OptimizerOptions exact_options() {
+  OptimizerOptions o;
+  o.impl_budget = kPaperMemoryBudget;
+  return o;
+}
+
+inline OptimizerOptions r_selection_options(std::size_t k1) {
+  OptimizerOptions o = exact_options();
+  o.selection.k1 = k1;
+  return o;
+}
+
+inline OptimizerOptions rl_selection_options(std::size_t k1, std::size_t k2, double theta,
+                                             std::size_t s_cap) {
+  OptimizerOptions o = exact_options();
+  o.selection.k1 = k1;
+  o.selection.k2 = k2;
+  o.selection.theta = theta;
+  o.selection.heuristic_cap = s_cap;
+  return o;
+}
+
+/// Tables 1-3: exact [9] vs [9]+R_Selection with three K1 values per case.
+/// The paper uses K1 in {20,30,40} for the N=20 cases and {40,50,60} for
+/// the N=40 cases.
+inline void run_r_selection_table(int fp, const std::string& title) {
+  std::cout << title << "\n"
+            << "(memory budget " << kPaperMemoryBudget
+            << " implementations; '-' = run aborted like [9] on the SPARC)\n\n";
+  TextTable table({"Case", "N", "M [9]", "CPU [9]", "K1", "M +R_Sel", "CPU +R_Sel",
+                   "(A_R-A_OPT)/A_OPT"});
+
+  for (int cs = 1; cs <= 4; ++cs) {
+    const PaperCase pc = paper_case(fp, cs);
+    const FloorplanTree tree = make_paper_floorplan(fp, cs);
+    const CaseResult exact = run_case(tree, exact_options());
+
+    const std::size_t k1s[3] = {pc.n, pc.n + 10, pc.n + 20};
+    for (int row = 0; row < 3; ++row) {
+      const CaseResult bounded = run_case(tree, r_selection_options(k1s[row]));
+      table.add_row({row == 1 ? std::to_string(cs) : "", row == 1 ? std::to_string(pc.n) : "",
+                     row == 1 ? format_m(exact, kPaperMemoryBudget) : "",
+                     row == 1 ? format_cpu(exact) : "", std::to_string(k1s[row]),
+                     format_m(bounded, kPaperMemoryBudget), format_cpu(bounded),
+                     format_quality_pct(bounded.area, exact.area)});
+    }
+  }
+  std::cout << table.to_string() << std::endl;
+}
+
+}  // namespace fpopt::bench

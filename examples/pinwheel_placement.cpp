@@ -1,0 +1,55 @@
+// Pinwheel demo: the order-5 wheel is the smallest floorplan a slicing
+// optimizer cannot handle. This example runs the full DAC'90 pipeline on
+// one wheel, prints its entire shape curve, and draws the placement for
+// three different aspect-ratio choices — the same floorplan realized
+// short-and-wide, square, and tall-and-narrow.
+#include <cstdlib>
+#include <iostream>
+
+#include "floorplan/serialize.h"
+#include "optimize/optimizer.h"
+#include "optimize/placement.h"
+#include "optimize/stockmeyer.h"
+
+int main() {
+  using namespace fpopt;
+
+  // Single-letter names (S-outh, W-est, C-ore, E-ast, N-orth) so the ASCII
+  // rendering below tags each room unambiguously.
+  const char* library =
+      "S 14x4 11x5 9x6 7x8 5x11\n"
+      "W 5x12 6x10 8x8 10x6\n"
+      "C 4x4 3x6 6x3\n"
+      "E 5x9 6x8 8x6 9x5\n"
+      "N 12x5 10x6 8x7 6x9\n";
+  // WheelPos order: Bottom Left Center Right Top.
+  FloorplanTree tree = parse_floorplan("(W S W C E N)", parse_module_library(library));
+
+  std::cout << "topology: " << to_topology_string(tree) << "\n";
+  if (auto slicing = stockmeyer_best_area(tree); !slicing.has_value()) {
+    std::cout << "Stockmeyer [8] cannot evaluate this floorplan (it is a wheel) —\n"
+                 "this is exactly why the DAC'90 optimizer and its L-shaped blocks exist.\n\n";
+  }
+
+  const OptimizeOutcome out = optimize_floorplan(tree, {});
+  if (out.out_of_memory) return EXIT_FAILURE;
+
+  std::cout << "root shape curve (" << out.root.size() << " non-redundant implementations):\n  ";
+  for (const RectImpl& r : out.root) std::cout << r << ' ';
+  std::cout << "\n\n";
+
+  const std::size_t picks[3] = {0, out.root.min_area_index(), out.root.size() - 1};
+  const char* labels[3] = {"widest", "minimum area", "tallest"};
+  for (int i = 0; i < 3; ++i) {
+    const Placement p = trace_placement(tree, out, picks[i]);
+    const auto problems = validate_placement(p, tree);
+    if (!problems.empty()) {
+      std::cerr << "INVALID placement: " << problems.front() << "\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << labels[i] << ": " << p.width << " x " << p.height << " = " << p.chip_area()
+              << " (waste " << (p.chip_area() - p.total_module_area()) << ")\n"
+              << render_ascii(p, tree, 56) << "\n";
+  }
+  return EXIT_SUCCESS;
+}

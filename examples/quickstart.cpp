@@ -1,0 +1,76 @@
+// Quickstart: the whole pipeline on a small floorplan.
+//
+//  1. Parse a module library and a topology (one pinwheel + slices).
+//  2. Run the exact optimizer [9] and print the root shape curve.
+//  3. Reduce memory with R_Selection/L_Selection limits and compare.
+//  4. Trace the optimal implementation back to a placement and draw it.
+#include <cstdlib>
+#include <iostream>
+
+#include "floorplan/serialize.h"
+#include "optimize/optimizer.h"
+#include "optimize/placement.h"
+
+int main() {
+  using namespace fpopt;
+
+  const char* library =
+      "cpu  12x9 10x11 9x12 8x14 6x18\n"
+      "l2   10x6 8x7 6x10 5x12\n"
+      "dma  6x6 5x7 4x9\n"
+      "phy  9x4 7x5 4x8 3x11\n"
+      "pad  8x3 6x4 3x8\n"
+      "ddr  11x5 9x6 6x9 5x11\n"
+      "rom  5x5 4x6 3x9\n";
+
+  // A clockwise pinwheel of five blocks; two of them are slices.
+  const char* topology = "(W (V dma rom) cpu l2 phy (H pad ddr))";
+
+  FloorplanTree tree = parse_floorplan(topology, parse_module_library(library));
+  std::cout << "floorplan: " << to_topology_string(tree) << "\n";
+  std::cout << "modules:   " << tree.module_count() << "\n\n";
+
+  // --- exact run (the DAC'90 algorithm [9]) -------------------------------
+  OptimizerOptions exact;  // k1 = k2 = 0: no selection
+  const OptimizeOutcome best = optimize_floorplan(tree, exact);
+  if (best.out_of_memory) {
+    std::cerr << "unexpected OOM on a 7-module floorplan\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "exact [9]:  best area " << best.best_area << ", root curve holds "
+            << best.root.size() << " non-redundant implementations, peak stored "
+            << best.stats.peak_stored << " impls\n";
+
+  // --- bounded run (this paper: [9] + R_Selection + L_Selection) ----------
+  OptimizerOptions bounded;
+  bounded.selection.k1 = 6;
+  bounded.selection.k2 = 40;
+  const OptimizeOutcome approx = optimize_floorplan(tree, bounded);
+  std::cout << "bounded:    best area " << approx.best_area << " (K1=6, K2=40), peak stored "
+            << approx.stats.peak_stored << " impls, R_Selection x"
+            << approx.stats.r_selection_calls << ", L_Selection x"
+            << approx.stats.l_selection_calls << "\n";
+  const double overshoot = 100.0 *
+                           (static_cast<double>(approx.best_area) -
+                            static_cast<double>(best.best_area)) /
+                           static_cast<double>(best.best_area);
+  std::cout << "quality:    (A_R - A_OPT)/A_OPT = " << overshoot << "%\n\n";
+
+  // --- traceback -----------------------------------------------------------
+  const Placement placement = trace_placement(tree, best, best.root.min_area_index());
+  std::cout << "optimal placement " << placement.width << " x " << placement.height
+            << " (area " << placement.chip_area() << ", module area "
+            << placement.total_module_area() << "):\n";
+  for (const ModulePlacement& m : placement.rooms) {
+    std::cout << "  " << tree.module(m.module_id).name << "  room " << m.room << "  impl "
+              << m.impl << "\n";
+  }
+  const auto problems = validate_placement(placement, tree);
+  if (!problems.empty()) {
+    for (const auto& p : problems) std::cerr << "INVALID: " << p << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "\n" << render_ascii(placement, tree, 72);
+  std::cout << "placement validated: rooms tile the chip exactly.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,63 @@
+// End-to-end flow matching the paper's introduction: (1) a topology is
+// found first — here by Wong-Liu style simulated annealing over
+// normalized Polish expressions; (2) the floorplan area optimizer then
+// selects implementations on that topology, optionally memory-bounded by
+// R_Selection; (3) the result is traced to a placement and written as SVG.
+#include <fstream>
+#include <iostream>
+
+#include "core/soft_module.h"
+#include "io/svg.h"
+#include "optimize/optimizer.h"
+#include "optimize/placement.h"
+#include "topology/annealing.h"
+
+int main() {
+  using namespace fpopt;
+
+  // Twelve soft macros of different sizes (Section 6 style shape curves).
+  std::vector<Module> modules;
+  const Area areas[] = {420, 380, 350, 300, 260, 240, 200, 180, 150, 120, 90, 60};
+  for (std::size_t i = 0; i < 12; ++i) {
+    modules.push_back(make_soft_module("b" + std::to_string(i), areas[i], 5, 40, 8));
+  }
+
+  AnnealingOptions sa;
+  sa.seed = 2026;
+  sa.max_total_moves = 20'000;
+  const AnnealingResult found = anneal_slicing_topology(modules, sa);
+  std::cout << "annealing: " << found.moves << " moves, " << found.accepted << " accepted, "
+            << found.initial_area << " -> " << found.best_area << " ("
+            << 100.0 * (1.0 - static_cast<double>(found.best_area) /
+                                  static_cast<double>(found.initial_area))
+            << "% better than the initial chain)\n";
+  std::cout << "topology:  " << found.best.to_string() << "\n\n";
+
+  FloorplanTree tree = found.best.to_tree(modules);
+
+  // Downstream: exact vs memory-bounded optimization of the found topology.
+  const OptimizeOutcome exact = optimize_floorplan(tree, {});
+  OptimizerOptions bounded;
+  bounded.selection.k1 = 8;
+  const OptimizeOutcome approx = optimize_floorplan(tree, bounded);
+  std::cout << "exact:     area " << exact.best_area << ", peak " << exact.stats.peak_stored
+            << " impls\n";
+  std::cout << "K1 = 8:    area " << approx.best_area << ", peak " << approx.stats.peak_stored
+            << " impls (" << approx.stats.r_selection_calls << " R_Selection calls)\n";
+
+  const Placement p = trace_placement(tree, exact, exact.root.min_area_index());
+  const auto problems = validate_placement(p, tree);
+  if (!problems.empty()) {
+    std::cerr << "INVALID: " << problems.front() << "\n";
+    return 1;
+  }
+  Area used = p.total_module_area();
+  std::cout << "placement: " << p.width << " x " << p.height << ", utilization "
+            << 100.0 * static_cast<double>(used) / static_cast<double>(p.chip_area())
+            << "%\n";
+
+  std::ofstream svg("topology_search.svg", std::ios::binary);
+  svg << placement_to_svg(p, tree);
+  std::cout << "wrote topology_search.svg\n";
+  return 0;
+}

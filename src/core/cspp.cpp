@@ -1,0 +1,68 @@
+#include "core/cspp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fpopt {
+
+void CsppGraph::add_edge(std::size_t from, std::size_t to, Weight weight) {
+  assert(from < in_edges_.size() && to < in_edges_.size());
+  assert(weight > 0 && "the paper assumes strictly positive edge weights");
+  in_edges_[to].push_back({from, weight});
+  ++edge_count_;
+}
+
+std::optional<CsppResult> constrained_shortest_path(const CsppGraph& g, std::size_t s,
+                                                    std::size_t t, std::size_t k) {
+  const std::size_t n = g.vertex_count();
+  assert(s < n && t < n);
+  assert(k >= 1 && k <= n);
+
+  if (k == 1) {
+    if (s != t) return std::nullopt;
+    return CsppResult{{s}, 0};
+  }
+
+  constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  // W(s, v, l) for the current and previous layer; parent[l][v] records the
+  // predecessor that realized W(s, v, l) for path retrieval.
+  std::vector<Weight> prev(n, kInfiniteWeight);
+  std::vector<Weight> cur(n, kInfiniteWeight);
+  std::vector<std::vector<std::size_t>> parent(k + 1, std::vector<std::size_t>(n, kNoParent));
+
+  prev[s] = 0;  // W(s, s, 1) = 0
+
+  for (std::size_t l = 2; l <= k; ++l) {
+    std::fill(cur.begin(), cur.end(), kInfiniteWeight);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == s) continue;  // no path revisits s with positive weights
+      for (const CsppGraph::InEdge& e : g.in_edges(v)) {
+        if (prev[e.from] == kInfiniteWeight) continue;
+        const Weight cand = prev[e.from] + e.weight;
+        if (cand < cur[v]) {
+          cur[v] = cand;
+          parent[l][v] = e.from;
+        }
+      }
+    }
+    std::swap(prev, cur);
+  }
+
+  if (prev[t] == kInfiniteWeight) return std::nullopt;
+
+  CsppResult result;
+  result.weight = prev[t];
+  result.path.resize(k);
+  std::size_t v = t;
+  for (std::size_t l = k; l >= 2; --l) {
+    result.path[l - 1] = v;
+    v = parent[l][v];
+    assert(v != kNoParent);
+  }
+  assert(v == s);
+  result.path[0] = s;
+  return result;
+}
+
+}  // namespace fpopt

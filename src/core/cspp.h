@@ -1,0 +1,61 @@
+// The Constrained Shortest Path Problem (Section 4.1 of the paper).
+//
+// Given a weighted DAG, two vertices s and t, and a positive integer k,
+// find a minimum-total-weight path from s to t that visits *exactly k
+// vertices*, or report that none exists. This differs from the classical
+// shortest path problem in the exact-cardinality constraint, and it is the
+// common reduction target of both selection algorithms (R_Selection and
+// L_Selection).
+//
+// The solver is the paper's dynamic program: W(s,v,l) = minimum weight of
+// an s->v path with exactly l vertices, O(k * (|V| + |E|)) time (Theorem 1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/types.h"
+
+namespace fpopt {
+
+/// A weighted DAG stored as incoming-edge adjacency lists (the DP relaxes
+/// over edges *into* each vertex). The graph is not required to be
+/// topologically sorted; the exact-cardinality DP never follows a cycle of
+/// length < l anyway, but acyclicity is the caller's contract as in the
+/// paper (weights must be positive).
+class CsppGraph {
+ public:
+  explicit CsppGraph(std::size_t vertex_count) : in_edges_(vertex_count) {}
+
+  /// Add a directed edge `from -> to` with positive weight.
+  void add_edge(std::size_t from, std::size_t to, Weight weight);
+
+  [[nodiscard]] std::size_t vertex_count() const { return in_edges_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  struct InEdge {
+    std::size_t from;
+    Weight weight;
+  };
+  [[nodiscard]] std::span<const InEdge> in_edges(std::size_t v) const { return in_edges_[v]; }
+
+ private:
+  std::vector<std::vector<InEdge>> in_edges_;
+  std::size_t edge_count_ = 0;
+};
+
+struct CsppResult {
+  std::vector<std::size_t> path;  ///< k vertices, path.front() == s, path.back() == t
+  Weight weight = 0;
+};
+
+/// Algorithm Constrained_Shortest_Path. Returns nullopt when no s->t path
+/// with exactly k vertices exists ("Can not find such a path").
+/// Preconditions: s, t < |V|, 1 <= k <= |V|.
+[[nodiscard]] std::optional<CsppResult> constrained_shortest_path(const CsppGraph& g,
+                                                                  std::size_t s, std::size_t t,
+                                                                  std::size_t k);
+
+}  // namespace fpopt

@@ -1,0 +1,41 @@
+#include "core/r_error.h"
+
+#include <cassert>
+
+#include "geometry/staircase.h"
+
+namespace fpopt {
+
+std::vector<Area> compute_r_error_table(std::span<const RectImpl> list) {
+  assert(is_irreducible_r_list(list));
+  const std::size_t n = list.size();
+  std::vector<Area> table(n >= 2 ? n * (n - 1) / 2 : 0, 0);
+
+  // error(i, i+1) = 0 is the zero-initialization above.
+  for (std::size_t l = 2; l + 1 <= n; ++l) {
+    for (std::size_t i = 0; i + l < n; ++i) {
+      const Area prev = table[triangular_index(n, i, i + l - 1)];
+      const Area strip =
+          (list[i].w - list[i + l - 1].w) * (list[i + l].h - list[i + l - 1].h);
+      table[triangular_index(n, i, i + l)] = prev + strip;
+    }
+  }
+  return table;
+}
+
+RErrorOracle::RErrorOracle(std::span<const RectImpl> list) {
+  assert(is_irreducible_r_list(list));
+  const std::size_t n = list.size();
+  widths_.resize(n);
+  heights_.resize(n);
+  prefix_.resize(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    widths_[i] = list[i].w;
+    heights_[i] = list[i].h;
+  }
+  for (std::size_t m = 1; m < n; ++m) {
+    prefix_[m] = prefix_[m - 1] + (widths_[m - 1] - widths_[m]) * heights_[m];
+  }
+}
+
+}  // namespace fpopt

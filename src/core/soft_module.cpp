@@ -1,0 +1,31 @@
+#include "core/soft_module.h"
+
+#include <cassert>
+
+#include "core/r_selection.h"
+
+namespace fpopt {
+
+RList sample_shape_curve(Area area, Dim min_width, Dim max_width) {
+  assert(area >= 1 && min_width >= 1 && min_width <= max_width);
+  std::vector<RectImpl> samples;
+  samples.reserve(static_cast<std::size_t>(max_width - min_width + 1));
+  for (Dim w = min_width; w <= max_width; ++w) {
+    samples.push_back({w, (area + w - 1) / w});  // smallest h with w*h >= area
+  }
+  // Successive widths can share a height (ceil plateaus); pruning keeps
+  // the widest... the *narrowest* implementation of each height.
+  return RList::from_candidates(std::move(samples));
+}
+
+Module make_soft_module(std::string name, Area area, Dim min_width, Dim max_width,
+                        std::size_t k) {
+  RList curve = sample_shape_curve(area, min_width, max_width);
+  if (k != 0 && k < curve.size()) {
+    const SelectionResult sel = r_selection(curve, k);
+    curve = curve.subset(sel.kept);
+  }
+  return Module{std::move(name), std::move(curve)};
+}
+
+}  // namespace fpopt

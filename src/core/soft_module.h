@@ -1,0 +1,32 @@
+// Soft (continuous-shape) module support — the paper's Section 6
+// application: "if we consider the case where each module has an infinite
+// set of implementations specified by a continuous shape curve, the
+// problem can still be solved by first approximating each such curve by a
+// large number of points and then applying [9] together with the two
+// algorithms."
+//
+// We sample the hyperbola w*h >= area at every integer width in
+// [min_width, max_width] and optionally reduce the sampled staircase to k
+// corners with R_Selection — giving the best k-point approximation of the
+// continuous curve under the bounded-area metric.
+#pragma once
+
+#include <string>
+
+#include "floorplan/module.h"
+#include "geometry/types.h"
+#include "shape/r_list.h"
+
+namespace fpopt {
+
+/// All non-redundant integer implementations of a soft block of the given
+/// area, widths restricted to [min_width, max_width].
+/// Preconditions: area >= 1, 1 <= min_width <= max_width.
+[[nodiscard]] RList sample_shape_curve(Area area, Dim min_width, Dim max_width);
+
+/// A soft module sampled as above and (when k > 0) optimally reduced to at
+/// most k implementations.
+[[nodiscard]] Module make_soft_module(std::string name, Area area, Dim min_width, Dim max_width,
+                                      std::size_t k = 0);
+
+}  // namespace fpopt

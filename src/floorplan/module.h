@@ -1,0 +1,35 @@
+// Leaf modules of a floorplan: a name plus the irreducible R-list of all
+// non-redundant implementations (the optimizer's input, Section 3).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "shape/r_list.h"
+
+namespace fpopt {
+
+struct Module {
+  std::string name;
+  RList impls;
+
+  Module() = default;
+  Module(std::string n, RList i) : name(std::move(n)), impls(std::move(i)) {}
+
+  friend bool operator==(const Module&, const Module&) = default;
+};
+
+/// The module with free 90-degree rotation: every implementation is added
+/// in both orientations and the union is dominance-pruned back to an
+/// irreducible R-list. The result's curve is symmetric about w == h.
+[[nodiscard]] inline Module with_rotation(const Module& module) {
+  std::vector<RectImpl> cands;
+  cands.reserve(2 * module.impls.size());
+  for (const RectImpl& r : module.impls) {
+    cands.push_back(r);
+    cands.push_back({r.h, r.w});
+  }
+  return Module{module.name, RList::from_candidates(std::move(cands))};
+}
+
+}  // namespace fpopt

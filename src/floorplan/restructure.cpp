@@ -1,0 +1,86 @@
+#include "floorplan/restructure.h"
+
+#include <cassert>
+#include <span>
+
+namespace fpopt {
+namespace {
+
+std::unique_ptr<BinaryNode> make_internal(BinaryOp op, std::unique_ptr<BinaryNode> left,
+                                          std::unique_ptr<BinaryNode> right) {
+  auto node = std::make_unique<BinaryNode>();
+  node->op = op;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+std::unique_ptr<BinaryNode> convert(const FloorplanNode& node, const RestructureOptions& opts);
+
+/// Fold a run of slice children into a binary subtree.
+std::unique_ptr<BinaryNode> fold_slice(
+    BinaryOp op, std::span<const std::unique_ptr<FloorplanNode>> children,
+    const RestructureOptions& opts) {
+  assert(!children.empty());
+  if (children.size() == 1) return convert(*children.front(), opts);
+  if (opts.balanced_slices) {
+    const std::size_t mid = children.size() / 2;
+    return make_internal(op, fold_slice(op, children.subspan(0, mid), opts),
+                         fold_slice(op, children.subspan(mid), opts));
+  }
+  // Left-deep: fold each next child onto the accumulated prefix block.
+  std::unique_ptr<BinaryNode> acc = convert(*children[0], opts);
+  for (std::size_t i = 1; i < children.size(); ++i) {
+    acc = make_internal(op, std::move(acc), convert(*children[i], opts));
+  }
+  return acc;
+}
+
+std::unique_ptr<BinaryNode> convert(const FloorplanNode& node, const RestructureOptions& opts) {
+  switch (node.kind) {
+    case NodeKind::Leaf: {
+      auto leaf = std::make_unique<BinaryNode>();
+      leaf->op = BinaryOp::LeafModule;
+      leaf->module_id = node.module_id;
+      return leaf;
+    }
+    case NodeKind::Slice: {
+      const BinaryOp op =
+          node.dir == SliceDir::Horizontal ? BinaryOp::SliceH : BinaryOp::SliceV;
+      return fold_slice(op, node.children, opts);
+    }
+    case NodeKind::Wheel: {
+      assert(node.children.size() == kWheelArity);
+      auto stack = make_internal(BinaryOp::WheelStack, convert(node.child(WheelPos::Bottom), opts),
+                                 convert(node.child(WheelPos::Left), opts));
+      auto notch = make_internal(BinaryOp::WheelFillNotch, std::move(stack),
+                                 convert(node.child(WheelPos::Center), opts));
+      auto extend = make_internal(BinaryOp::WheelExtend, std::move(notch),
+                                  convert(node.child(WheelPos::Right), opts));
+      auto close = make_internal(BinaryOp::WheelClose, std::move(extend),
+                                 convert(node.child(WheelPos::Top), opts));
+      close->chirality = node.chirality;
+      return close;
+    }
+  }
+  return nullptr;  // unreachable
+}
+
+std::size_t assign_ids(BinaryNode& node, std::size_t next) {
+  node.id = next++;
+  if (node.left) next = assign_ids(*node.left, next);
+  if (node.right) next = assign_ids(*node.right, next);
+  return next;
+}
+
+}  // namespace
+
+BinaryTree restructure(const FloorplanTree& tree, const RestructureOptions& opts) {
+  assert(tree.has_root());
+  BinaryTree out;
+  out.root = convert(tree.root(), opts);
+  out.node_count = assign_ids(*out.root, 0);
+  return out;
+}
+
+}  // namespace fpopt

@@ -1,0 +1,68 @@
+// Restructuring the floorplan tree T into the binary tree T' (Section 3,
+// Figure 3): every internal node of T' corresponds to either a rectangular
+// block or an L-shaped block.
+//
+// * A slice with children c1..cm becomes the left-deep chain
+//   ((c1 (+) c2) (+) c3) ... (+) cm  of two-child slices (every prefix of a
+//   sliced rectangle is itself a rectangular block). An optional balanced
+//   mode folds the children as a balanced binary tree instead, which keeps
+//   intermediate lists smaller at high fanout (ablation material).
+// * A wheel with children {Bottom, Left, Center, Right, Top} becomes the
+//   assembly chain
+//       WheelClose( WheelExtend( WheelFillNotch( WheelStack(Bottom, Left),
+//                                                 Center), Right), Top)
+//   whose three inner nodes are L-shaped blocks and whose close node is the
+//   wheel's rectangle. See optimize/combine.h for the op geometry.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "floorplan/tree.h"
+
+namespace fpopt {
+
+enum class BinaryOp : std::uint8_t {
+  LeafModule,      ///< R-list comes straight from the module library
+  SliceH,          ///< rect (+) rect, stacked bottom/top -> rect
+  SliceV,          ///< rect (+) rect, side by side left/right -> rect
+  WheelStack,      ///< op1: Bottom (+) Left -> L (left child rect, right child rect)
+  WheelFillNotch,  ///< op2: L (+) Center -> L
+  WheelExtend,     ///< op3: L (+) Right -> L
+  WheelClose,      ///< op4: L (+) Top -> rect (completes the wheel)
+};
+
+/// True when the op's result is an L-shaped block.
+[[nodiscard]] constexpr bool op_is_l_block(BinaryOp op) {
+  return op == BinaryOp::WheelStack || op == BinaryOp::WheelFillNotch ||
+         op == BinaryOp::WheelExtend;
+}
+
+struct BinaryNode {
+  BinaryOp op = BinaryOp::LeafModule;
+  std::size_t module_id = 0;                             ///< LeafModule only
+  WheelChirality chirality = WheelChirality::Clockwise;  ///< WheelClose only
+  std::size_t id = 0;  ///< preorder index within the binary tree
+  std::unique_ptr<BinaryNode> left;
+  std::unique_ptr<BinaryNode> right;
+
+  [[nodiscard]] bool is_leaf() const { return op == BinaryOp::LeafModule; }
+  [[nodiscard]] bool is_l_block() const { return op_is_l_block(op); }
+};
+
+struct BinaryTree {
+  std::unique_ptr<BinaryNode> root;
+  std::size_t node_count = 0;
+};
+
+struct RestructureOptions {
+  /// false: left-deep slice chains (the traditional restructuring);
+  /// true: balanced slice folding.
+  bool balanced_slices = false;
+};
+
+/// Build T' from a well-formed T. Node ids are assigned in preorder.
+[[nodiscard]] BinaryTree restructure(const FloorplanTree& tree,
+                                     const RestructureOptions& opts = {});
+
+}  // namespace fpopt

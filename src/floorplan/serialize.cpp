@@ -1,0 +1,171 @@
+#include "floorplan/serialize.h"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <sstream>
+
+namespace fpopt {
+namespace {
+
+struct Tokenizer {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+
+  [[nodiscard]] bool eof() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  std::string_view next_token() {
+    skip_ws();
+    if (pos >= text.size()) throw ParseError("unexpected end of topology");
+    if (text[pos] == '(' || text[pos] == ')') {
+      return text.substr(pos++, 1);
+    }
+    const std::size_t start = pos;
+    while (pos < text.size() && !std::isspace(static_cast<unsigned char>(text[pos])) &&
+           text[pos] != '(' && text[pos] != ')') {
+      ++pos;
+    }
+    return text.substr(start, pos - start);
+  }
+};
+
+std::unique_ptr<FloorplanNode> parse_node(Tokenizer& tok,
+                                          const std::map<std::string, std::size_t, std::less<>>&
+                                              name_to_id) {
+  const std::string_view t = tok.next_token();
+  if (t == ")") throw ParseError("unexpected ')'");
+  if (t != "(") {
+    const auto it = name_to_id.find(t);
+    if (it == name_to_id.end()) {
+      throw ParseError("unknown module name '" + std::string(t) + '\'');
+    }
+    return FloorplanNode::leaf(it->second);
+  }
+
+  const std::string_view head = tok.next_token();
+  if (head == "V" || head == "H") {
+    std::vector<std::unique_ptr<FloorplanNode>> children;
+    while (tok.peek() != ')') children.push_back(parse_node(tok, name_to_id));
+    tok.next_token();  // consume ')'
+    if (children.size() < 2) throw ParseError("slice needs at least 2 children");
+    return FloorplanNode::slice(head == "V" ? SliceDir::Vertical : SliceDir::Horizontal,
+                                std::move(children));
+  }
+  if (head == "W" || head == "M") {
+    std::array<std::unique_ptr<FloorplanNode>, kWheelArity> children;
+    for (auto& c : children) c = parse_node(tok, name_to_id);
+    if (tok.next_token() != ")") throw ParseError("wheel takes exactly 5 children");
+    return FloorplanNode::wheel(
+        head == "W" ? WheelChirality::Clockwise : WheelChirality::CounterClockwise,
+        std::move(children));
+  }
+  throw ParseError("unknown node head '" + std::string(head) + "' (expected V, H, W or M)");
+}
+
+Dim parse_dim(std::string_view s) {
+  Dim value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || value <= 0) {
+    throw ParseError("bad dimension '" + std::string(s) + '\'');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<Module> parse_module_library(std::string_view text) {
+  std::vector<Module> modules;
+  std::size_t line_start = 0;
+  while (line_start <= text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream in{std::string(line)};
+    std::string name;
+    if (!(in >> name)) continue;  // blank line
+
+    std::vector<RectImpl> cands;
+    std::string impl;
+    while (in >> impl) {
+      const std::size_t x = impl.find('x');
+      if (x == std::string::npos) throw ParseError("bad implementation '" + impl + '\'');
+      cands.push_back({parse_dim(std::string_view(impl).substr(0, x)),
+                       parse_dim(std::string_view(impl).substr(x + 1))});
+    }
+    if (cands.empty()) throw ParseError("module '" + name + "' lists no implementations");
+    modules.emplace_back(std::move(name), RList::from_candidates(std::move(cands)));
+  }
+  return modules;
+}
+
+std::string to_module_library_string(const std::vector<Module>& modules) {
+  std::ostringstream out;
+  for (const Module& m : modules) {
+    out << m.name;
+    for (const RectImpl& r : m.impls) out << ' ' << r.w << 'x' << r.h;
+    out << '\n';
+  }
+  return out.str();
+}
+
+FloorplanTree parse_floorplan(std::string_view topology, std::vector<Module> modules) {
+  std::map<std::string, std::size_t, std::less<>> name_to_id;
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    if (!name_to_id.emplace(modules[i].name, i).second) {
+      throw ParseError("duplicate module name '" + modules[i].name + '\'');
+    }
+  }
+  Tokenizer tok{topology};
+  auto root = parse_node(tok, name_to_id);
+  if (!tok.eof()) throw ParseError("trailing tokens after topology");
+  return FloorplanTree(std::move(modules), std::move(root));
+}
+
+namespace {
+
+void print_node(const FloorplanNode& node, const std::vector<Module>& modules,
+                std::ostringstream& out) {
+  switch (node.kind) {
+    case NodeKind::Leaf:
+      out << modules[node.module_id].name;
+      return;
+    case NodeKind::Slice:
+      out << '(' << (node.dir == SliceDir::Vertical ? 'V' : 'H');
+      break;
+    case NodeKind::Wheel:
+      out << '(' << (node.chirality == WheelChirality::Clockwise ? 'W' : 'M');
+      break;
+  }
+  for (const auto& child : node.children) {
+    out << ' ';
+    print_node(*child, modules, out);
+  }
+  out << ')';
+}
+
+}  // namespace
+
+std::string to_topology_string(const FloorplanTree& tree) {
+  std::ostringstream out;
+  print_node(tree.root(), tree.modules(), out);
+  return out.str();
+}
+
+}  // namespace fpopt

@@ -1,0 +1,45 @@
+// Text (de)serialization of floorplan trees and module libraries.
+//
+// Topology grammar (s-expressions; whitespace separates tokens):
+//
+//   node     := module-name | slice | wheel
+//   slice    := '(' ('V' | 'H') node node ... ')'       >= 2 children
+//   wheel    := '(' ('W' | 'M') bottom left center right top ')'
+//
+// 'V' puts children side by side (vertical cuts, left to right), 'H'
+// stacks them (bottom to top), 'W' is a clockwise wheel, 'M' its mirrored
+// (counter-clockwise) form. Wheel children are listed in WheelPos order.
+//
+// Module library format: one module per line,
+//
+//   name w1xh1 w2xh2 ...
+//
+// '#' starts a comment. Implementations may be listed in any order and
+// with redundancy; they are dominance-pruned into an irreducible R-list.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "floorplan/tree.h"
+
+namespace fpopt {
+
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[nodiscard]] std::vector<Module> parse_module_library(std::string_view text);
+[[nodiscard]] std::string to_module_library_string(const std::vector<Module>& modules);
+
+/// Parse a topology against a module library. Every name must resolve to a
+/// library module. Throws ParseError on malformed input.
+[[nodiscard]] FloorplanTree parse_floorplan(std::string_view topology,
+                                            std::vector<Module> modules);
+
+[[nodiscard]] std::string to_topology_string(const FloorplanTree& tree);
+
+}  // namespace fpopt

@@ -1,0 +1,117 @@
+#include "floorplan/tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fpopt {
+
+std::unique_ptr<FloorplanNode> FloorplanNode::leaf(std::size_t module_id) {
+  auto node = std::make_unique<FloorplanNode>();
+  node->kind = NodeKind::Leaf;
+  node->module_id = module_id;
+  return node;
+}
+
+std::unique_ptr<FloorplanNode> FloorplanNode::slice(
+    SliceDir dir, std::vector<std::unique_ptr<FloorplanNode>> children) {
+  auto node = std::make_unique<FloorplanNode>();
+  node->kind = NodeKind::Slice;
+  node->dir = dir;
+  node->children = std::move(children);
+  return node;
+}
+
+std::unique_ptr<FloorplanNode> FloorplanNode::wheel(
+    WheelChirality chirality, std::array<std::unique_ptr<FloorplanNode>, kWheelArity> children) {
+  auto node = std::make_unique<FloorplanNode>();
+  node->kind = NodeKind::Wheel;
+  node->chirality = chirality;
+  node->children.reserve(kWheelArity);
+  for (auto& c : children) node->children.push_back(std::move(c));
+  return node;
+}
+
+FloorplanTree::FloorplanTree(std::vector<Module> modules, std::unique_ptr<FloorplanNode> root)
+    : modules_(std::move(modules)), root_(std::move(root)) {}
+
+namespace {
+
+void validate_node(const FloorplanNode& node, const std::vector<Module>& modules,
+                   std::vector<std::size_t>& use_count, std::vector<std::string>& errors) {
+  switch (node.kind) {
+    case NodeKind::Leaf:
+      if (node.module_id >= modules.size()) {
+        errors.push_back("leaf references module id " + std::to_string(node.module_id) +
+                         " out of range");
+      } else {
+        ++use_count[node.module_id];
+        if (modules[node.module_id].impls.empty()) {
+          errors.push_back("module '" + modules[node.module_id].name +
+                           "' has no implementations");
+        }
+      }
+      if (!node.children.empty()) errors.push_back("leaf node has children");
+      break;
+    case NodeKind::Slice:
+      if (node.children.size() < 2) errors.push_back("slice node has fewer than 2 children");
+      break;
+    case NodeKind::Wheel:
+      if (node.children.size() != kWheelArity) {
+        errors.push_back("wheel node has " + std::to_string(node.children.size()) +
+                         " children, expected 5");
+      }
+      break;
+  }
+  for (const auto& child : node.children) {
+    if (child == nullptr) {
+      errors.push_back("null child pointer");
+      continue;
+    }
+    validate_node(*child, modules, use_count, errors);
+  }
+}
+
+void collect_stats(const FloorplanNode& node, std::size_t depth, TreeStats& s) {
+  s.depth = std::max(s.depth, depth);
+  switch (node.kind) {
+    case NodeKind::Leaf:
+      ++s.leaf_count;
+      break;
+    case NodeKind::Slice:
+      ++s.slice_count;
+      break;
+    case NodeKind::Wheel:
+      ++s.wheel_count;
+      break;
+  }
+  for (const auto& child : node.children) {
+    if (child) collect_stats(*child, depth + 1, s);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> FloorplanTree::validate() const {
+  std::vector<std::string> errors;
+  if (!root_) {
+    errors.emplace_back("tree has no root");
+    return errors;
+  }
+  std::vector<std::size_t> use_count(modules_.size(), 0);
+  validate_node(*root_, modules_, use_count, errors);
+  for (std::size_t id = 0; id < use_count.size(); ++id) {
+    if (use_count[id] != 1) {
+      errors.push_back("module '" + modules_[id].name + "' used " +
+                       std::to_string(use_count[id]) + " times, expected 1");
+    }
+  }
+  return errors;
+}
+
+TreeStats FloorplanTree::stats() const {
+  TreeStats s;
+  if (root_) collect_stats(*root_, 1, s);
+  return s;
+}
+
+}  // namespace fpopt

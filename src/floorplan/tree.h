@@ -1,0 +1,100 @@
+// Floorplan trees (Section 2, Figure 1): the hierarchical description of
+// how the enveloping rectangle is recursively partitioned.
+//
+// Internal nodes are either slices (the rectangle is cut by parallel
+// horizontal or vertical segments into >= 2 parts) or wheels (the order-5
+// pinwheel, the smallest non-slicing pattern). This is the class of
+// "hierarchical floorplans of order 5" the DAC'90 optimizer handles.
+//
+// Wheel child positions, clockwise chirality (W the wheel's width, H its
+// height; 0 < x1 < x2 < W and 0 < y1 < y2 < H are the four cut lines):
+//
+//        +--------+----------+
+//        | Left   |   Top    |        Bottom: [0,x2] x [0,y1]
+//        |        +---+------+        Left:   [0,x1] x [y1,H]
+//        |        | E |      |        Center: [x1,x2] x [y1,y2]
+//        +--------+---+ Right|        Right:  [x2,W] x [0,y2]
+//        |  Bottom    |      |        Top:    [x1,W] x [y2,H]
+//        +------------+------+
+//
+// Counter-clockwise wheels are the mirror image; they share the clockwise
+// evaluation (shape curves are mirror-invariant) and are reflected back at
+// placement time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "floorplan/module.h"
+
+namespace fpopt {
+
+enum class NodeKind { Leaf, Slice, Wheel };
+
+/// Direction of the cut segments: a Vertical slice puts children side by
+/// side (left to right); a Horizontal slice stacks them (bottom to top).
+enum class SliceDir { Horizontal, Vertical };
+
+enum class WheelChirality { Clockwise, CounterClockwise };
+
+/// Index of each wheel child inside FloorplanNode::children.
+enum class WheelPos : std::size_t { Bottom = 0, Left = 1, Center = 2, Right = 3, Top = 4 };
+
+inline constexpr std::size_t kWheelArity = 5;
+
+struct FloorplanNode {
+  NodeKind kind = NodeKind::Leaf;
+  SliceDir dir = SliceDir::Vertical;                    // Slice nodes only
+  WheelChirality chirality = WheelChirality::Clockwise; // Wheel nodes only
+  std::size_t module_id = 0;                            // Leaf nodes only
+  std::vector<std::unique_ptr<FloorplanNode>> children;
+
+  [[nodiscard]] static std::unique_ptr<FloorplanNode> leaf(std::size_t module_id);
+  [[nodiscard]] static std::unique_ptr<FloorplanNode> slice(
+      SliceDir dir, std::vector<std::unique_ptr<FloorplanNode>> children);
+  /// Children in WheelPos order: Bottom, Left, Center, Right, Top.
+  [[nodiscard]] static std::unique_ptr<FloorplanNode> wheel(
+      WheelChirality chirality, std::array<std::unique_ptr<FloorplanNode>, kWheelArity> children);
+
+  [[nodiscard]] const FloorplanNode& child(WheelPos pos) const {
+    return *children[static_cast<std::size_t>(pos)];
+  }
+};
+
+struct TreeStats {
+  std::size_t leaf_count = 0;
+  std::size_t slice_count = 0;
+  std::size_t wheel_count = 0;
+  std::size_t depth = 0;  // leaves-only tree has depth 1
+};
+
+/// A floorplan topology together with its module library. Leaves reference
+/// modules by index; a well-formed tree references every module exactly
+/// once.
+class FloorplanTree {
+ public:
+  FloorplanTree() = default;
+  FloorplanTree(std::vector<Module> modules, std::unique_ptr<FloorplanNode> root);
+
+  [[nodiscard]] const FloorplanNode& root() const { return *root_; }
+  [[nodiscard]] bool has_root() const { return root_ != nullptr; }
+  [[nodiscard]] const std::vector<Module>& modules() const { return modules_; }
+  [[nodiscard]] const Module& module(std::size_t id) const { return modules_[id]; }
+  [[nodiscard]] std::size_t module_count() const { return modules_.size(); }
+
+  /// Structural problems, empty when the tree is well-formed: every slice
+  /// has >= 2 children, every wheel exactly 5, leaf module ids are valid
+  /// and each module is used exactly once, and no module R-list is empty.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  [[nodiscard]] TreeStats stats() const;
+
+ private:
+  std::vector<Module> modules_;
+  std::unique_ptr<FloorplanNode> root_;
+};
+
+}  // namespace fpopt

@@ -1,0 +1,56 @@
+// L-shaped block implementations (Section 2, Figure 2 of the paper).
+#pragma once
+
+#include <compare>
+#include <ostream>
+
+#include "geometry/rect_impl.h"
+#include "geometry/types.h"
+
+namespace fpopt {
+
+/// One realization of an L-shaped block, canonical orientation: the notch
+/// is at the top-right. The region is
+///
+///     [0,w1] x [0,h2]   (bottom strip, full width)
+///   U [0,w2] x [0,h1]   (left column, full height)
+///
+/// with w1 >= w2 >= 1 and h1 >= h2 >= 1 (paper's 4-tuple (w1,w2,h1,h2):
+/// w1/w2 the bottom/top edge widths, h1/h2 the left/right edge heights).
+///
+/// Degenerate cases (w1 == w2 or h1 == h2) are plain rectangles; the
+/// optimizer keeps them in L form while a wheel is being assembled and
+/// promotes them with `bounding_rect()` when the wheel closes.
+struct LImpl {
+  Dim w1 = 0;  ///< bottom edge width (>= w2)
+  Dim w2 = 0;  ///< top edge width
+  Dim h1 = 0;  ///< left edge height (>= h2)
+  Dim h2 = 0;  ///< right edge height
+
+  /// Area of the L region itself (not of its bounding box).
+  [[nodiscard]] constexpr Area area() const { return w1 * h2 + w2 * (h1 - h2); }
+
+  /// Smallest rectangle containing the L.
+  [[nodiscard]] constexpr RectImpl bounding_rect() const { return {w1, h1}; }
+
+  /// True iff the shape is actually a rectangle (empty notch).
+  [[nodiscard]] constexpr bool is_degenerate() const { return w1 == w2 || h1 == h2; }
+
+  /// Definition 1 (L case): componentwise >= in all four coordinates.
+  [[nodiscard]] constexpr bool dominates(const LImpl& other) const {
+    return w1 >= other.w1 && w2 >= other.w2 && h1 >= other.h1 && h2 >= other.h2;
+  }
+
+  /// Canonical-form check: positive edges, w1 >= w2, h1 >= h2.
+  [[nodiscard]] constexpr bool valid() const {
+    return w2 > 0 && h2 > 0 && w1 >= w2 && h1 >= h2;
+  }
+
+  friend constexpr auto operator<=>(const LImpl&, const LImpl&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const LImpl& l) {
+  return os << "L(w1=" << l.w1 << ",w2=" << l.w2 << ",h1=" << l.h1 << ",h2=" << l.h2 << ')';
+}
+
+}  // namespace fpopt

@@ -1,0 +1,48 @@
+// Axis-aligned placed rectangles, used by the traceback/placement layer.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <ostream>
+
+#include "geometry/types.h"
+
+namespace fpopt {
+
+/// A rectangle positioned in chip coordinates (origin at bottom-left).
+struct PlacedRect {
+  Dim x = 0;
+  Dim y = 0;
+  Dim w = 0;
+  Dim h = 0;
+
+  [[nodiscard]] constexpr Dim x2() const { return x + w; }
+  [[nodiscard]] constexpr Dim y2() const { return y + h; }
+  [[nodiscard]] constexpr Area area() const { return w * h; }
+  [[nodiscard]] constexpr bool valid() const { return w > 0 && h > 0; }
+
+  /// True iff the interiors of the two rectangles intersect.
+  [[nodiscard]] constexpr bool overlaps(const PlacedRect& o) const {
+    return x < o.x2() && o.x < x2() && y < o.y2() && o.y < y2();
+  }
+
+  /// True iff `o` lies entirely inside *this (boundaries may touch).
+  [[nodiscard]] constexpr bool contains(const PlacedRect& o) const {
+    return o.x >= x && o.y >= y && o.x2() <= x2() && o.y2() <= y2();
+  }
+
+  /// Mirror across the vertical axis of `frame` (used for counter-clockwise
+  /// wheels, which are evaluated in clockwise canonical form and reflected
+  /// back at placement time).
+  [[nodiscard]] constexpr PlacedRect mirrored_x(const PlacedRect& frame) const {
+    return {frame.x + (frame.x2() - x2()), y, w, h};
+  }
+
+  friend constexpr auto operator<=>(const PlacedRect&, const PlacedRect&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const PlacedRect& r) {
+  return os << '[' << r.x << ',' << r.y << ' ' << r.w << 'x' << r.h << ']';
+}
+
+}  // namespace fpopt

@@ -1,0 +1,38 @@
+// Rectangular block implementations (Section 2 of the paper).
+#pragma once
+
+#include <compare>
+#include <ostream>
+
+#include "geometry/types.h"
+
+namespace fpopt {
+
+/// One realization of a rectangular block: `w` x `h` grid units.
+///
+/// Definition 1 (rectangular case): `a` dominates `b` iff a.w >= b.w and
+/// a.h >= b.h; the *dominating* implementation is the redundant one (it is
+/// at least as large in both dimensions, so it can never beat `b`).
+struct RectImpl {
+  Dim w = 0;
+  Dim h = 0;
+
+  [[nodiscard]] constexpr Area area() const { return w * h; }
+
+  /// True iff *this dominates `other` (Definition 1). Note a shape
+  /// dominates itself; callers that prune keep one copy of duplicates.
+  [[nodiscard]] constexpr bool dominates(const RectImpl& other) const {
+    return w >= other.w && h >= other.h;
+  }
+
+  /// True for a geometrically meaningful shape.
+  [[nodiscard]] constexpr bool valid() const { return w > 0 && h > 0; }
+
+  friend constexpr auto operator<=>(const RectImpl&, const RectImpl&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const RectImpl& r) {
+  return os << '(' << r.w << " x " << r.h << ')';
+}
+
+}  // namespace fpopt

@@ -1,0 +1,64 @@
+#include "geometry/staircase.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fpopt {
+
+bool is_irreducible_r_list(std::span<const RectImpl> pts) {
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (!pts[i].valid()) return false;
+    if (i > 0 && !(pts[i - 1].w > pts[i].w && pts[i - 1].h < pts[i].h)) return false;
+  }
+  return true;
+}
+
+Dim staircase_min_height(std::span<const RectImpl> pts, Dim w) {
+  // pts is sorted by w strictly decreasing; find the first corner that fits.
+  const auto it = std::lower_bound(pts.begin(), pts.end(), w,
+                                   [](const RectImpl& r, Dim width) { return r.w > width; });
+  if (it == pts.end()) return -1;  // narrower than every corner: infeasible
+  return it->h;
+}
+
+Area staircase_error_geometric(std::span<const RectImpl> pts, std::size_t i, std::size_t j) {
+  assert(i < j && j < pts.size());
+  // Vertical-strip decomposition of the region between the original
+  // subcurve P_{ri,rj} and the single reduced step Q_{ri,rj} at height h_j:
+  // on [w_{q+1}, w_q) the original curve sits at h_{q+1}.
+  Area total = 0;
+  for (std::size_t q = i; q + 1 < j; ++q) {
+    total += (pts[q].w - pts[q + 1].w) * (pts[j].h - pts[q + 1].h);
+  }
+  return total;
+}
+
+Area staircase_subset_error(std::span<const RectImpl> full, std::span<const std::size_t> kept) {
+  assert(kept.size() >= 2);
+  assert(kept.front() == 0 && kept.back() == full.size() - 1);
+  Area total = 0;
+  for (std::size_t q = 0; q + 1 < kept.size(); ++q) {
+    assert(kept[q] < kept[q + 1]);
+    total += staircase_error_geometric(full, kept[q], kept[q + 1]);
+  }
+  return total;
+}
+
+Area staircase_subset_error_by_columns(std::span<const RectImpl> full,
+                                       std::span<const std::size_t> kept) {
+  assert(kept.size() >= 2);
+  std::vector<RectImpl> sub;
+  sub.reserve(kept.size());
+  for (std::size_t idx : kept) sub.push_back(full[idx]);
+
+  Area total = 0;
+  for (Dim x = full.back().w; x < full.front().w; ++x) {
+    const Dim h_full = staircase_min_height(full, x);
+    const Dim h_sub = staircase_min_height(sub, x);
+    assert(h_full >= 0 && h_sub >= h_full);
+    total += h_sub - h_full;
+  }
+  return total;
+}
+
+}  // namespace fpopt

@@ -1,0 +1,50 @@
+// Staircase-curve utilities for irreducible R-lists (Section 4.2, Fig. 5-6).
+//
+// An irreducible R-list {r_1..r_n} (w strictly decreasing, h strictly
+// increasing) is the corner set of a staircase curve C_R; every point on or
+// above C_R is a feasible implementation of the block. These helpers give
+// the *geometric* definitions used to validate the paper's O(n^2) error
+// recurrence (Compute_R_Error) and the area-between-curves cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/rect_impl.h"
+#include "geometry/types.h"
+
+namespace fpopt {
+
+/// True iff `pts` satisfies Definition 4 + Definition 5: w strictly
+/// decreasing, h strictly increasing, all shapes valid (an irreducible
+/// R-list; strictness is what "no redundant implementation" means here).
+[[nodiscard]] bool is_irreducible_r_list(std::span<const RectImpl> pts);
+
+/// Smallest feasible height at width `w` according to staircase `pts`
+/// (the curve value), or kInfiniteWeight-like sentinel: returns -1 when
+/// `w` is narrower than the narrowest corner (infeasible).
+[[nodiscard]] Dim staircase_min_height(std::span<const RectImpl> pts, Dim w);
+
+/// Area of the region under-approximation lost when the corners strictly
+/// between `pts[i]` and `pts[j]` are discarded: the bounded area between
+/// the original subcurve P_{ri,rj} and the single step Q_{ri,rj}
+/// (paper's error(r_i, r_j)). Computed geometrically, O(j - i); used as the
+/// independent oracle for Compute_R_Error.
+[[nodiscard]] Area staircase_error_geometric(std::span<const RectImpl> pts,
+                                             std::size_t i, std::size_t j);
+
+/// Total bounded area between the staircase of `full` and the staircase of
+/// the subset selected by `kept` (indices into `full`, strictly increasing,
+/// first == 0 and last == full.size()-1). This is ERROR(R, R') of Eq. (2),
+/// computed geometrically.
+[[nodiscard]] Area staircase_subset_error(std::span<const RectImpl> full,
+                                          std::span<const std::size_t> kept);
+
+/// Area between the two staircases, evaluated by integrating the height
+/// difference over every unit-width column of the interval
+/// [w_n, w_1]. Brutally slow (O(width * corners)) but an independent,
+/// definition-level oracle for the tests.
+[[nodiscard]] Area staircase_subset_error_by_columns(std::span<const RectImpl> full,
+                                                     std::span<const std::size_t> kept);
+
+}  // namespace fpopt

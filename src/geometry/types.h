@@ -1,0 +1,26 @@
+// Basic scalar types shared by every fpopt module.
+//
+// All floorplan dimensions are exact 64-bit integers: module libraries in
+// this domain are given in integral layout-grid units, and exactness lets
+// the selection algorithms (whose edge weights are areas and Manhattan
+// distances of dimensions) be verified bit-for-bit against brute force.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fpopt {
+
+/// Length of an edge, in layout grid units. Always > 0 for a real shape.
+using Dim = std::int64_t;
+
+/// Product of two Dims. 2^63 grid-units^2 is far beyond any workload here.
+using Area = std::int64_t;
+
+/// Weight type used by the constrained-shortest-path layer. All integer
+/// areas/distances below 2^53 are represented exactly.
+using Weight = double;
+
+inline constexpr Weight kInfiniteWeight = std::numeric_limits<Weight>::infinity();
+
+}  // namespace fpopt

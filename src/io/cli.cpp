@@ -1,0 +1,279 @@
+#include "io/cli.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "floorplan/serialize.h"
+#include "io/svg.h"
+#include "optimize/optimizer.h"
+#include "net/netlist.h"
+#include "optimize/placement.h"
+#include "topology/annealing.h"
+
+namespace fpopt {
+namespace {
+
+struct CliError {
+  std::string message;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CliError{"cannot open '" + path + "'"};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct ParsedArgs {
+  std::string command;
+  std::vector<std::string> positional;
+  OptimizerOptions options;
+  std::size_t impl_index = static_cast<std::size_t>(-1);  // place: -1 = min area
+  // anneal:
+  AnnealingOptions anneal;
+  std::string netlist_path;
+  std::string out_path;
+};
+
+long parse_long(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(value, &pos);
+    if (pos != value.size() || v < 0) throw CliError{""};
+    return v;
+  } catch (...) {
+    throw CliError{"bad value '" + value + "' for " + flag};
+  }
+}
+
+ParsedArgs parse_args(const std::vector<std::string>& args) {
+  if (args.empty()) throw CliError{"no command given"};
+  ParsedArgs parsed;
+  parsed.command = args[0];
+  parsed.options.impl_budget = 0;  // CLI default: no simulated limit
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0) {
+      parsed.positional.push_back(a);
+      continue;
+    }
+    const auto need_value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) throw CliError{"flag " + a + " needs a value"};
+      return args[++i];
+    };
+    if (a == "--k1") {
+      parsed.options.selection.k1 = static_cast<std::size_t>(parse_long(a, need_value()));
+    } else if (a == "--k2") {
+      parsed.options.selection.k2 = static_cast<std::size_t>(parse_long(a, need_value()));
+    } else if (a == "--theta") {
+      const std::string& v = need_value();
+      try {
+        parsed.options.selection.theta = std::stod(v);
+      } catch (...) {
+        throw CliError{"bad value '" + v + "' for --theta"};
+      }
+      if (parsed.options.selection.theta <= 0 || parsed.options.selection.theta > 1) {
+        throw CliError{"--theta must be in (0, 1]"};
+      }
+    } else if (a == "--scap") {
+      parsed.options.selection.heuristic_cap =
+          static_cast<std::size_t>(parse_long(a, need_value()));
+    } else if (a == "--budget") {
+      parsed.options.impl_budget = static_cast<std::size_t>(parse_long(a, need_value()));
+    } else if (a == "--impl") {
+      parsed.impl_index = static_cast<std::size_t>(parse_long(a, need_value()));
+    } else if (a == "--seed") {
+      parsed.anneal.seed = static_cast<std::uint64_t>(parse_long(a, need_value()));
+    } else if (a == "--moves") {
+      parsed.anneal.max_total_moves = static_cast<std::size_t>(parse_long(a, need_value()));
+    } else if (a == "--lambda") {
+      const std::string& v = need_value();
+      try {
+        parsed.anneal.lambda = std::stod(v);
+      } catch (...) {
+        throw CliError{"bad value '" + v + "' for --lambda"};
+      }
+    } else if (a == "--netlist") {
+      parsed.netlist_path = need_value();
+    } else if (a == "--out") {
+      parsed.out_path = need_value();
+    } else if (a == "--metric") {
+      const std::string& v = need_value();
+      if (v == "l1") {
+        parsed.options.selection.metric = LpMetric::L1;
+      } else if (v == "l2") {
+        parsed.options.selection.metric = LpMetric::L2;
+      } else if (v == "linf") {
+        parsed.options.selection.metric = LpMetric::LInf;
+      } else {
+        throw CliError{"unknown metric '" + v + "' (expected l1, l2 or linf)"};
+      }
+    } else {
+      throw CliError{"unknown flag " + a};
+    }
+  }
+  return parsed;
+}
+
+FloorplanTree load_tree(const ParsedArgs& parsed) {
+  if (parsed.positional.size() < 2) {
+    throw CliError{"command '" + parsed.command + "' needs <topology-file> <library-file>"};
+  }
+  FloorplanTree tree = parse_floorplan(read_file(parsed.positional[0]),
+                                       parse_module_library(read_file(parsed.positional[1])));
+  const auto errors = tree.validate();
+  if (!errors.empty()) throw CliError{"invalid floorplan: " + errors.front()};
+  return tree;
+}
+
+OptimizeOutcome optimize_or_throw(const FloorplanTree& tree, const OptimizerOptions& options) {
+  OptimizeOutcome out = optimize_floorplan(tree, options);
+  if (out.out_of_memory) {
+    throw CliError{"out of memory: exceeded the --budget of " +
+                   std::to_string(options.impl_budget) + " implementations"};
+  }
+  return out;
+}
+
+int cmd_stats(const ParsedArgs& parsed, std::ostream& out) {
+  const FloorplanTree tree = load_tree(parsed);
+  const TreeStats s = tree.stats();
+  std::size_t impls = 0;
+  for (const Module& m : tree.modules()) impls += m.impls.size();
+  out << "topology:     " << to_topology_string(tree) << '\n'
+      << "modules:      " << tree.module_count() << " (" << impls << " implementations)\n"
+      << "slice nodes:  " << s.slice_count << '\n'
+      << "wheel nodes:  " << s.wheel_count << '\n'
+      << "tree depth:   " << s.depth << '\n';
+  return 0;
+}
+
+int cmd_optimize(const ParsedArgs& parsed, std::ostream& out) {
+  const FloorplanTree tree = load_tree(parsed);
+  const OptimizeOutcome result = optimize_or_throw(tree, parsed.options);
+  out << "best area:    " << result.best_area << '\n'
+      << "shape curve:  " << result.root.size() << " implementations\n";
+  for (const RectImpl& r : result.root) out << "  " << r.w << " x " << r.h << '\n';
+  out << "peak stored:  " << result.stats.peak_stored << " implementations\n"
+      << "generated:    " << result.stats.total_generated << " candidates\n"
+      << "R_Selection:  " << result.stats.r_selection_calls << " calls, removed "
+      << result.stats.r_selected_away << '\n'
+      << "L_Selection:  " << result.stats.l_selection_calls << " calls, removed "
+      << result.stats.l_selected_away << '\n';
+  return 0;
+}
+
+Placement trace_chosen(const FloorplanTree& tree, const OptimizeOutcome& result,
+                       const ParsedArgs& parsed) {
+  std::size_t pick = parsed.impl_index;
+  if (pick == static_cast<std::size_t>(-1)) {
+    pick = result.root.min_area_index();
+  } else if (pick >= result.root.size()) {
+    throw CliError{"--impl " + std::to_string(pick) + " out of range (curve has " +
+                   std::to_string(result.root.size()) + " implementations)"};
+  }
+  return trace_placement(tree, result, pick);
+}
+
+int cmd_place(const ParsedArgs& parsed, std::ostream& out) {
+  const FloorplanTree tree = load_tree(parsed);
+  const OptimizeOutcome result = optimize_or_throw(tree, parsed.options);
+  const Placement p = trace_chosen(tree, result, parsed);
+  const auto problems = validate_placement(p, tree);
+  if (!problems.empty()) throw CliError{"internal error: " + problems.front()};
+  out << "chip " << p.width << " x " << p.height << " area " << p.chip_area() << " waste "
+      << (p.chip_area() - p.total_module_area()) << '\n';
+  for (const ModulePlacement& m : p.rooms) {
+    out << tree.module(m.module_id).name << " room x=" << m.room.x << " y=" << m.room.y
+        << " w=" << m.room.w << " h=" << m.room.h << " impl " << m.impl.w << "x" << m.impl.h
+        << '\n';
+  }
+  return 0;
+}
+
+int cmd_svg(const ParsedArgs& parsed, std::ostream& out) {
+  if (parsed.positional.size() < 3) {
+    throw CliError{"svg needs <topology-file> <library-file> <out.svg>"};
+  }
+  const FloorplanTree tree = load_tree(parsed);
+  const OptimizeOutcome result = optimize_or_throw(tree, parsed.options);
+  const Placement p = trace_chosen(tree, result, parsed);
+  std::ofstream file(parsed.positional[2], std::ios::binary);
+  if (!file) throw CliError{"cannot write '" + parsed.positional[2] + "'"};
+  file << placement_to_svg(p, tree);
+  out << "wrote " << parsed.positional[2] << " (" << p.width << " x " << p.height << ")\n";
+  return 0;
+}
+
+int cmd_anneal(const ParsedArgs& parsed, std::ostream& out) {
+  if (parsed.positional.empty()) throw CliError{"anneal needs <library-file>"};
+  std::vector<Module> modules = parse_module_library(read_file(parsed.positional[0]));
+  if (modules.size() < 2) throw CliError{"anneal needs at least 2 modules"};
+
+  AnnealingOptions sa = parsed.anneal;
+  Netlist netlist;
+  if (!parsed.netlist_path.empty()) {
+    netlist = parse_netlist(read_file(parsed.netlist_path), modules);
+    const auto errors = netlist.validate();
+    if (!errors.empty()) throw CliError{"invalid netlist: " + errors.front()};
+    sa.netlist = &netlist;
+    if (sa.lambda <= 0) sa.lambda = 1.0;
+  }
+
+  const AnnealingResult r = anneal_slicing_topology(modules, sa);
+  const FloorplanTree tree = r.best.to_tree(modules);
+  out << "moves:        " << r.moves << " (" << r.accepted << " accepted)" << '\n'
+      << "area:         " << r.initial_area << " -> " << r.best_area << '\n';
+  if (sa.netlist != nullptr) {
+    out << "cost:         " << r.initial_cost << " -> " << r.best_cost << " (lambda "
+        << sa.lambda << ")" << '\n'
+        << "HPWL2:        " << hpwl2(netlist, r.best.place(modules)) << '\n';
+  }
+  out << "topology:     " << to_topology_string(tree) << '\n';
+  if (!parsed.out_path.empty()) {
+    std::ofstream file(parsed.out_path, std::ios::binary);
+    if (!file) throw CliError{"cannot write '" + parsed.out_path + "'"};
+    file << to_topology_string(tree) << '\n';
+    out << "wrote " << parsed.out_path << '\n';
+  }
+  return 0;
+}
+
+constexpr const char* kUsage =
+    "usage: fpopt <command> ... [flags]\n"
+    "commands:\n"
+    "  stats | optimize | place [--impl I] | svg <out.svg>   (args: <topology-file> <library-file>)\n"
+    "  anneal <library-file> [--seed N --moves N --netlist F --lambda X --out F]\n"
+    "flags: --k1 N --k2 N --theta X --scap N --budget N --metric l1|l2|linf\n";
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  try {
+    const ParsedArgs parsed = parse_args(args);
+    if (parsed.command == "stats") return cmd_stats(parsed, out);
+    if (parsed.command == "optimize") return cmd_optimize(parsed, out);
+    if (parsed.command == "place") return cmd_place(parsed, out);
+    if (parsed.command == "svg") return cmd_svg(parsed, out);
+    if (parsed.command == "anneal") return cmd_anneal(parsed, out);
+    if (parsed.command == "help" || parsed.command == "--help") {
+      out << kUsage;
+      return 0;
+    }
+    throw CliError{"unknown command '" + parsed.command + "'"};
+  } catch (const CliError& e) {
+    err << "fpopt: " << e.message << '\n' << kUsage;
+    return 2;
+  } catch (const ParseError& e) {
+    err << "fpopt: parse error: " << e.what() << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    err << "fpopt: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace fpopt

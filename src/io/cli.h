@@ -1,0 +1,26 @@
+// The fpopt command-line tool, as a library function so tests can drive
+// it. The thin real main() lives in tools/fpopt_cli.cpp.
+//
+// Usage:
+//   fpopt stats    <topology-file> <library-file>
+//   fpopt optimize <topology-file> <library-file> [selection flags]
+//   fpopt place    <topology-file> <library-file> [selection flags] [--impl I]
+//   fpopt svg      <topology-file> <library-file> <out.svg> [selection flags]
+//   fpopt anneal   <library-file> [--seed N] [--moves N]
+//                  [--netlist <file> --lambda X] [--out <topology-file>]
+//
+// Selection flags: --k1 N, --k2 N, --theta X, --scap N, --budget N,
+//                  --metric l1|l2|linf  (defaults: exact run, budget 0).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fpopt {
+
+/// Run the tool on argv-style arguments (program name excluded).
+/// Returns the process exit code; all output goes to `out` / `err`.
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace fpopt

@@ -1,0 +1,59 @@
+#include "io/svg.h"
+
+#include <sstream>
+
+namespace fpopt {
+namespace {
+
+/// Distinct-ish fill colors cycled per module (pastel HSL wheel).
+std::string fill_color(std::size_t idx) {
+  const int hue = static_cast<int>((idx * 47) % 360);
+  std::ostringstream out;
+  out << "hsl(" << hue << ",65%,78%)";
+  return out.str();
+}
+
+}  // namespace
+
+std::string placement_to_svg(const Placement& placement, const FloorplanTree& tree,
+                             const SvgOptions& opts) {
+  const double s = opts.scale;
+  const double width = static_cast<double>(placement.width) * s;
+  const double height = static_cast<double>(placement.height) * s;
+  // SVG y grows downward; chip y grows upward: flip via y' = H - (y + h).
+  const auto flip = [&](Dim y, Dim h) { return height - static_cast<double>(y + h) * s; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width + 2 << "' height='"
+      << height + 2 << "' viewBox='-1 -1 " << width + 2 << ' ' << height + 2 << "'>\n";
+  svg << "  <rect x='0' y='0' width='" << width << "' height='" << height
+      << "' fill='white' stroke='black' stroke-width='1.5'/>\n";
+
+  for (const ModulePlacement& m : placement.rooms) {
+    const std::string& name = tree.module(m.module_id).name;
+    // Room outline (the basic rectangle).
+    svg << "  <rect x='" << static_cast<double>(m.room.x) * s << "' y='"
+        << flip(m.room.y, m.room.h) << "' width='" << static_cast<double>(m.room.w) * s
+        << "' height='" << static_cast<double>(m.room.h) * s
+        << "' fill='" << (opts.shade_waste ? "hsl(0,0%,92%)" : "none")
+        << "' stroke='dimgray' stroke-width='0.8'/>\n";
+    // Module implementation, anchored at the room's bottom-left corner.
+    svg << "  <rect x='" << static_cast<double>(m.room.x) * s << "' y='"
+        << flip(m.room.y, m.impl.h) << "' width='" << static_cast<double>(m.impl.w) * s
+        << "' height='" << static_cast<double>(m.impl.h) * s << "' fill='"
+        << fill_color(m.module_id) << "' stroke='black' stroke-width='0.5'/>\n";
+    if (opts.label_rooms) {
+      const double cx = (static_cast<double>(m.room.x) + static_cast<double>(m.room.w) / 2) * s;
+      const double cy = height - (static_cast<double>(m.room.y) +
+                                  static_cast<double>(m.room.h) / 2) * s;
+      svg << "  <text x='" << cx << "' y='" << cy
+          << "' font-size='" << std::max(6.0, s * 1.6)
+          << "' text-anchor='middle' dominant-baseline='central' font-family='monospace'>"
+          << name << "</text>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace fpopt

@@ -1,0 +1,25 @@
+// SVG rendering of placements — the standard way floorplan results are
+// inspected. Pure string generation, no external dependencies.
+#pragma once
+
+#include <string>
+
+#include "floorplan/tree.h"
+#include "optimize/placement.h"
+
+namespace fpopt {
+
+struct SvgOptions {
+  double scale = 6.0;        ///< pixels per grid unit
+  bool label_rooms = true;   ///< print module names inside rooms
+  bool shade_waste = true;   ///< hatch the slack between room and module
+};
+
+/// Standalone SVG document showing every room (outline), every module
+/// implementation (filled, bottom-left anchored inside its room), and the
+/// chip boundary.
+[[nodiscard]] std::string placement_to_svg(const Placement& placement,
+                                           const FloorplanTree& tree,
+                                           const SvgOptions& opts = {});
+
+}  // namespace fpopt

@@ -1,0 +1,60 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+namespace fpopt {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' || c == '+' ||
+          c == '%' || c == '>' || c == ' ' || c == 'e')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << " | ";
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (align_numeric && looks_numeric(cells[c])) {
+        out << std::string(pad, ' ') << cells[c];
+      } else {
+        out << cells[c] << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit(header_, false);
+  std::size_t total = header_.empty() ? 0 : 3 * (header_.size() - 1);
+  for (const std::size_t w : widths) total += w;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, true);
+  return out.str();
+}
+
+}  // namespace fpopt

@@ -1,0 +1,24 @@
+// Column-aligned text tables for the experiment reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fpopt {
+
+class TextTable {
+ public:
+  /// Column titles; every row must supply exactly this many cells.
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline; numeric-looking cells right-align.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fpopt

@@ -1,0 +1,116 @@
+#include "net/netlist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace fpopt {
+
+std::vector<std::string> Netlist::validate() const {
+  std::vector<std::string> errors;
+  for (const Net& net : nets_) {
+    if (net.pins.size() < 2) {
+      errors.push_back("net '" + net.name + "' has fewer than 2 pins");
+    }
+    std::set<std::size_t> seen;
+    for (const std::size_t pin : net.pins) {
+      if (pin >= module_count_) {
+        errors.push_back("net '" + net.name + "' pin out of range");
+      } else if (!seen.insert(pin).second) {
+        errors.push_back("net '" + net.name + "' repeats a module");
+      }
+    }
+  }
+  return errors;
+}
+
+Area hpwl2(const Netlist& netlist, const Placement& placement) {
+  // Room center, doubled: (2x + w, 2y + h).
+  std::vector<Dim> cx(netlist.module_count(), -1), cy(netlist.module_count(), -1);
+  for (const ModulePlacement& m : placement.rooms) {
+    assert(m.module_id < netlist.module_count());
+    cx[m.module_id] = 2 * m.room.x + m.room.w;
+    cy[m.module_id] = 2 * m.room.y + m.room.h;
+  }
+
+  Area total = 0;
+  for (const Net& net : netlist.nets()) {
+    Dim min_x = std::numeric_limits<Dim>::max(), max_x = std::numeric_limits<Dim>::min();
+    Dim min_y = min_x, max_y = max_x;
+    for (const std::size_t pin : net.pins) {
+      assert(cx[pin] >= 0 && "every pinned module must be placed");
+      min_x = std::min(min_x, cx[pin]);
+      max_x = std::max(max_x, cx[pin]);
+      min_y = std::min(min_y, cy[pin]);
+      max_y = std::max(max_y, cy[pin]);
+    }
+    total += (max_x - min_x) + (max_y - min_y);
+  }
+  return total;
+}
+
+Netlist parse_netlist(std::string_view text, const std::vector<Module>& modules) {
+  std::map<std::string, std::size_t, std::less<>> name_to_id;
+  for (std::size_t i = 0; i < modules.size(); ++i) name_to_id.emplace(modules[i].name, i);
+
+  Netlist netlist(modules.size());
+  std::size_t line_start = 0;
+  while (line_start <= text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream in{std::string(line)};
+    Net net;
+    if (!(in >> net.name)) continue;
+    std::string pin;
+    while (in >> pin) {
+      const auto it = name_to_id.find(pin);
+      if (it == name_to_id.end()) {
+        throw std::runtime_error("netlist references unknown module '" + pin + '\'');
+      }
+      net.pins.push_back(it->second);
+    }
+    netlist.add_net(std::move(net));
+  }
+  return netlist;
+}
+
+std::string to_netlist_string(const Netlist& netlist, const std::vector<Module>& modules) {
+  std::ostringstream out;
+  for (const Net& net : netlist.nets()) {
+    out << net.name;
+    for (const std::size_t pin : net.pins) out << ' ' << modules[pin].name;
+    out << '\n';
+  }
+  return out.str();
+}
+
+Netlist random_netlist(std::size_t module_count, std::size_t net_count, std::size_t max_arity,
+                       std::uint64_t seed) {
+  assert(module_count >= 2 && max_arity >= 2);
+  Pcg32 rng(seed);
+  Netlist netlist(module_count);
+  for (std::size_t n = 0; n < net_count; ++n) {
+    const std::size_t arity = std::min(
+        module_count, 2 + static_cast<std::size_t>(rng.below(
+                              static_cast<std::uint32_t>(max_arity - 1))));
+    std::set<std::size_t> pins;
+    while (pins.size() < arity) {
+      pins.insert(rng.below(static_cast<std::uint32_t>(module_count)));
+    }
+    Net net;
+    net.name = "n" + std::to_string(n);
+    net.pins.assign(pins.begin(), pins.end());
+    netlist.add_net(std::move(net));
+  }
+  return netlist;
+}
+
+}  // namespace fpopt

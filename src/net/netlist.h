@@ -1,0 +1,68 @@
+// Netlists and wirelength estimation.
+//
+// The paper's introduction: topology is determined "primarily using the
+// interconnection information among the modules" [1,2,4,7]. This module
+// supplies that substrate: hyperedges over modules, half-perimeter
+// wirelength (HPWL) of a placement, and generators/parsers, so the
+// topology annealer can optimize the classic Wong-Liu cost A + lambda*W.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "floorplan/module.h"
+#include "geometry/types.h"
+#include "optimize/placement.h"
+#include "workload/rng.h"
+
+namespace fpopt {
+
+/// One net: a named hyperedge over >= 2 distinct modules.
+struct Net {
+  std::string name;
+  std::vector<std::size_t> pins;  ///< module ids
+
+  friend bool operator==(const Net&, const Net&) = default;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::size_t module_count) : module_count_(module_count) {}
+
+  void add_net(Net net) { nets_.push_back(std::move(net)); }
+
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+  [[nodiscard]] std::size_t net_count() const { return nets_.size(); }
+  [[nodiscard]] std::size_t module_count() const { return module_count_; }
+
+  /// Problems, empty when well-formed: every net has >= 2 distinct
+  /// in-range pins.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  friend bool operator==(const Netlist&, const Netlist&) = default;
+
+ private:
+  std::size_t module_count_ = 0;
+  std::vector<Net> nets_;
+};
+
+/// Total half-perimeter wirelength of `placement`, doubled so room-center
+/// coordinates stay integral: for each net, the half perimeter of the
+/// bounding box of its pins' room centers, times two.
+[[nodiscard]] Area hpwl2(const Netlist& netlist, const Placement& placement);
+
+/// Text format: one net per line, "netname module module ...";
+/// '#' comments. Module names resolve against `modules`.
+[[nodiscard]] Netlist parse_netlist(std::string_view text, const std::vector<Module>& modules);
+[[nodiscard]] std::string to_netlist_string(const Netlist& netlist,
+                                            const std::vector<Module>& modules);
+
+/// Random netlist: `net_count` nets of arity 2..max_arity over distinct
+/// random modules. Deterministic per seed.
+[[nodiscard]] Netlist random_netlist(std::size_t module_count, std::size_t net_count,
+                                     std::size_t max_arity, std::uint64_t seed);
+
+}  // namespace fpopt

@@ -1,0 +1,262 @@
+#include "optimize/combine.h"
+
+#include <cassert>
+
+namespace fpopt {
+namespace {
+
+/// Finalize one generation context: prune the pre-chain, convert surviving
+/// temp ids (left-child references) into provenance records, assign global
+/// entry ids, and append the chain to the result. Counts the chain as
+/// stored right away — partially built L sets are real memory and must be
+/// able to trip the budget mid-combine, exactly like [9] running out of
+/// memory halfway through a node.
+void emit_chain(std::vector<LEntry>& pre_chain, std::uint32_t right_idx, LCombineResult& out,
+                BudgetTracker& budget, OptimizerStats& stats) {
+  stats.total_generated += pre_chain.size();
+  if (pre_chain.empty()) return;
+  const LList pruned = LList::from_prechain(pre_chain);
+  std::vector<LEntry> entries(pruned.begin(), pruned.end());
+  for (LEntry& e : entries) {
+    out.prov.push_back({e.id, right_idx});
+    e.id = static_cast<std::uint32_t>(out.prov.size() - 1);
+  }
+  budget.add_stored(entries.size());
+  out.set.add(LList::from_chain_unchecked(std::move(entries)));
+  pre_chain.clear();
+}
+
+/// Finalize one rect generation context: stack-prune the monotone
+/// candidate run (w non-increasing, h non-decreasing) and append survivors
+/// to the global candidate buffer.
+void emit_rect_run(const std::vector<RectImpl>& run, const std::vector<Prov>& run_prov,
+                   std::vector<RectImpl>& cands, std::vector<Prov>& prov,
+                   TransientScope& transient, OptimizerStats& stats) {
+  stats.total_generated += run.size();
+  const std::size_t first_kept = cands.size();
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    const RectImpl c = run[i];
+    assert(i == 0 || (run[i - 1].w >= c.w && run[i - 1].h <= c.h));
+    while (cands.size() > first_kept && cands.back().dominates(c)) {
+      cands.pop_back();
+      prov.pop_back();
+    }
+    if (cands.size() > first_kept && c.dominates(cands.back())) continue;
+    cands.push_back(c);
+    prov.push_back(run_prov[i]);
+    transient.add(1);
+  }
+}
+
+/// Eager in-place dominance pruning of a candidate buffer. [9] keeps its
+/// working sets non-redundant as it goes; doing the same bounds the
+/// transient memory of a combine step by the frontier size instead of the
+/// cross-product size.
+void compact_rect(std::vector<RectImpl>& cands, std::vector<Prov>& prov,
+                  TransientScope& transient) {
+  const std::vector<std::size_t> kept = prune_rect_candidates(cands);
+  std::vector<RectImpl> new_cands;
+  std::vector<Prov> new_prov;
+  new_cands.reserve(kept.size());
+  new_prov.reserve(kept.size());
+  for (std::size_t idx : kept) {
+    new_cands.push_back(cands[idx]);
+    new_prov.push_back(prov[idx]);
+  }
+  cands = std::move(new_cands);
+  prov = std::move(new_prov);
+  transient.reset_to(cands.size());
+}
+
+/// Same idea for a growing L set: drop cross-chain redundancy eagerly.
+void maybe_compact_l(LCombineResult& out, LPruning pruning, std::size_t& compact_at,
+                     BudgetTracker& budget) {
+  if (pruning != LPruning::GlobalEager || out.set.total_size() <= compact_at) return;
+  budget.sub_stored(out.set.canonicalize());
+  compact_at = std::max<std::size_t>(4096, out.set.total_size() * 2);
+}
+
+RCombineResult finalize_rect(std::vector<RectImpl>& cands, std::vector<Prov>& prov) {
+  const std::vector<std::size_t> kept = prune_rect_candidates(cands);
+  RCombineResult out;
+  std::vector<RectImpl> impls;
+  impls.reserve(kept.size());
+  out.prov.reserve(kept.size());
+  for (std::size_t idx : kept) {
+    impls.push_back(cands[idx]);
+    out.prov.push_back(prov[idx]);
+  }
+  out.list = RList::from_sorted_unchecked(std::move(impls));
+  return out;
+}
+
+RectImpl slice_shape(const RectImpl& a, const RectImpl& b, bool horizontal) {
+  return horizontal ? RectImpl{std::max(a.w, b.w), a.h + b.h}
+                    : RectImpl{a.w + b.w, std::max(a.h, b.h)};
+}
+
+}  // namespace
+
+RCombineResult combine_slice(const RList& a, const RList& b, bool horizontal,
+                             BudgetTracker& budget, OptimizerStats& stats) {
+  assert(!a.empty() && !b.empty());
+  TransientScope transient(budget);
+  std::vector<RectImpl> cands;
+  std::vector<Prov> prov;
+  cands.reserve(a.size() + b.size());
+  prov.reserve(a.size() + b.size());
+
+  const auto emit = [&](std::size_t i, std::size_t j) {
+    cands.push_back(slice_shape(a[i], b[j], horizontal));
+    prov.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+    transient.add(1);
+  };
+
+  if (!horizontal) {
+    // Vertical slice: h = max(ha, hb). For each a[i], the best partner is
+    // the largest j with b[j].h <= a[i].h (minimal width not exceeding the
+    // height cap); symmetric for b[j]. Both sweeps are linear merges.
+    for (std::size_t i = 0, j = 0; i < a.size(); ++i) {
+      while (j + 1 < b.size() && b[j + 1].h <= a[i].h) ++j;
+      if (b[j].h <= a[i].h) emit(i, j);
+    }
+    for (std::size_t j = 0, i = 0; j < b.size(); ++j) {
+      while (i + 1 < a.size() && a[i + 1].h <= b[j].h) ++i;
+      if (a[i].h <= b[j].h) emit(i, j);
+    }
+  } else {
+    // Horizontal slice: w = max(wa, wb). For each a[i], the best partner
+    // is the first j with b[j].w <= a[i].w (minimal height within the
+    // width cap); symmetric for b[j]. Lists are width-descending.
+    for (std::size_t i = 0, j = 0; i < a.size(); ++i) {
+      while (j < b.size() && b[j].w > a[i].w) ++j;
+      if (j < b.size()) emit(i, j);
+    }
+    for (std::size_t j = 0, i = 0; j < b.size(); ++j) {
+      while (i < a.size() && a[i].w > b[j].w) ++i;
+      if (i < a.size()) emit(i, j);
+    }
+  }
+
+  stats.total_generated += cands.size();
+  return finalize_rect(cands, prov);
+}
+
+RCombineResult combine_slice_naive(const RList& a, const RList& b, bool horizontal,
+                                   BudgetTracker& budget, OptimizerStats& stats) {
+  assert(!a.empty() && !b.empty());
+  TransientScope transient(budget);
+  std::vector<RectImpl> cands;
+  std::vector<Prov> prov;
+  cands.reserve(a.size() * b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      cands.push_back(slice_shape(a[i], b[j], horizontal));
+      prov.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+      transient.add(1);
+    }
+  }
+  stats.total_generated += cands.size();
+  return finalize_rect(cands, prov);
+}
+
+LCombineResult combine_wheel_stack(const RList& d, const RList& a, LPruning pruning,
+                                   BudgetTracker& budget, OptimizerStats& stats) {
+  assert(!d.empty() && !a.empty());
+  LCombineResult out;
+  std::vector<LEntry> pre_chain;
+  pre_chain.reserve(d.size());
+  std::size_t compact_at = 4096;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    TransientScope transient(budget);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const LImpl shape{std::max(d[i].w, a[j].w), a[j].w, d[i].h + a[j].h, d[i].h};
+      pre_chain.push_back({shape, static_cast<std::uint32_t>(i)});
+      transient.add(1);
+    }
+    emit_chain(pre_chain, static_cast<std::uint32_t>(j), out, budget, stats);
+    maybe_compact_l(out, pruning, compact_at, budget);
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared driver for op2/op3: apply `transform(l_shape, rect)` to every
+/// (chain element, rect impl) pair, one context per (chain, rect impl).
+template <typename TransformFn>
+LCombineResult combine_l_with_rect(const LListSet& l, const RList& r, TransformFn&& transform,
+                                   LPruning pruning, BudgetTracker& budget,
+                                   OptimizerStats& stats) {
+  assert(!r.empty());
+  LCombineResult out;
+  std::vector<LEntry> pre_chain;
+  std::size_t compact_at = 4096;
+  for (const LList& chain : l.lists()) {
+    pre_chain.reserve(chain.size());
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      TransientScope transient(budget);
+      for (const LEntry& e : chain) {
+        pre_chain.push_back({transform(e.shape, r[j]), e.id});
+        transient.add(1);
+      }
+      emit_chain(pre_chain, static_cast<std::uint32_t>(j), out, budget, stats);
+      maybe_compact_l(out, pruning, compact_at, budget);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LCombineResult combine_wheel_fill_notch(const LListSet& l, const RList& e, LPruning pruning,
+                                        BudgetTracker& budget, OptimizerStats& stats) {
+  return combine_l_with_rect(
+      l, e,
+      [](const LImpl& s, const RectImpl& r) {
+        const Dim h2 = s.h2 + r.h;
+        return LImpl{std::max(s.w1, s.w2 + r.w), s.w2, std::max(s.h1, h2), h2};
+      },
+      pruning, budget, stats);
+}
+
+LCombineResult combine_wheel_extend(const LListSet& l, const RList& c, LPruning pruning,
+                                    BudgetTracker& budget, OptimizerStats& stats) {
+  return combine_l_with_rect(
+      l, c,
+      [](const LImpl& s, const RectImpl& r) {
+        const Dim y2 = std::max(s.h2, r.h);
+        return LImpl{s.w1 + r.w, s.w2, std::max(s.h1, y2), y2};
+      },
+      pruning, budget, stats);
+}
+
+RCombineResult combine_wheel_close(const LListSet& l, const RList& b, BudgetTracker& budget,
+                                   OptimizerStats& stats) {
+  assert(!b.empty());
+  TransientScope transient(budget);
+  std::vector<RectImpl> cands;
+  std::vector<Prov> prov;
+  std::vector<RectImpl> run;
+  std::vector<Prov> run_prov;
+  std::size_t compact_at = 4096;
+  for (const LList& chain : l.lists()) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      run.clear();
+      run_prov.clear();
+      for (const LEntry& e : chain) {
+        run.push_back({std::max(e.shape.w1, e.shape.w2 + b[j].w),
+                       std::max(e.shape.h1, e.shape.h2 + b[j].h)});
+        run_prov.push_back({e.id, static_cast<std::uint32_t>(j)});
+      }
+      emit_rect_run(run, run_prov, cands, prov, transient, stats);
+      if (cands.size() > compact_at) {
+        compact_rect(cands, prov, transient);
+        compact_at = std::max<std::size_t>(4096, cands.size() * 2);
+      }
+    }
+  }
+  return finalize_rect(cands, prov);
+}
+
+}  // namespace fpopt

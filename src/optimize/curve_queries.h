@@ -1,0 +1,28 @@
+// Queries over a block's shape curve (an irreducible R-list) that
+// downstream flows ask after optimization: fixed-outline feasibility and
+// aspect-ratio-constrained area minimization. The root curve produced by
+// the optimizer holds every non-redundant implementation of the whole
+// floorplan, so these are exact answers, not heuristics.
+#pragma once
+
+#include <optional>
+
+#include "shape/r_list.h"
+
+namespace fpopt {
+
+/// Index of the minimum-area implementation that fits in `max_w` x
+/// `max_h`, or nullopt if none does (fixed-outline floorplanning query).
+[[nodiscard]] std::optional<std::size_t> best_in_outline(const RList& curve, Dim max_w,
+                                                         Dim max_h);
+
+/// Index of the minimum-area implementation whose aspect ratio h/w lies in
+/// [min_ratio, max_ratio], or nullopt if none qualifies.
+[[nodiscard]] std::optional<std::size_t> best_with_aspect(const RList& curve, double min_ratio,
+                                                          double max_ratio);
+
+/// Smallest enveloping square's side such that some implementation fits a
+/// square outline of that side; the curve must be non-empty.
+[[nodiscard]] Dim smallest_square_side(const RList& curve);
+
+}  // namespace fpopt

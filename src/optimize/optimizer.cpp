@@ -1,0 +1,176 @@
+#include "optimize/optimizer.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "core/l_selection.h"
+
+namespace fpopt {
+
+const LImpl* NodeResult::find_l(std::uint32_t id) const {
+  for (const LList& list : lset.lists()) {
+    for (const LEntry& e : list) {
+      if (e.id == id) return &e.shape;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Engine {
+ public:
+  Engine(const FloorplanTree& tree, const OptimizerOptions& opts, OptimizeArtifacts& art,
+         OptimizerStats& stats)
+      : tree_(tree), opts_(opts), art_(art), stats_(stats), budget_(opts.impl_budget) {}
+
+  void run() {
+    eval(*art_.btree.root);
+    stats_.final_stored = budget_.stored();
+    stats_.peak_stored = budget_.peak_stored();
+    stats_.peak_transient = budget_.peak_transient();
+  }
+
+  /// Copies the tracker peaks out even when the run aborted mid-way.
+  void snapshot_peaks() {
+    stats_.final_stored = budget_.stored();
+    stats_.peak_stored = budget_.peak_stored();
+    stats_.peak_transient = budget_.peak_transient();
+  }
+
+ private:
+  void eval(const BinaryNode& node) {
+    if (node.left) eval(*node.left);
+    if (node.right) eval(*node.right);
+
+    NodeResult& res = art_.nodes[node.id];
+    switch (node.op) {
+      case BinaryOp::LeafModule: {
+        const RList& impls = tree_.module(node.module_id).impls;
+        res.rlist = impls;
+        res.rprov.resize(impls.size());
+        for (std::size_t i = 0; i < impls.size(); ++i) {
+          res.rprov[i] = {static_cast<std::uint32_t>(i), 0};
+        }
+        budget_.add_stored(impls.size());
+        return;
+      }
+      case BinaryOp::SliceH:
+      case BinaryOp::SliceV:
+        store_rect(res, combine_slice(rect_of(*node.left), rect_of(*node.right),
+                                      node.op == BinaryOp::SliceH, budget_, stats_));
+        return;
+      case BinaryOp::WheelStack:
+        store_l(res, combine_wheel_stack(rect_of(*node.left), rect_of(*node.right),
+                                         opts_.l_pruning, budget_, stats_));
+        return;
+      case BinaryOp::WheelFillNotch:
+        store_l(res, combine_wheel_fill_notch(lset_of(*node.left), rect_of(*node.right),
+                                              opts_.l_pruning, budget_, stats_));
+        return;
+      case BinaryOp::WheelExtend:
+        store_l(res, combine_wheel_extend(lset_of(*node.left), rect_of(*node.right),
+                                          opts_.l_pruning, budget_, stats_));
+        return;
+      case BinaryOp::WheelClose:
+        store_rect(res, combine_wheel_close(lset_of(*node.left), rect_of(*node.right), budget_,
+                                            stats_));
+        return;
+    }
+  }
+
+  [[nodiscard]] const RList& rect_of(const BinaryNode& child) const {
+    const NodeResult& res = art_.nodes[child.id];
+    assert(!res.is_l);
+    return res.rlist;
+  }
+
+  [[nodiscard]] const LListSet& lset_of(const BinaryNode& child) const {
+    const NodeResult& res = art_.nodes[child.id];
+    assert(res.is_l);
+    return res.lset;
+  }
+
+  /// Store a rectangular block's list; apply R_Selection when it exceeds K1.
+  void store_rect(NodeResult& res, RCombineResult&& combined) {
+    budget_.add_stored(combined.list.size());  // the full non-redundant list is stored first
+    const SelectionConfig& sel = opts_.selection;
+    if (sel.k1 != 0 && combined.list.size() > sel.k1) {
+      const SelectionResult picked = r_selection(combined.list, sel.k1, sel.dp);
+      const std::size_t removed = combined.list.size() - picked.kept.size();
+      std::vector<Prov> prov;
+      prov.reserve(picked.kept.size());
+      for (std::size_t idx : picked.kept) prov.push_back(combined.prov[idx]);
+      combined.list = combined.list.subset(picked.kept);
+      combined.prov = std::move(prov);
+      budget_.sub_stored(removed);
+      ++stats_.r_selection_calls;
+      stats_.r_selected_away += removed;
+      stats_.r_selection_error += picked.error;
+    }
+    res.is_l = false;
+    res.rlist = std::move(combined.list);
+    res.rprov = std::move(combined.prov);
+  }
+
+  /// Store an L block's set: remove cross-chain redundancy (that is what
+  /// [9] keeps: only non-redundant implementations), then apply the
+  /// Section 5 L_Selection policy when the set exceeds K2.
+  void store_l(NodeResult& res, LCombineResult&& combined) {
+    if (opts_.l_pruning != LPruning::PerChain) {
+      budget_.sub_stored(combined.set.canonicalize());
+    }
+    const SelectionConfig& sel = opts_.selection;
+    if (sel.k2 != 0) {
+      const LSelectionOptions lopts{sel.metric, sel.dp, sel.heuristic_cap};
+      const LReductionReport report =
+          reduce_l_set(combined.set, sel.k2, sel.theta, lopts);
+      if (report.triggered) {
+        budget_.sub_stored(report.before - report.after);
+        ++stats_.l_selection_calls;
+        stats_.l_selected_away += report.before - report.after;
+        stats_.l_selection_error += report.total_error;
+      }
+    }
+    res.is_l = true;
+    res.lset = std::move(combined.set);
+    res.lprov = std::move(combined.prov);
+  }
+
+  const FloorplanTree& tree_;
+  const OptimizerOptions& opts_;
+  OptimizeArtifacts& art_;
+  OptimizerStats& stats_;
+  BudgetTracker budget_;
+};
+
+}  // namespace
+
+OptimizeOutcome optimize_floorplan(const FloorplanTree& tree, const OptimizerOptions& opts) {
+  assert(tree.validate().empty() && "optimize_floorplan requires a well-formed tree");
+  const auto start = std::chrono::steady_clock::now();
+
+  auto artifacts = std::make_shared<OptimizeArtifacts>();
+  artifacts->btree = restructure(tree, opts.restructure);
+  artifacts->nodes.resize(artifacts->btree.node_count);
+  assert(!artifacts->btree.root->is_l_block() && "T' roots are rectangular blocks");
+
+  OptimizeOutcome outcome;
+  Engine engine(tree, opts, *artifacts, outcome.stats);
+  try {
+    engine.run();
+    const NodeResult& root = artifacts->nodes[artifacts->btree.root->id];
+    outcome.root = root.rlist;
+    outcome.best_area = root.rlist[root.rlist.min_area_index()].area();
+    outcome.artifacts = std::move(artifacts);
+  } catch (const MemoryLimitExceeded&) {
+    engine.snapshot_peaks();
+    outcome.out_of_memory = true;
+  }
+
+  outcome.stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return outcome;
+}
+
+}  // namespace fpopt

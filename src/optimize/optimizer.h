@@ -1,0 +1,92 @@
+// The floorplan area optimizer: Wang & Wong's DAC'90 exact algorithm [9]
+// plus this paper's selection hooks (Section 3).
+//
+// The engine restructures the floorplan tree into the binary tree T',
+// computes every internal node's non-redundant implementation list bottom
+// up with the kernels in combine.h, and — when selection limits are set —
+// reduces any list that exceeds them with R_Selection / L_Selection right
+// after it is generated. Limits of 0 reproduce the exact algorithm [9].
+//
+// All node lists stay live until the end of the run (they are needed for
+// traceback, exactly as in [9]); a configurable implementation budget
+// simulates the paper's memory exhaustion and aborts the run when the
+// total live implementation count exceeds it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/l_error.h"
+#include "core/r_selection.h"
+#include "floorplan/restructure.h"
+#include "floorplan/tree.h"
+#include "optimize/combine.h"
+#include "optimize/stats.h"
+#include "shape/l_list_set.h"
+#include "shape/r_list.h"
+
+namespace fpopt {
+
+/// The paper's knobs (Sections 3 and 5).
+struct SelectionConfig {
+  std::size_t k1 = 0;  ///< max implementations per rectangular block (0 = exact, no limit)
+  std::size_t k2 = 0;  ///< max implementations per L-shaped block (0 = no limit)
+  /// Section 5 trigger: run L_Selection only when K2/X < theta (X the
+  /// block's current count). 1.0 = reduce whenever the limit is exceeded.
+  double theta = 1.0;
+  /// Section 5's S: per-list heuristic pre-reduction cap for L_Selection
+  /// (0 = always run the optimal selector directly).
+  std::size_t heuristic_cap = 1024;
+  LpMetric metric = LpMetric::L1;
+  SelectionDp dp = SelectionDp::Auto;
+};
+
+struct OptimizerOptions {
+  SelectionConfig selection;
+  /// Simulated memory capacity in implementations (live stored +
+  /// transient); 0 = unlimited. Exceeding it aborts the run the way [9]
+  /// aborted on the SPARC (the "-" rows of Tables 3 and 4).
+  std::size_t impl_budget = 800'000;
+  /// GlobalAtNode reproduces [9]: every internal node ends up storing
+  /// exactly its non-redundant implementations, pruned once generation
+  /// for the node finishes. See LPruning for the two other modes.
+  LPruning l_pruning = LPruning::GlobalAtNode;
+  RestructureOptions restructure;
+};
+
+/// Computed implementation list of one T' node, with provenance.
+struct NodeResult {
+  bool is_l = false;
+  // Rectangular blocks:
+  RList rlist;
+  std::vector<Prov> rprov;  ///< parallel to rlist
+  // L-shaped blocks:
+  LListSet lset;
+  std::vector<Prov> lprov;  ///< indexed by LEntry::id
+
+  /// Locate an L entry by id (nullptr if it was pruned/selected away).
+  [[nodiscard]] const LImpl* find_l(std::uint32_t id) const;
+};
+
+/// Everything needed to trace an optimal implementation back to rooms.
+struct OptimizeArtifacts {
+  BinaryTree btree;
+  std::vector<NodeResult> nodes;  ///< by BinaryNode::id
+};
+
+struct OptimizeOutcome {
+  /// True when the simulated memory budget was exceeded — the run aborted
+  /// the way [9] did on the SPARC; root/best_area are then meaningless.
+  bool out_of_memory = false;
+  RList root;          ///< non-redundant implementations of the whole floorplan
+  Area best_area = 0;  ///< min w*h over root (0 when out_of_memory)
+  OptimizerStats stats;
+  std::shared_ptr<const OptimizeArtifacts> artifacts;  ///< null when out_of_memory
+};
+
+/// Run the optimizer. `tree` must be well-formed (validate() empty).
+[[nodiscard]] OptimizeOutcome optimize_floorplan(const FloorplanTree& tree,
+                                                 const OptimizerOptions& opts = {});
+
+}  // namespace fpopt

@@ -1,0 +1,52 @@
+// Traceback from an optimal root implementation to a concrete placement:
+// a room (basic rectangle) for every module, tiling the chip exactly.
+//
+// The recursion inverts the combine kernels (see combine.h): each op knows
+// which child implementations produced an implementation (provenance) and
+// how the parent region splits into the two child regions, with slack
+// assigned deterministically (the invariants are spelled out next to each
+// case in placement.cpp). Counter-clockwise wheels are evaluated in
+// clockwise canonical form and mirrored here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/placed_rect.h"
+#include "geometry/rect_impl.h"
+#include "optimize/optimizer.h"
+
+namespace fpopt {
+
+struct ModulePlacement {
+  std::size_t module_id = 0;
+  PlacedRect room;   ///< the basic rectangle assigned to the module
+  RectImpl impl;     ///< the module implementation chosen inside it
+};
+
+struct Placement {
+  Dim width = 0;
+  Dim height = 0;
+  std::vector<ModulePlacement> rooms;
+
+  [[nodiscard]] Area chip_area() const { return width * height; }
+  [[nodiscard]] Area total_module_area() const;
+};
+
+/// Materialize the placement realizing outcome.root[root_impl_index].
+/// Requires a successful outcome (artifacts present).
+[[nodiscard]] Placement trace_placement(const FloorplanTree& tree, const OptimizeOutcome& outcome,
+                                        std::size_t root_impl_index);
+
+/// Structural checks: one room per module, rooms tile the chip exactly
+/// (total area matches, no interior overlaps, all inside the chip), every
+/// chosen implementation fits its room and belongs to its module's list.
+/// Returns human-readable problems; empty means valid.
+[[nodiscard]] std::vector<std::string> validate_placement(const Placement& placement,
+                                                          const FloorplanTree& tree);
+
+/// Small ASCII rendering of a placement for the examples.
+[[nodiscard]] std::string render_ascii(const Placement& placement, const FloorplanTree& tree,
+                                       std::size_t max_cols = 96);
+
+}  // namespace fpopt

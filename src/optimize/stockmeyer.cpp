@@ -1,0 +1,50 @@
+#include "optimize/stockmeyer.h"
+
+namespace fpopt {
+namespace {
+
+std::optional<RList> curve_of(const FloorplanNode& node, const FloorplanTree& tree) {
+  switch (node.kind) {
+    case NodeKind::Leaf:
+      return tree.module(node.module_id).impls;
+    case NodeKind::Wheel:
+      return std::nullopt;
+    case NodeKind::Slice:
+      break;
+  }
+
+  std::optional<RList> acc;
+  for (const auto& child : node.children) {
+    std::optional<RList> c = curve_of(*child, tree);
+    if (!c) return std::nullopt;
+    if (!acc) {
+      acc = std::move(c);
+      continue;
+    }
+    std::vector<RectImpl> cands;
+    cands.reserve(acc->size() * c->size());
+    for (const RectImpl& a : *acc) {
+      for (const RectImpl& b : *c) {
+        cands.push_back(node.dir == SliceDir::Vertical
+                            ? RectImpl{a.w + b.w, std::max(a.h, b.h)}
+                            : RectImpl{std::max(a.w, b.w), a.h + b.h});
+      }
+    }
+    acc = RList::from_candidates(std::move(cands));
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::optional<RList> stockmeyer_shape_curve(const FloorplanTree& tree) {
+  return curve_of(tree.root(), tree);
+}
+
+std::optional<Area> stockmeyer_best_area(const FloorplanTree& tree) {
+  const std::optional<RList> curve = stockmeyer_shape_curve(tree);
+  if (!curve || curve->empty()) return std::nullopt;
+  return (*curve)[curve->min_area_index()].area();
+}
+
+}  // namespace fpopt

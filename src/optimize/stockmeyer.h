@@ -1,0 +1,24 @@
+// Stockmeyer's optimal algorithm for slicing floorplans (reference [8]):
+// bottom-up shape-curve combination over a slicing tree.
+//
+// This is an *independent* implementation (naive cross-product generation
+// plus dominance pruning, no shared kernels) kept as (a) the classical
+// baseline the paper's lineage builds on and (b) an oracle the tests use
+// to cross-check the main engine on slicing-only inputs.
+#pragma once
+
+#include <optional>
+
+#include "floorplan/tree.h"
+#include "shape/r_list.h"
+
+namespace fpopt {
+
+/// Root shape curve of a slicing floorplan; nullopt if the tree contains a
+/// wheel (Stockmeyer handles slicing structures only).
+[[nodiscard]] std::optional<RList> stockmeyer_shape_curve(const FloorplanTree& tree);
+
+/// Minimum chip area of a slicing floorplan, or nullopt for wheels.
+[[nodiscard]] std::optional<Area> stockmeyer_best_area(const FloorplanTree& tree);
+
+}  // namespace fpopt

@@ -1,0 +1,127 @@
+#include "shape/l_list_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace fpopt {
+
+void LListSet::add(LList list) {
+  if (list.empty()) return;
+  total_ += list.size();
+  lists_.push_back(std::move(list));
+}
+
+std::vector<LEntry> LListSet::all_entries() const {
+  std::vector<LEntry> out;
+  out.reserve(total_);
+  for (const LList& l : lists_) {
+    out.insert(out.end(), l.begin(), l.end());
+  }
+  return out;
+}
+
+void LListSet::replace_lists(std::vector<LList> lists) {
+  lists_.clear();
+  total_ = 0;
+  for (LList& l : lists) add(std::move(l));
+}
+
+std::vector<LEntry> pareto_min_l_entries(std::vector<LEntry> entries) {
+#ifndef NDEBUG
+  for (const LEntry& e : entries) {
+    assert(e.shape.w2 == entries.front().shape.w2);
+  }
+#endif
+  // Sweep in (w1 asc, h1 asc, h2 asc) order. Everything already kept has
+  // w1 <= current (and for w1 ties, h1 <=), so the current entry is
+  // redundant iff some kept entry has both heights <=. The kept heights
+  // form a 2-D staircase: a map h1 -> min h2 over kept entries with that
+  // h1 or less, with values strictly decreasing as h1 grows.
+  std::sort(entries.begin(), entries.end(), [](const LEntry& a, const LEntry& b) {
+    if (a.shape.w1 != b.shape.w1) return a.shape.w1 < b.shape.w1;
+    if (a.shape.h1 != b.shape.h1) return a.shape.h1 < b.shape.h1;
+    return a.shape.h2 < b.shape.h2;
+  });
+
+  std::map<Dim, Dim> frontier;  // h1 -> smallest h2 at h1' <= h1
+  std::vector<LEntry> kept;
+  kept.reserve(entries.size());
+  for (const LEntry& e : entries) {
+    auto it = frontier.upper_bound(e.shape.h1);
+    if (it != frontier.begin()) {
+      const Dim min_h2_below = std::prev(it)->second;
+      if (min_h2_below <= e.shape.h2) continue;  // dominated by a kept entry
+    }
+    kept.push_back(e);
+    // Insert (h1, h2) into the staircase: erase entries it supersedes.
+    auto [pos, inserted] = frontier.insert_or_assign(e.shape.h1, e.shape.h2);
+    (void)inserted;
+    for (auto nxt = std::next(pos); nxt != frontier.end() && nxt->second >= pos->second;) {
+      nxt = frontier.erase(nxt);
+    }
+  }
+  return kept;
+}
+
+std::vector<LList> partition_into_chains(std::vector<LEntry> entries) {
+  // Chain order is w1 strictly decreasing with (h1,h2) non-decreasing, so
+  // process in (w1 desc, h1 asc, h2 asc) order and first-fit each entry
+  // onto a chain whose tail has strictly larger w1 and componentwise <=
+  // heights. Entries sharing a w1 value are mutually unchainable; first-fit
+  // handles that automatically because tails gain the current w1 as soon
+  // as one batch member lands on them.
+  std::sort(entries.begin(), entries.end(), [](const LEntry& a, const LEntry& b) {
+    if (a.shape.w1 != b.shape.w1) return a.shape.w1 > b.shape.w1;
+    if (a.shape.h1 != b.shape.h1) return a.shape.h1 < b.shape.h1;
+    return a.shape.h2 < b.shape.h2;
+  });
+
+  std::vector<std::vector<LEntry>> chains;
+  for (const LEntry& e : entries) {
+    bool placed = false;
+    for (auto& chain : chains) {
+      const LImpl& tail = chain.back().shape;
+      if (tail.w1 > e.shape.w1 && tail.h1 <= e.shape.h1 && tail.h2 <= e.shape.h2) {
+        chain.push_back(e);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) chains.push_back({e});
+  }
+
+  std::vector<LList> out;
+  out.reserve(chains.size());
+  for (auto& chain : chains) {
+    out.push_back(LList::from_chain_unchecked(std::move(chain)));
+  }
+  return out;
+}
+
+std::size_t LListSet::canonicalize() {
+  if (lists_.empty()) return 0;
+  std::vector<LEntry> entries = all_entries();
+  const std::size_t before = entries.size();
+
+  // Group by w2.
+  std::sort(entries.begin(), entries.end(), [](const LEntry& a, const LEntry& b) {
+    return a.shape.w2 < b.shape.w2;
+  });
+
+  std::vector<LList> new_lists;
+  for (std::size_t lo = 0; lo < entries.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < entries.size() && entries[hi].shape.w2 == entries[lo].shape.w2) ++hi;
+    std::vector<LEntry> group(entries.begin() + static_cast<std::ptrdiff_t>(lo),
+                              entries.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::vector<LList> chains = partition_into_chains(pareto_min_l_entries(std::move(group)));
+    for (LList& c : chains) new_lists.push_back(std::move(c));
+    lo = hi;
+  }
+
+  replace_lists(std::move(new_lists));
+  return before - total_;
+}
+
+}  // namespace fpopt

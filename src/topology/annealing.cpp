@@ -1,0 +1,86 @@
+#include "topology/annealing.h"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+namespace fpopt {
+
+AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
+                                        const AnnealingOptions& opts) {
+  assert(modules.size() >= 2);
+  assert(opts.netlist == nullptr || opts.netlist->module_count() == modules.size());
+  const auto start = std::chrono::steady_clock::now();
+  Pcg32 rng(opts.seed);
+
+  const bool wired = opts.netlist != nullptr && opts.lambda > 0;
+  const auto cost_of = [&](const PolishExpr& e) -> double {
+    if (!wired) return static_cast<double>(e.min_area(modules));
+    const Placement p = e.place(modules);
+    return static_cast<double>(p.chip_area()) +
+           opts.lambda * static_cast<double>(hpwl2(*opts.netlist, p));
+  };
+
+  PolishExpr current = PolishExpr::initial(modules.size());
+  double current_cost = cost_of(current);
+
+  AnnealingResult result;
+  result.best = current;
+  result.best_cost = current_cost;
+  result.initial_cost = current_cost;
+  result.initial_area = current.min_area(modules);
+  result.best_area = result.initial_area;
+
+  // Calibrate T0 so an average uphill move is accepted with p ~ 0.85.
+  double t0 = opts.initial_temperature;
+  if (t0 <= 0) {
+    PolishExpr probe = current;
+    double probe_cost = current_cost;
+    double uphill_sum = 0;
+    std::size_t uphill_count = 0;
+    for (int i = 0; i < 64; ++i) {
+      if (!probe.random_move(rng)) continue;
+      const double cost = cost_of(probe);
+      if (cost > probe_cost) {
+        uphill_sum += cost - probe_cost;
+        ++uphill_count;
+      }
+      probe_cost = cost;
+    }
+    const double mean_uphill = uphill_count > 0
+                                   ? uphill_sum / static_cast<double>(uphill_count)
+                                   : current_cost * 0.05;
+    t0 = -mean_uphill / std::log(0.85);
+  }
+
+  const std::size_t moves_per_temp =
+      opts.moves_per_temperature > 0 ? opts.moves_per_temperature : 10 * modules.size();
+
+  double temperature = t0;
+  while (temperature > opts.freeze_ratio * t0 && result.moves < opts.max_total_moves) {
+    for (std::size_t m = 0; m < moves_per_temp && result.moves < opts.max_total_moves; ++m) {
+      PolishExpr candidate = current;
+      if (!candidate.random_move(rng)) continue;
+      ++result.moves;
+      const double candidate_cost = cost_of(candidate);
+      const double delta = candidate_cost - current_cost;
+      if (delta <= 0 || rng.unit() < std::exp(-delta / temperature)) {
+        current = std::move(candidate);
+        current_cost = candidate_cost;
+        ++result.accepted;
+        if (current_cost < result.best_cost) {
+          result.best = current;
+          result.best_cost = current_cost;
+          result.best_area = current.min_area(modules);
+        }
+      }
+    }
+    temperature *= opts.cooling;
+  }
+
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace fpopt

@@ -1,0 +1,47 @@
+// Simulated-annealing topology search over normalized Polish expressions
+// (Wong & Liu, DAC'86): the upstream step that produces the slicing
+// topology this paper's optimizer then area-optimizes. The cost of an
+// expression is the exact minimum floorplan area of the slicing tree it
+// encodes (Stockmeyer evaluation of the shape curves), so the search
+// optimizes the same objective the downstream flow reports.
+#pragma once
+
+#include <cstdint>
+
+#include "net/netlist.h"
+#include "topology/polish.h"
+
+namespace fpopt {
+
+struct AnnealingOptions {
+  std::uint64_t seed = 1;
+  /// 0 = calibrate from the mean uphill move at the start (accept ~85%).
+  double initial_temperature = 0;
+  double cooling = 0.90;               ///< geometric schedule
+  std::size_t moves_per_temperature = 0;  ///< 0 = 10 * module count
+  double freeze_ratio = 1e-4;          ///< stop when T < freeze_ratio * T0
+  std::size_t max_total_moves = 100'000;
+  /// Optional Wong-Liu wirelength term: cost = area + lambda * HPWL2 of
+  /// the expression's min-area placement. nullptr = area only.
+  const Netlist* netlist = nullptr;
+  double lambda = 0;
+};
+
+struct AnnealingResult {
+  PolishExpr best;
+  Area best_area = 0;       ///< area of the best expression
+  Area initial_area = 0;
+  double best_cost = 0;     ///< area + lambda * HPWL2 (== area when no netlist)
+  double initial_cost = 0;
+  std::size_t moves = 0;
+  std::size_t accepted = 0;
+  double seconds = 0;
+};
+
+/// Search for a low-area slicing topology over the given modules.
+/// Deterministic for a fixed seed. Preconditions: >= 2 modules, none with
+/// an empty implementation list.
+[[nodiscard]] AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
+                                                      const AnnealingOptions& opts = {});
+
+}  // namespace fpopt

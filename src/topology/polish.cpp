@@ -1,0 +1,263 @@
+#include "topology/polish.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "optimize/combine.h"
+
+namespace fpopt {
+namespace {
+
+/// Balloting + normalization in one O(n) pass, no allocation (used inside
+/// the move loop; operand multiplicity cannot change under moves).
+bool balloting_and_normal_ok(const std::vector<PolishToken>& tokens) {
+  std::size_t operands = 0, operators = 0;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].is_operand()) {
+      ++operands;
+    } else {
+      ++operators;
+      if (operands <= operators) return false;  // balloting property
+      if (i > 0 && tokens[i - 1] == tokens[i]) return false;  // normalization
+    }
+  }
+  return operators + 1 == operands;
+}
+
+}  // namespace
+
+PolishExpr PolishExpr::initial(std::size_t module_count, bool alternate) {
+  assert(module_count >= 1);
+  PolishExpr e;
+  e.tokens_.push_back({0});
+  std::int32_t op = PolishToken::kV;
+  for (std::size_t i = 1; i < module_count; ++i) {
+    e.tokens_.push_back({static_cast<std::int32_t>(i)});
+    e.tokens_.push_back({op});
+    if (alternate) op = op == PolishToken::kV ? PolishToken::kH : PolishToken::kV;
+  }
+  assert(e.valid());
+  return e;
+}
+
+PolishExpr PolishExpr::from_tokens_unchecked(std::vector<PolishToken> tokens) {
+  // Deliberately no validity assertion: callers (and tests) may build a
+  // sequence first and interrogate valid() afterwards.
+  PolishExpr e;
+  e.tokens_ = std::move(tokens);
+  return e;
+}
+
+bool PolishExpr::valid() const {
+  if (tokens_.empty()) return false;
+  if (!balloting_and_normal_ok(tokens_)) return false;
+  // Every module id 0..n-1 exactly once.
+  const std::size_t n = operand_count();
+  std::vector<bool> seen(n, false);
+  for (const PolishToken& t : tokens_) {
+    if (!t.is_operand()) continue;
+    const auto id = static_cast<std::size_t>(t.value);
+    if (id >= n || seen[id]) return false;
+    seen[id] = true;
+  }
+  return true;
+}
+
+bool PolishExpr::random_move(Pcg32& rng) {
+  const std::uint32_t kind = rng.below(3);
+
+  if (kind == 0) {
+    // M1: swap two operands adjacent in the operand subsequence.
+    std::vector<std::size_t> operand_pos;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i].is_operand()) operand_pos.push_back(i);
+    }
+    if (operand_pos.size() < 2) return false;
+    const std::size_t p = rng.below(static_cast<std::uint32_t>(operand_pos.size() - 1));
+    std::swap(tokens_[operand_pos[p]].value, tokens_[operand_pos[p + 1]].value);
+    return true;
+  }
+
+  if (kind == 1) {
+    // M2: complement one maximal chain of operators.
+    std::vector<std::size_t> chain_starts;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (tokens_[i].is_operator() && (i == 0 || tokens_[i - 1].is_operand())) {
+        chain_starts.push_back(i);
+      }
+    }
+    if (chain_starts.empty()) return false;
+    std::size_t i = chain_starts[rng.below(static_cast<std::uint32_t>(chain_starts.size()))];
+    for (; i < tokens_.size() && tokens_[i].is_operator(); ++i) {
+      tokens_[i].value =
+          tokens_[i].value == PolishToken::kV ? PolishToken::kH : PolishToken::kV;
+    }
+    return true;
+  }
+
+  // M3: swap one adjacent operand/operator pair, keeping the expression
+  // valid and normalized. Try a few random positions before giving up.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::size_t i = rng.below(static_cast<std::uint32_t>(tokens_.size() - 1));
+    if (tokens_[i].is_operand() == tokens_[i + 1].is_operand()) continue;
+    std::swap(tokens_[i], tokens_[i + 1]);
+    if (balloting_and_normal_ok(tokens_)) return true;
+    std::swap(tokens_[i], tokens_[i + 1]);  // revert
+  }
+  return false;
+}
+
+FloorplanTree PolishExpr::to_tree(std::vector<Module> modules) const {
+  assert(valid());
+  assert(modules.size() == operand_count());
+  std::vector<std::unique_ptr<FloorplanNode>> stack;
+  for (const PolishToken& t : tokens_) {
+    if (t.is_operand()) {
+      stack.push_back(FloorplanNode::leaf(static_cast<std::size_t>(t.value)));
+      continue;
+    }
+    assert(stack.size() >= 2);
+    auto right = std::move(stack.back());
+    stack.pop_back();
+    auto left = std::move(stack.back());
+    stack.pop_back();
+    std::vector<std::unique_ptr<FloorplanNode>> children;
+    children.push_back(std::move(left));
+    children.push_back(std::move(right));
+    stack.push_back(FloorplanNode::slice(
+        t.value == PolishToken::kV ? SliceDir::Vertical : SliceDir::Horizontal,
+        std::move(children)));
+  }
+  assert(stack.size() == 1);
+  return FloorplanTree(std::move(modules), std::move(stack.back()));
+}
+
+RList PolishExpr::shape_curve(const std::vector<Module>& modules) const {
+  assert(valid());
+  assert(modules.size() == operand_count());
+  BudgetTracker budget(0);
+  OptimizerStats stats;
+  std::vector<RList> stack;
+  for (const PolishToken& t : tokens_) {
+    if (t.is_operand()) {
+      stack.push_back(modules[static_cast<std::size_t>(t.value)].impls);
+      continue;
+    }
+    RList right = std::move(stack.back());
+    stack.pop_back();
+    RList left = std::move(stack.back());
+    stack.pop_back();
+    stack.push_back(
+        combine_slice(left, right, t.value == PolishToken::kH, budget, stats).list);
+  }
+  assert(stack.size() == 1);
+  return std::move(stack.back());
+}
+
+namespace {
+
+/// One evaluated node of the expression's slicing tree.
+struct EvalNode {
+  bool is_leaf = true;
+  bool horizontal = false;     // slice direction (internal nodes)
+  std::size_t module_id = 0;   // leaves
+  std::size_t left = 0, right = 0;
+  RList curve;
+  std::vector<Prov> prov;  // internal nodes: child list indices per impl
+};
+
+void assign_rooms(const std::vector<EvalNode>& nodes, std::size_t idx, std::size_t impl_idx,
+                  PlacedRect room, const std::vector<Module>& modules,
+                  std::vector<ModulePlacement>& rooms) {
+  const EvalNode& node = nodes[idx];
+  const RectImpl impl = node.curve[impl_idx];
+  assert(room.w >= impl.w && room.h >= impl.h);
+  if (node.is_leaf) {
+    rooms.push_back({node.module_id, room, impl});
+    return;
+  }
+  const Prov p = node.prov[impl_idx];
+  const RectImpl left_impl = nodes[node.left].curve[p.left];
+  if (node.horizontal) {
+    assign_rooms(nodes, node.left, p.left, {room.x, room.y, room.w, left_impl.h}, modules,
+                 rooms);
+    assign_rooms(nodes, node.right, p.right,
+                 {room.x, room.y + left_impl.h, room.w, room.h - left_impl.h}, modules, rooms);
+  } else {
+    assign_rooms(nodes, node.left, p.left, {room.x, room.y, left_impl.w, room.h}, modules,
+                 rooms);
+    assign_rooms(nodes, node.right, p.right,
+                 {room.x + left_impl.w, room.y, room.w - left_impl.w, room.h}, modules, rooms);
+  }
+}
+
+}  // namespace
+
+Placement PolishExpr::place(const std::vector<Module>& modules) const {
+  assert(valid());
+  assert(modules.size() == operand_count());
+  BudgetTracker budget(0);
+  OptimizerStats stats;
+
+  std::vector<EvalNode> nodes;
+  nodes.reserve(tokens_.size());
+  std::vector<std::size_t> stack;
+  for (const PolishToken& t : tokens_) {
+    if (t.is_operand()) {
+      EvalNode leaf;
+      leaf.module_id = static_cast<std::size_t>(t.value);
+      leaf.curve = modules[leaf.module_id].impls;
+      leaf.prov.resize(leaf.curve.size());
+      for (std::size_t i = 0; i < leaf.prov.size(); ++i) {
+        leaf.prov[i] = {static_cast<std::uint32_t>(i), 0};
+      }
+      nodes.push_back(std::move(leaf));
+      stack.push_back(nodes.size() - 1);
+      continue;
+    }
+    EvalNode internal;
+    internal.is_leaf = false;
+    internal.horizontal = t.value == PolishToken::kH;
+    internal.right = stack.back();
+    stack.pop_back();
+    internal.left = stack.back();
+    stack.pop_back();
+    RCombineResult merged = combine_slice(nodes[internal.left].curve,
+                                          nodes[internal.right].curve, internal.horizontal,
+                                          budget, stats);
+    internal.curve = std::move(merged.list);
+    internal.prov = std::move(merged.prov);
+    nodes.push_back(std::move(internal));
+    stack.push_back(nodes.size() - 1);
+  }
+  assert(stack.size() == 1);
+
+  const std::size_t root = stack.back();
+  const std::size_t pick = nodes[root].curve.min_area_index();
+  const RectImpl chip = nodes[root].curve[pick];
+  Placement placement;
+  placement.width = chip.w;
+  placement.height = chip.h;
+  assign_rooms(nodes, root, pick, {0, 0, chip.w, chip.h}, modules, placement.rooms);
+  return placement;
+}
+
+Area PolishExpr::min_area(const std::vector<Module>& modules) const {
+  const RList curve = shape_curve(modules);
+  return curve[curve.min_area_index()].area();
+}
+
+std::string PolishExpr::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (i > 0) out << ' ';
+    if (tokens_[i].is_operand()) {
+      out << 'm' << tokens_[i].value;
+    } else {
+      out << (tokens_[i].value == PolishToken::kV ? 'V' : 'H');
+    }
+  }
+  return out.str();
+}
+
+}  // namespace fpopt

@@ -1,0 +1,92 @@
+// Normalized Polish expressions for slicing floorplans (Wong & Liu,
+// DAC'86 — the companion work by the same group that produces the
+// floorplan *topology* this paper's optimizer consumes; see the paper's
+// introduction: "a general approach to floorplan design is to first
+// determine the topology ... based on the topology, several optimization
+// problems can then be addressed").
+//
+// A Polish expression over n operands (module ids) and the operators V
+// and H is a postfix encoding of a slicing tree. It is *normalized* when
+// no two identical operators are adjacent, which makes the encoding of a
+// skewed slicing tree unique. The classic neighborhood has three moves:
+//   M1: swap two adjacent operands;
+//   M2: complement a maximal chain of operators (V<->H);
+//   M3: swap an adjacent operand/operator pair (guarded by the balloting
+//       property and normalization).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "floorplan/module.h"
+#include "floorplan/tree.h"
+#include "optimize/placement.h"
+#include "shape/r_list.h"
+#include "workload/rng.h"
+
+namespace fpopt {
+
+/// One token of a Polish expression.
+struct PolishToken {
+  static constexpr std::int32_t kV = -1;  ///< vertical cut (children side by side)
+  static constexpr std::int32_t kH = -2;  ///< horizontal cut (children stacked)
+
+  std::int32_t value = 0;  ///< >= 0: module id; kV / kH: operator
+
+  [[nodiscard]] bool is_operand() const { return value >= 0; }
+  [[nodiscard]] bool is_operator() const { return value < 0; }
+
+  friend bool operator==(const PolishToken&, const PolishToken&) = default;
+};
+
+/// A normalized Polish expression over modules 0..n-1.
+class PolishExpr {
+ public:
+  PolishExpr() = default;
+
+  /// The canonical starting point: m0 m1 V m2 V ... (a left-deep chain of
+  /// alternating-direction slices when `alternate`, all-V otherwise).
+  [[nodiscard]] static PolishExpr initial(std::size_t module_count, bool alternate = true);
+
+  /// Adopt a token sequence (debug-checked for validity + normalization).
+  [[nodiscard]] static PolishExpr from_tokens_unchecked(std::vector<PolishToken> tokens);
+
+  [[nodiscard]] const std::vector<PolishToken>& tokens() const { return tokens_; }
+  [[nodiscard]] std::size_t operand_count() const { return (tokens_.size() + 1) / 2; }
+
+  /// Full validity check: each module id 0..n-1 appears exactly once, the
+  /// balloting property holds (every prefix has more operands than
+  /// operators), and the expression is normalized.
+  [[nodiscard]] bool valid() const;
+
+  /// Apply one random move (M1/M2/M3 chosen uniformly among applicable
+  /// instances). Returns false if no applicable instance was found for
+  /// the sampled move kind (the caller simply retries).
+  bool random_move(Pcg32& rng);
+
+  /// The slicing tree this expression encodes, over the given modules.
+  [[nodiscard]] FloorplanTree to_tree(std::vector<Module> modules) const;
+
+  /// Minimum floorplan area over all implementation choices (Stockmeyer
+  /// evaluation of the encoded slicing tree); the annealer's cost.
+  [[nodiscard]] Area min_area(const std::vector<Module>& modules) const;
+
+  /// Root shape curve of the encoded slicing tree.
+  [[nodiscard]] RList shape_curve(const std::vector<Module>& modules) const;
+
+  /// Minimum-area placement of the encoded slicing tree, traced directly
+  /// from the expression (no engine round trip); the rooms tile the chip
+  /// exactly. Used by the wirelength-aware annealing cost.
+  [[nodiscard]] Placement place(const std::vector<Module>& modules) const;
+
+  /// "m0 m1 V m2 H" style rendering (module ids, not names).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const PolishExpr&, const PolishExpr&) = default;
+
+ private:
+  std::vector<PolishToken> tokens_;
+};
+
+}  // namespace fpopt

@@ -1,0 +1,42 @@
+#include "workload/experiment.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace fpopt {
+
+CaseResult run_case(const FloorplanTree& tree, const OptimizerOptions& opts) {
+  const OptimizeOutcome outcome = optimize_floorplan(tree, opts);
+  CaseResult r;
+  r.oom = outcome.out_of_memory;
+  r.peak_stored = outcome.stats.peak_stored;
+  r.seconds = outcome.stats.seconds;
+  r.area = outcome.out_of_memory ? 0 : outcome.best_area;
+  r.stats = outcome.stats;
+  return r;
+}
+
+std::string format_quality_pct(Area approx, Area exact) {
+  if (approx == 0 || exact == 0) return "-";
+  const double pct = 100.0 * (static_cast<double>(approx) - static_cast<double>(exact)) /
+                     static_cast<double>(exact);
+  std::ostringstream out;
+  out.precision(2);
+  out << std::fixed << pct << '%';
+  return out.str();
+}
+
+std::string format_m(const CaseResult& r, std::size_t budget) {
+  if (r.oom) return "> " + std::to_string(budget);
+  return std::to_string(r.peak_stored);
+}
+
+std::string format_cpu(const CaseResult& r) {
+  if (r.oom) return "-";
+  std::ostringstream out;
+  out.precision(2);
+  out << std::fixed << r.seconds;
+  return out.str();
+}
+
+}  // namespace fpopt

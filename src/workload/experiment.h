@@ -1,0 +1,32 @@
+// Shared experiment driver for the paper-table benches.
+#pragma once
+
+#include <string>
+
+#include "floorplan/tree.h"
+#include "optimize/optimizer.h"
+
+namespace fpopt {
+
+struct CaseResult {
+  bool oom = false;            ///< aborted by the simulated memory budget
+  std::size_t peak_stored = 0; ///< the paper's M
+  double seconds = 0;          ///< the paper's CPU column (wall clock here)
+  Area area = 0;               ///< floorplan area found (0 on OOM)
+  OptimizerStats stats;
+};
+
+/// Run the optimizer on `tree`, collect the paper's reporting columns.
+[[nodiscard]] CaseResult run_case(const FloorplanTree& tree, const OptimizerOptions& opts);
+
+/// "(approx - exact)/exact" as the paper prints it ("0.23%"), or "-" when
+/// either run failed (area 0).
+[[nodiscard]] std::string format_quality_pct(Area approx, Area exact);
+
+/// "M" column: the count, or "> budget" when the run aborted.
+[[nodiscard]] std::string format_m(const CaseResult& r, std::size_t budget);
+
+/// Seconds with one decimal, or "-" on OOM.
+[[nodiscard]] std::string format_cpu(const CaseResult& r);
+
+}  // namespace fpopt

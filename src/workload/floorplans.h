@@ -1,0 +1,79 @@
+// The paper's test floorplans FP1-FP4 (Section 5, Figure 8) and generic
+// topology builders.
+//
+// The figures themselves are unavailable in the text dump; these builders
+// reproduce every property the text states — module counts (25 / 49 / 120
+// / 245), the hierarchical composition of FP3/FP4 ("each rectangular block
+// B consists of the ... floorplan"), and a rect/L block mix that exercises
+// both selection algorithms (see DESIGN.md, substitutions):
+//
+//   FP1: a pinwheel whose five blocks are pinwheels of 5 modules  (25)
+//   FP2: a pinwheel mixing slicing grids and inner pinwheels,
+//        9 + 5 + 25 + 5 + 5 (the Figure 8(b) stand-in; a pure grid
+//        would keep lists small because slicing merges only grow
+//        linearly, which contradicts the paper's FP2 memory rows)  (49)
+//   FP3: a pinwheel whose five blocks hold a 24-module mixed
+//        floorplan (the Figure 8(c) stand-in: a pinwheel of five
+//        slicing stacks of 5,5,5,5,4 modules)                     (120)
+//   FP4: a pinwheel whose five blocks hold the 49-module FP2      (245)
+//
+// Wheels alternate chirality for coverage of the mirrored path.
+#pragma once
+
+#include "floorplan/tree.h"
+#include "workload/module_gen.h"
+
+namespace fpopt {
+
+struct WorkloadConfig {
+  std::size_t impls_per_module = 20;  ///< the paper's N
+  std::uint64_t seed = 1;             ///< module-set seed (the paper's "test case #")
+  Dim min_dim = 4;
+  Dim max_dim = 48;
+  Area min_area = 250;
+  Area max_area = 1600;
+
+  [[nodiscard]] ModuleGenConfig module_config() const {
+    return {impls_per_module, min_dim, max_dim, min_area, max_area};
+  }
+};
+
+/// The paper runs 4 test cases per floorplan: cases 1-2 with N = 20
+/// implementations per module, cases 3-4 with N = 40. The seeds below are
+/// the calibrated module sets used by the table benches (see
+/// EXPERIMENTS.md): with the simulated memory budget of
+/// `kPaperMemoryBudget` implementations they reproduce the paper's
+/// feasible/out-of-memory pattern for the exact optimizer [9].
+inline constexpr std::size_t kPaperMemoryBudget = 395'000;
+
+struct PaperCase {
+  std::size_t n;        ///< implementations per module
+  std::uint64_t seed;   ///< module-set seed
+};
+
+/// fp in 1..4, case_number in 1..4.
+[[nodiscard]] PaperCase paper_case(int fp, int case_number);
+
+/// The floorplan for one paper test case, modules included.
+[[nodiscard]] FloorplanTree make_paper_floorplan(int fp, int case_number);
+
+[[nodiscard]] FloorplanTree make_fp1(const WorkloadConfig& cfg);
+[[nodiscard]] FloorplanTree make_fp2(const WorkloadConfig& cfg);
+[[nodiscard]] FloorplanTree make_fp3(const WorkloadConfig& cfg);
+[[nodiscard]] FloorplanTree make_fp4(const WorkloadConfig& cfg);
+
+/// rows x cols slicing grid (vertical slice of horizontal stacks).
+[[nodiscard]] FloorplanTree make_grid(std::size_t rows, std::size_t cols,
+                                      const WorkloadConfig& cfg);
+
+/// A single pinwheel of five modules.
+[[nodiscard]] FloorplanTree make_single_pinwheel(const WorkloadConfig& cfg,
+                                                 WheelChirality chirality =
+                                                     WheelChirality::Clockwise);
+
+/// A slicing chain of n modules (left-deep, alternating V/H when
+/// `alternate`, otherwise all in `dir`).
+[[nodiscard]] FloorplanTree make_slicing_chain(std::size_t n, SliceDir dir, bool alternate,
+                                               const WorkloadConfig& cfg);
+
+}  // namespace fpopt

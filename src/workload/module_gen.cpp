@@ -1,0 +1,52 @@
+#include "workload/module_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "geometry/staircase.h"
+
+namespace fpopt {
+
+Module generate_module(std::string name, const ModuleGenConfig& cfg, Pcg32& rng) {
+  assert(cfg.impl_count >= 1);
+  assert(cfg.max_dim - cfg.min_dim + 1 >= static_cast<Dim>(cfg.impl_count) &&
+         "width range too narrow for the requested implementation count");
+
+  // N distinct widths.
+  std::set<Dim> widths;
+  while (widths.size() < cfg.impl_count) {
+    widths.insert(rng.dim_between(cfg.min_dim, cfg.max_dim));
+  }
+
+  const Area target =
+      cfg.min_area + static_cast<Area>(rng.unit() * static_cast<double>(cfg.max_area -
+                                                                        cfg.min_area));
+
+  // Width-descending order; heights approximately target/width, forced
+  // strictly increasing so the list is exactly an N-corner staircase.
+  std::vector<RectImpl> impls;
+  impls.reserve(cfg.impl_count);
+  Dim prev_h = 0;
+  for (auto it = widths.rbegin(); it != widths.rend(); ++it) {
+    Dim h = std::max<Dim>(1, (target + *it / 2) / *it);
+    h = std::max(h, prev_h + 1);
+    impls.push_back({*it, h});
+    prev_h = h;
+  }
+  assert(is_irreducible_r_list(impls));
+  return Module{std::move(name), RList::from_sorted_unchecked(std::move(impls))};
+}
+
+std::vector<Module> generate_modules(std::size_t count, const ModuleGenConfig& cfg,
+                                     std::uint64_t seed, std::string_view prefix) {
+  Pcg32 rng(seed);
+  std::vector<Module> modules;
+  modules.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    modules.push_back(generate_module(std::string(prefix) + std::to_string(i), cfg, rng));
+  }
+  return modules;
+}
+
+}  // namespace fpopt

@@ -1,0 +1,38 @@
+// Random module libraries with a prescribed number of non-redundant
+// implementations (the paper's N column).
+//
+// The paper's module sets are not published; what drives the experiments
+// is only that every module contributes exactly N staircase corners. Each
+// generated module approximates a soft module of roughly constant area:
+// N distinct widths, heights near area/width, pushed apart where needed so
+// the list is strictly a staircase (hence exactly N non-redundant
+// implementations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "floorplan/module.h"
+#include "workload/rng.h"
+
+namespace fpopt {
+
+struct ModuleGenConfig {
+  std::size_t impl_count = 20;  ///< N: non-redundant implementations per module
+  Dim min_dim = 4;              ///< smallest width sampled
+  Dim max_dim = 60;             ///< largest width sampled
+  Area min_area = 400;          ///< softest target module area
+  Area max_area = 2500;         ///< largest target module area
+};
+
+/// One module with exactly `cfg.impl_count` non-redundant implementations.
+[[nodiscard]] Module generate_module(std::string name, const ModuleGenConfig& cfg, Pcg32& rng);
+
+/// `count` modules named <prefix>0, <prefix>1, ...
+[[nodiscard]] std::vector<Module> generate_modules(std::size_t count, const ModuleGenConfig& cfg,
+                                                   std::uint64_t seed,
+                                                   std::string_view prefix = "m");
+
+}  // namespace fpopt

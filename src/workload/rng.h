@@ -1,0 +1,47 @@
+// Deterministic random numbers for workload generation (PCG32).
+//
+// Self-contained so that module sets are bit-identical across platforms
+// and standard library versions; experiment tables cite seeds.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/types.h"
+
+namespace fpopt {
+
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed, std::uint64_t seq = 0xda3e39cb94b95bdbULL) {
+    inc_ = (seq << 1u) | 1u;
+    state_ = 0;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  std::uint32_t next() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform in [0, bound).
+  std::uint32_t below(std::uint32_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+  /// Uniform Dim in [lo, hi] inclusive.
+  Dim dim_between(Dim lo, Dim hi) {
+    return lo + static_cast<Dim>(below(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next()) * 0x1p-32; }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+}  // namespace fpopt

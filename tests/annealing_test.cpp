@@ -1,0 +1,94 @@
+// Tests for the Wong-Liu style topology annealer.
+#include <gtest/gtest.h>
+
+#include "optimize/optimizer.h"
+#include "optimize/placement.h"
+#include "topology/annealing.h"
+#include "workload/module_gen.h"
+
+namespace fpopt {
+namespace {
+
+std::vector<Module> some_modules(std::size_t n, std::uint64_t seed) {
+  ModuleGenConfig cfg;
+  cfg.impl_count = 5;
+  cfg.min_dim = 4;
+  cfg.max_dim = 30;
+  cfg.min_area = 100;
+  cfg.max_area = 500;
+  return generate_modules(n, cfg, seed);
+}
+
+AnnealingOptions quick(std::uint64_t seed) {
+  AnnealingOptions o;
+  o.seed = seed;
+  o.max_total_moves = 4'000;
+  o.cooling = 0.85;
+  return o;
+}
+
+TEST(AnnealingTest, NeverWorseThanTheInitialTopology) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto modules = some_modules(10, seed);
+    const AnnealingResult r = anneal_slicing_topology(modules, quick(seed));
+    EXPECT_LE(r.best_area, r.initial_area);
+    EXPECT_TRUE(r.best.valid());
+    EXPECT_EQ(r.best.min_area(modules), r.best_area);
+    EXPECT_GT(r.moves, 0u);
+    EXPECT_GT(r.accepted, 0u);
+  }
+}
+
+TEST(AnnealingTest, DeterministicForAFixedSeed) {
+  const auto modules = some_modules(8, 9);
+  const AnnealingResult a = anneal_slicing_topology(modules, quick(42));
+  const AnnealingResult b = anneal_slicing_topology(modules, quick(42));
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_area, b.best_area);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+TEST(AnnealingTest, FindsTheObviousPairingOnFourStripModules) {
+  // Four 10x1 strips: best slicing floorplan stacks them into 10x4 = 40.
+  std::vector<Module> modules;
+  for (int i = 0; i < 4; ++i) {
+    modules.emplace_back("s" + std::to_string(i), RList::from_candidates({{10, 1}, {1, 10}}));
+  }
+  AnnealingOptions o = quick(7);
+  o.max_total_moves = 2'000;
+  const AnnealingResult r = anneal_slicing_topology(modules, o);
+  EXPECT_EQ(r.best_area, 40);
+}
+
+TEST(AnnealingTest, ResultFeedsTheDownstreamOptimizer) {
+  const auto modules = some_modules(9, 21);
+  const AnnealingResult r = anneal_slicing_topology(modules, quick(21));
+  FloorplanTree tree = r.best.to_tree(modules);
+  ASSERT_TRUE(tree.validate().empty());
+
+  // Exact downstream optimization agrees with the annealer's own cost.
+  OptimizerOptions opts;
+  const OptimizeOutcome out = optimize_floorplan(tree, opts);
+  ASSERT_FALSE(out.out_of_memory);
+  EXPECT_EQ(out.best_area, r.best_area);
+
+  // And the whole flow ends in a valid tiling.
+  const Placement p = trace_placement(tree, out, out.root.min_area_index());
+  EXPECT_TRUE(validate_placement(p, tree).empty());
+}
+
+TEST(AnnealingTest, MoreMovesNeverHurtTheSeededSearch) {
+  const auto modules = some_modules(12, 33);
+  AnnealingOptions small = quick(33);
+  small.max_total_moves = 500;
+  AnnealingOptions large = quick(33);
+  large.max_total_moves = 8'000;
+  large.freeze_ratio = 1e-6;
+  const Area a_small = anneal_slicing_topology(modules, small).best_area;
+  const Area a_large = anneal_slicing_topology(modules, large).best_area;
+  EXPECT_LE(a_large, a_small) << "longer schedules keep the best-so-far";
+}
+
+}  // namespace
+}  // namespace fpopt

@@ -1,0 +1,148 @@
+// Tests for the fpopt command-line tool (driven through run_cli).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/cli.h"
+
+namespace fpopt {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_path_ = testing::TempDir() + "cli_test.topo";
+    lib_path_ = testing::TempDir() + "cli_test.lib";
+    write(topo_path_, "(W a b c d (V e f))");
+    write(lib_path_,
+          "a 5x3 4x4 3x6\nb 4x5 3x7\nc 2x2 3x1\nd 4x4 5x3\ne 3x3\nf 3x4 4x3\n");
+  }
+
+  static void write(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+
+  int run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return run_cli(args, out_, err_);
+  }
+
+  std::string topo_path_;
+  std::string lib_path_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, StatsReportsStructure) {
+  ASSERT_EQ(run({"stats", topo_path_, lib_path_}), 0) << err_.str();
+  const std::string s = out_.str();
+  EXPECT_NE(s.find("modules:      6"), std::string::npos) << s;
+  EXPECT_NE(s.find("wheel nodes:  1"), std::string::npos);
+  EXPECT_NE(s.find("slice nodes:  1"), std::string::npos);
+}
+
+TEST_F(CliTest, OptimizeExactPrintsCurveAndStats) {
+  ASSERT_EQ(run({"optimize", topo_path_, lib_path_}), 0) << err_.str();
+  const std::string s = out_.str();
+  EXPECT_NE(s.find("best area:"), std::string::npos);
+  EXPECT_NE(s.find("shape curve:"), std::string::npos);
+  EXPECT_NE(s.find("R_Selection:  0 calls"), std::string::npos) << "exact by default";
+}
+
+TEST_F(CliTest, SelectionFlagsAreApplied) {
+  ASSERT_EQ(run({"optimize", topo_path_, lib_path_, "--k1", "2", "--k2", "4", "--theta",
+                 "0.9", "--scap", "128", "--metric", "linf"}),
+            0)
+      << err_.str();
+  // With K1 = 2 some rect node must have been reduced.
+  EXPECT_EQ(out_.str().find("R_Selection:  0 calls"), std::string::npos) << out_.str();
+}
+
+TEST_F(CliTest, PlaceEmitsOneRoomPerModule) {
+  ASSERT_EQ(run({"place", topo_path_, lib_path_}), 0) << err_.str();
+  const std::string s = out_.str();
+  std::size_t rooms = 0;
+  for (std::size_t pos = 0; (pos = s.find(" room x=", pos)) != std::string::npos; ++pos) {
+    ++rooms;
+  }
+  EXPECT_EQ(rooms, 6u) << s;
+}
+
+TEST_F(CliTest, PlaceWithExplicitImplementationIndex) {
+  ASSERT_EQ(run({"place", topo_path_, lib_path_, "--impl", "0"}), 0) << err_.str();
+  EXPECT_NE(run({"place", topo_path_, lib_path_, "--impl", "9999"}), 0);
+  EXPECT_NE(err_.str().find("out of range"), std::string::npos);
+}
+
+TEST_F(CliTest, SvgWritesAFile) {
+  const std::string svg_path = testing::TempDir() + "cli_test.svg";
+  std::remove(svg_path.c_str());
+  ASSERT_EQ(run({"svg", topo_path_, lib_path_, svg_path}), 0) << err_.str();
+  std::ifstream in(svg_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("<svg"), std::string::npos);
+}
+
+TEST_F(CliTest, BudgetAbortIsReported) {
+  const int rc = run({"optimize", topo_path_, lib_path_, "--budget", "5"});
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(err_.str().find("out of memory"), std::string::npos);
+}
+
+TEST_F(CliTest, ErrorHandling) {
+  EXPECT_NE(run({}), 0);
+  EXPECT_NE(run({"frobnicate", topo_path_, lib_path_}), 0);
+  EXPECT_NE(run({"stats", topo_path_}), 0);
+  EXPECT_NE(run({"stats", "/nonexistent/file", lib_path_}), 0);
+  EXPECT_NE(run({"optimize", topo_path_, lib_path_, "--k1"}), 0);
+  EXPECT_NE(run({"optimize", topo_path_, lib_path_, "--k1", "abc"}), 0);
+  EXPECT_NE(run({"optimize", topo_path_, lib_path_, "--theta", "2.0"}), 0);
+  EXPECT_NE(run({"optimize", topo_path_, lib_path_, "--metric", "l7"}), 0);
+  EXPECT_NE(run({"optimize", topo_path_, lib_path_, "--bogus", "1"}), 0);
+  EXPECT_EQ(run({"help"}), 0);
+  EXPECT_NE(out_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, AnnealProducesAUsableTopology) {
+  const std::string out_path = testing::TempDir() + "cli_annealed.topo";
+  ASSERT_EQ(run({"anneal", lib_path_, "--moves", "800", "--seed", "3", "--out", out_path}), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("topology:"), std::string::npos);
+  // The emitted topology must optimize cleanly.
+  ASSERT_EQ(run({"optimize", out_path, lib_path_}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("best area:"), std::string::npos);
+}
+
+TEST_F(CliTest, AnnealWithNetlistReportsWirelength) {
+  const std::string net_path = testing::TempDir() + "cli_test.net";
+  write(net_path, "n0 a b\nn1 c d e\nn2 a f\n");
+  ASSERT_EQ(run({"anneal", lib_path_, "--moves", "500", "--netlist", net_path, "--lambda",
+                 "1.5"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("HPWL2:"), std::string::npos);
+  EXPECT_NE(out_.str().find("lambda 1.5"), std::string::npos);
+  // Broken netlist fails cleanly.
+  write(net_path, "n0 a nosuch\n");
+  EXPECT_NE(run({"anneal", lib_path_, "--netlist", net_path}), 0);
+}
+
+TEST_F(CliTest, MalformedInputsFailCleanly) {
+  const std::string bad_topo = testing::TempDir() + "cli_bad.topo";
+  write(bad_topo, "(V a");
+  EXPECT_NE(run({"stats", bad_topo, lib_path_}), 0);
+  EXPECT_NE(err_.str().find("parse error"), std::string::npos);
+
+  const std::string bad_lib = testing::TempDir() + "cli_bad.lib";
+  write(bad_lib, "a 0x3\n");
+  EXPECT_NE(run({"stats", topo_path_, bad_lib}), 0);
+}
+
+}  // namespace
+}  // namespace fpopt

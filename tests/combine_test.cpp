@@ -1,0 +1,255 @@
+// Tests for the combine kernels: slice merges against the naive cross
+// product, wheel ops against the closed-form minimal-envelope formulas,
+// and provenance integrity.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "optimize/combine.h"
+#include "test_util.h"
+
+namespace fpopt {
+namespace {
+
+struct Ctx {
+  BudgetTracker budget{0};
+  OptimizerStats stats;
+};
+
+TEST(SliceMergeTest, VerticalHandExample) {
+  Ctx ctx;
+  const RList a = RList::from_candidates({{4, 2}, {2, 5}});
+  const RList b = RList::from_candidates({{3, 3}, {1, 6}});
+  const RCombineResult r = combine_slice(a, b, /*horizontal=*/false, ctx.budget, ctx.stats);
+  // Candidates: (7,3) (5,6) (5,5) (3,6) -> prune: (7,3), (5,5), (3,6).
+  ASSERT_EQ(r.list.size(), 3u);
+  EXPECT_EQ(r.list[0], (RectImpl{7, 3}));
+  EXPECT_EQ(r.list[1], (RectImpl{5, 5}));
+  EXPECT_EQ(r.list[2], (RectImpl{3, 6}));
+}
+
+TEST(SliceMergeTest, HorizontalHandExample) {
+  Ctx ctx;
+  const RList a = RList::from_candidates({{4, 2}, {2, 5}});
+  const RList b = RList::from_candidates({{3, 3}, {1, 6}});
+  const RCombineResult r = combine_slice(a, b, /*horizontal=*/true, ctx.budget, ctx.stats);
+  // Stacked: (4,5) (4,8) (3,8)... candidates (max w, sum h):
+  // (4,2)+(3,3)=(4,5); (4,2)+(1,6)=(4,8); (2,5)+(3,3)=(3,8); (2,5)+(1,6)=(2,11).
+  // Pruned: (4,5), (3,8), (2,11).
+  ASSERT_EQ(r.list.size(), 3u);
+  EXPECT_EQ(r.list[0], (RectImpl{4, 5}));
+  EXPECT_EQ(r.list[1], (RectImpl{3, 8}));
+  EXPECT_EQ(r.list[2], (RectImpl{2, 11}));
+}
+
+class SliceMergeRandomTest : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(SliceMergeRandomTest, LinearMergeEqualsNaiveCrossProduct) {
+  const auto [na, nb, horizontal] = GetParam();
+  Pcg32 rng(static_cast<std::uint64_t>(na * 1000 + nb * 10 + (horizontal ? 1 : 0)));
+  for (int iter = 0; iter < 12; ++iter) {
+    Ctx ctx;
+    const RList a = test::random_r_list(static_cast<std::size_t>(na), rng);
+    const RList b = test::random_r_list(static_cast<std::size_t>(nb), rng);
+    const RCombineResult fast = combine_slice(a, b, horizontal, ctx.budget, ctx.stats);
+    const RCombineResult naive = combine_slice_naive(a, b, horizontal, ctx.budget, ctx.stats);
+    EXPECT_EQ(fast.list, naive.list);
+    // Provenance reproduces every implementation.
+    for (std::size_t i = 0; i < fast.list.size(); ++i) {
+      const RectImpl left = a[fast.prov[i].left];
+      const RectImpl right = b[fast.prov[i].right];
+      const RectImpl expect = horizontal
+                                  ? RectImpl{std::max(left.w, right.w), left.h + right.h}
+                                  : RectImpl{left.w + right.w, std::max(left.h, right.h)};
+      EXPECT_EQ(fast.list[i], expect);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SliceMergeRandomTest,
+                         ::testing::Values(std::tuple{1, 1, false}, std::tuple{1, 8, false},
+                                           std::tuple{8, 1, true}, std::tuple{5, 5, false},
+                                           std::tuple{5, 5, true}, std::tuple{20, 13, false},
+                                           std::tuple{20, 13, true}, std::tuple{40, 40, false},
+                                           std::tuple{40, 40, true}));
+
+TEST(WheelStackTest, ProducesOneChainPerLeftImplWithExactShapes) {
+  Ctx ctx;
+  const RList d = RList::from_candidates({{8, 2}, {5, 4}, {3, 7}});
+  const RList a = RList::from_candidates({{6, 3}, {4, 5}});
+  const LCombineResult r = combine_wheel_stack(d, a, LPruning::GlobalEager, ctx.budget, ctx.stats);
+  EXPECT_EQ(r.set.list_count(), 2u);
+  for (const LList& chain : r.set.lists()) {
+    for (const LEntry& e : chain) {
+      const Prov p = r.prov[e.id];
+      const RectImpl dd = d[p.left];
+      const RectImpl aa = a[p.right];
+      EXPECT_EQ(e.shape.w1, std::max(dd.w, aa.w));
+      EXPECT_EQ(e.shape.w2, aa.w);
+      EXPECT_EQ(e.shape.h1, dd.h + aa.h);
+      EXPECT_EQ(e.shape.h2, dd.h);
+    }
+  }
+}
+
+TEST(WheelStackTest, DegenerateLWhenBottomNarrowerThanLeft) {
+  Ctx ctx;
+  const RList d = RList::from_candidates({{3, 2}});
+  const RList a = RList::from_candidates({{6, 3}});
+  const LCombineResult r = combine_wheel_stack(d, a, LPruning::GlobalEager, ctx.budget, ctx.stats);
+  ASSERT_EQ(r.set.total_size(), 1u);
+  const LEntry& e = r.set.lists()[0][0];
+  EXPECT_TRUE(e.shape.is_degenerate());
+  EXPECT_EQ(e.shape.w1, 6);
+  EXPECT_EQ(e.shape.w2, 6);
+}
+
+/// Closed-form minimal pinwheel envelope for one 5-tuple of child
+/// implementations (see combine.h).
+RectImpl pinwheel_envelope(const RectImpl& d, const RectImpl& a, const RectImpl& e,
+                           const RectImpl& c, const RectImpl& b) {
+  const Dim x2 = std::max(d.w, a.w + e.w);
+  const Dim y2 = std::max(c.h, d.h + e.h);
+  return {std::max(x2 + c.w, a.w + b.w), std::max(y2 + b.h, d.h + a.h)};
+}
+
+TEST(WheelOpsTest, FullAssemblyMatchesEnvelopeFormulaBruteForce) {
+  Pcg32 rng(61);
+  for (int iter = 0; iter < 10; ++iter) {
+    Ctx ctx;
+    const RList d = test::random_r_list(4, rng);
+    const RList a = test::random_r_list(3, rng);
+    const RList e = test::random_r_list(4, rng);
+    const RList c = test::random_r_list(3, rng);
+    const RList b = test::random_r_list(4, rng);
+
+    LCombineResult stack = combine_wheel_stack(d, a, LPruning::GlobalEager, ctx.budget, ctx.stats);
+    stack.set.canonicalize();
+    LCombineResult notch = combine_wheel_fill_notch(stack.set, e, LPruning::GlobalEager, ctx.budget, ctx.stats);
+    notch.set.canonicalize();
+    LCombineResult extend = combine_wheel_extend(notch.set, c, LPruning::GlobalEager, ctx.budget, ctx.stats);
+    extend.set.canonicalize();
+    const RCombineResult closed = combine_wheel_close(extend.set, b, ctx.budget, ctx.stats);
+
+    // Brute-force frontier over all 5-tuples.
+    std::vector<RectImpl> cands;
+    for (const RectImpl& id : d)
+      for (const RectImpl& ia : a)
+        for (const RectImpl& ie : e)
+          for (const RectImpl& ic : c)
+            for (const RectImpl& ib : b) cands.push_back(pinwheel_envelope(id, ia, ie, ic, ib));
+    const RList expect = RList::from_candidates(std::move(cands));
+    EXPECT_EQ(closed.list, expect) << "iteration " << iter;
+  }
+}
+
+TEST(WheelOpsTest, MonotoneLazyStretchFormulas) {
+  // Each op's output coordinates are non-decreasing in every input
+  // coordinate (this is what makes child dominance pruning safe).
+  Pcg32 rng(71);
+  for (int iter = 0; iter < 200; ++iter) {
+    const LImpl l{10 + static_cast<Dim>(rng.below(10)), 5 + static_cast<Dim>(rng.below(5)),
+                  12 + static_cast<Dim>(rng.below(10)), 4 + static_cast<Dim>(rng.below(6))};
+    const LImpl bigger{l.w1 + 1, l.w2, l.h1 + 2, l.h2 + 1};
+    const RectImpl r{1 + static_cast<Dim>(rng.below(8)), 1 + static_cast<Dim>(rng.below(8))};
+    if (!l.valid() || !bigger.valid()) continue;
+
+    const auto notch = [&](const LImpl& s) {
+      const Dim h2 = s.h2 + r.h;
+      return LImpl{std::max(s.w1, s.w2 + r.w), s.w2, std::max(s.h1, h2), h2};
+    };
+    const auto extend = [&](const LImpl& s) {
+      const Dim y2 = std::max(s.h2, r.h);
+      return LImpl{s.w1 + r.w, s.w2, std::max(s.h1, y2), y2};
+    };
+    EXPECT_TRUE(notch(bigger).dominates(notch(l)));
+    EXPECT_TRUE(extend(bigger).dominates(extend(l)));
+  }
+}
+
+TEST(WheelOpsTest, ProvenanceRecomputesEveryShapeThroughTheWholeAssembly) {
+  // Follow provenance ids through stack -> fill -> extend -> close and
+  // recompute each surviving implementation from its leaf choices.
+  Pcg32 rng(91);
+  for (int iter = 0; iter < 8; ++iter) {
+    Ctx ctx;
+    const RList d = test::random_r_list(5, rng);
+    const RList a = test::random_r_list(4, rng);
+    const RList e = test::random_r_list(5, rng);
+    const RList c = test::random_r_list(4, rng);
+    const RList b = test::random_r_list(5, rng);
+
+    LCombineResult stack = combine_wheel_stack(d, a, LPruning::GlobalEager, ctx.budget,
+                                               ctx.stats);
+    stack.set.canonicalize();
+    LCombineResult notch =
+        combine_wheel_fill_notch(stack.set, e, LPruning::GlobalEager, ctx.budget, ctx.stats);
+    notch.set.canonicalize();
+    LCombineResult extend =
+        combine_wheel_extend(notch.set, c, LPruning::GlobalEager, ctx.budget, ctx.stats);
+    extend.set.canonicalize();
+    const RCombineResult closed = combine_wheel_close(extend.set, b, ctx.budget, ctx.stats);
+
+    const auto find_entry = [](const LListSet& set, std::uint32_t id) -> const LImpl* {
+      for (const LList& chain : set.lists()) {
+        for (const LEntry& entry : chain) {
+          if (entry.id == id) return &entry.shape;
+        }
+      }
+      return nullptr;
+    };
+
+    for (std::size_t i = 0; i < closed.list.size(); ++i) {
+      const Prov p4 = closed.prov[i];
+      const LImpl* l3 = find_entry(extend.set, p4.left);
+      ASSERT_NE(l3, nullptr);
+      const Prov p3 = extend.prov[p4.left];
+      const LImpl* l2 = find_entry(notch.set, p3.left);
+      ASSERT_NE(l2, nullptr);
+      const Prov p2 = notch.prov[p3.left];
+      const LImpl* l1 = find_entry(stack.set, p2.left);
+      ASSERT_NE(l1, nullptr);
+      const Prov p1 = stack.prov[p2.left];
+
+      const RectImpl dd = d[p1.left], aa = a[p1.right], ee = e[p2.right], cc = c[p3.right],
+                     bb = b[p4.right];
+      // Recompute through the op formulas.
+      const LImpl s1{std::max(dd.w, aa.w), aa.w, dd.h + aa.h, dd.h};
+      EXPECT_EQ(s1, *l1);
+      const Dim h2 = s1.h2 + ee.h;
+      const LImpl s2{std::max(s1.w1, s1.w2 + ee.w), s1.w2, std::max(s1.h1, h2), h2};
+      EXPECT_EQ(s2, *l2);
+      const Dim y2 = std::max(s2.h2, cc.h);
+      const LImpl s3{s2.w1 + cc.w, s2.w2, std::max(s2.h1, y2), y2};
+      EXPECT_EQ(s3, *l3);
+      const RectImpl s4{std::max(s3.w1, s3.w2 + bb.w), std::max(s3.h1, s3.h2 + bb.h)};
+      EXPECT_EQ(s4, closed.list[i]);
+    }
+  }
+}
+
+TEST(BudgetTest, CombineAbortsWhenBudgetExceeded) {
+  OptimizerStats stats;
+  BudgetTracker tight(10);
+  Pcg32 rng(81);
+  const RList d = test::random_r_list(10, rng);
+  const RList a = test::random_r_list(10, rng);
+  EXPECT_THROW(combine_wheel_stack(d, a, LPruning::GlobalEager, tight, stats), MemoryLimitExceeded);
+}
+
+TEST(BudgetTest, TransientScopeReleasesOnExit) {
+  BudgetTracker t(100);
+  {
+    TransientScope scope(t);
+    scope.add(40);
+    EXPECT_EQ(t.peak_transient(), 40u);
+  }
+  {
+    TransientScope scope(t);
+    scope.add(70);  // would exceed 100 only if the first scope leaked
+  }
+  EXPECT_EQ(t.peak_transient(), 70u);
+}
+
+}  // namespace
+}  // namespace fpopt

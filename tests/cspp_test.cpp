@@ -1,0 +1,169 @@
+// Unit tests for the general constrained-shortest-path solver, including
+// the paper's worked example (Figure 4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "core/cspp.h"
+#include "workload/rng.h"
+
+namespace fpopt {
+namespace {
+
+/// The weighted DAG of Figure 4: shortest v1->v6 path uses 6 vertices
+/// (weight 8), but with k = 4 the constrained optimum is v1->v2->v4->v6
+/// with weight 11.
+CsppGraph figure4_graph() {
+  // Chain v1..v6 weighs 8; the three 4-vertex v1->v6 paths weigh
+  // 11 (v1 v2 v4 v6), 12 (v1 v3 v4 v6) and 15 (v1 v2 v5 v6), exactly the
+  // numbers quoted under Figure 4.
+  CsppGraph g(6);
+  g.add_edge(0, 1, 1);   // v1 -> v2
+  g.add_edge(1, 2, 2);   // v2 -> v3
+  g.add_edge(2, 3, 1);   // v3 -> v4
+  g.add_edge(3, 4, 2);   // v4 -> v5
+  g.add_edge(4, 5, 2);   // v5 -> v6
+  g.add_edge(0, 2, 7);   // v1 -> v3
+  g.add_edge(1, 3, 6);   // v2 -> v4
+  g.add_edge(1, 4, 12);  // v2 -> v5
+  g.add_edge(3, 5, 4);   // v4 -> v6
+  return g;
+}
+
+TEST(CsppPaperExampleTest, UnconstrainedShortestPathUsesAllSixVertices) {
+  const CsppGraph g = figure4_graph();
+  const auto result = constrained_shortest_path(g, 0, 5, 6);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->weight, 8);
+  EXPECT_EQ(result->path, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(CsppPaperExampleTest, KEquals4PicksTheConstrainedOptimum) {
+  const CsppGraph g = figure4_graph();
+  const auto result = constrained_shortest_path(g, 0, 5, 4);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->weight, 11);
+  EXPECT_EQ(result->path, (std::vector<std::size_t>{0, 1, 3, 5}));
+}
+
+TEST(CsppPaperExampleTest, CompetingFourVertexPathsAreHeavier) {
+  // Confirm the reported optimum is minimal over all 4-vertex paths by
+  // brute-force enumeration of v1 -> a -> b -> v6.
+  const CsppGraph g = figure4_graph();
+  const auto result = constrained_shortest_path(g, 0, 5, 4);
+  ASSERT_TRUE(result.has_value());
+  // Enumerate all 4-vertex paths v1 -> a -> b -> v6 by scanning edges.
+  Weight best = kInfiniteWeight;
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = 0; b < 6; ++b) {
+      Weight wa = kInfiniteWeight, wb = kInfiniteWeight, wc = kInfiniteWeight;
+      for (const auto& e : g.in_edges(a)) {
+        if (e.from == 0) wa = std::min(wa, e.weight);
+      }
+      for (const auto& e : g.in_edges(b)) {
+        if (e.from == a) wb = std::min(wb, e.weight);
+      }
+      for (const auto& e : g.in_edges(5)) {
+        if (e.from == b) wc = std::min(wc, e.weight);
+      }
+      best = std::min(best, wa + wb + wc);
+    }
+  }
+  EXPECT_EQ(result->weight, best);
+}
+
+TEST(CsppTest, NoPathWithRequestedCardinality) {
+  CsppGraph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  EXPECT_FALSE(constrained_shortest_path(g, 0, 2, 2).has_value()) << "no direct edge";
+  ASSERT_TRUE(constrained_shortest_path(g, 0, 2, 3).has_value());
+}
+
+TEST(CsppTest, KEqualsOneRequiresSourceEqualsTarget) {
+  CsppGraph g(2);
+  g.add_edge(0, 1, 3);
+  const auto self = constrained_shortest_path(g, 0, 0, 1);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->weight, 0);
+  EXPECT_EQ(self->path, (std::vector<std::size_t>{0}));
+  EXPECT_FALSE(constrained_shortest_path(g, 0, 1, 1).has_value());
+}
+
+TEST(CsppTest, TwoVertexPathIsTheDirectEdge) {
+  CsppGraph g(2);
+  g.add_edge(0, 1, 3);
+  g.add_edge(0, 1, 7);
+  const auto result = constrained_shortest_path(g, 0, 1, 2);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->weight, 3) << "parallel edges: the lighter one wins";
+}
+
+TEST(CsppTest, DisconnectedTargetIsReported) {
+  CsppGraph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_FALSE(constrained_shortest_path(g, 0, 3, 2).has_value());
+  EXPECT_FALSE(constrained_shortest_path(g, 0, 3, 3).has_value());
+  EXPECT_FALSE(constrained_shortest_path(g, 0, 3, 4).has_value());
+}
+
+TEST(CsppTest, LongerPathsCanBeCheaperButAreNotEligible) {
+  // 0 -> 1 -> 2 costs 2; 0 -> 2 costs 100. With k = 2 only the direct
+  // edge qualifies.
+  CsppGraph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(0, 2, 100);
+  const auto k2 = constrained_shortest_path(g, 0, 2, 2);
+  ASSERT_TRUE(k2.has_value());
+  EXPECT_EQ(k2->weight, 100);
+  const auto k3 = constrained_shortest_path(g, 0, 2, 3);
+  ASSERT_TRUE(k3.has_value());
+  EXPECT_EQ(k3->weight, 2);
+}
+
+TEST(CsppRandomTest, MatchesBruteForceOnLayeredRandomDags) {
+  Pcg32 rng(42);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = 7;
+    CsppGraph g(n);
+    std::vector<std::vector<Weight>> w(n, std::vector<Weight>(n, 0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.below(100) < 70) {
+          w[i][j] = 1 + rng.below(20);
+          g.add_edge(i, j, w[i][j]);
+        }
+      }
+    }
+    for (std::size_t k = 2; k <= n; ++k) {
+      // Brute force: enumerate all increasing vertex sequences 0..n-1.
+      Weight best = kInfiniteWeight;
+      std::vector<std::size_t> seq(k);
+      const std::function<void(std::size_t, std::size_t, Weight)> rec =
+          [&](std::size_t depth, std::size_t last, Weight acc) {
+            if (depth == k) {
+              if (last == n - 1) best = std::min(best, acc);
+              return;
+            }
+            for (std::size_t v = last + 1; v < n; ++v) {
+              if (w[last][v] > 0) rec(depth + 1, v, acc + w[last][v]);
+            }
+          };
+      rec(1, 0, 0);
+      const auto result = constrained_shortest_path(g, 0, n - 1, k);
+      if (best == kInfiniteWeight) {
+        EXPECT_FALSE(result.has_value());
+      } else {
+        ASSERT_TRUE(result.has_value());
+        EXPECT_EQ(result->weight, best) << "k=" << k;
+        EXPECT_EQ(result->path.size(), k);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpopt

@@ -1,0 +1,77 @@
+// Tests for shape-curve queries (fixed outline, aspect ratio, square).
+#include <gtest/gtest.h>
+
+#include "optimize/curve_queries.h"
+#include "optimize/optimizer.h"
+#include "test_util.h"
+#include "workload/floorplans.h"
+
+namespace fpopt {
+namespace {
+
+const RList kCurve = RList::from_candidates({{20, 4}, {12, 6}, {9, 9}, {6, 13}, {4, 21}});
+
+TEST(BestInOutlineTest, PicksTheSmallestFittingArea) {
+  // Outline 12x10 admits (12,6)=72 and (9,9)=81 -> (12,6).
+  const auto idx = best_in_outline(kCurve, 12, 10);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(kCurve[*idx], (RectImpl{12, 6}));
+}
+
+TEST(BestInOutlineTest, InfeasibleOutline) {
+  EXPECT_FALSE(best_in_outline(kCurve, 3, 3).has_value());
+  EXPECT_FALSE(best_in_outline(kCurve, 5, 10).has_value());
+}
+
+TEST(BestInOutlineTest, TightOutlineFitsExactly) {
+  const auto idx = best_in_outline(kCurve, 9, 9);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(kCurve[*idx], (RectImpl{9, 9}));
+}
+
+TEST(BestWithAspectTest, SquareBandPicksTheSquare) {
+  const auto idx = best_with_aspect(kCurve, 0.8, 1.25);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(kCurve[*idx], (RectImpl{9, 9}));
+}
+
+TEST(BestWithAspectTest, WideAndTallBands) {
+  const auto wide = best_with_aspect(kCurve, 0.0001, 0.5);
+  ASSERT_TRUE(wide.has_value());
+  EXPECT_EQ(kCurve[*wide], (RectImpl{12, 6})) << "flattest admissible with least area";
+  const auto tall = best_with_aspect(kCurve, 2.0, 100.0);
+  ASSERT_TRUE(tall.has_value());
+  EXPECT_EQ(kCurve[*tall], (RectImpl{6, 13}));
+  EXPECT_FALSE(best_with_aspect(kCurve, 50.0, 60.0).has_value());
+}
+
+TEST(SmallestSquareSideTest, MatchesBruteForce) {
+  EXPECT_EQ(smallest_square_side(kCurve), 9);
+  Pcg32 rng(5);
+  for (int iter = 0; iter < 20; ++iter) {
+    const RList curve = test::random_r_list(12, rng);
+    Dim expect = std::numeric_limits<Dim>::max();
+    for (const RectImpl& r : curve) expect = std::min(expect, std::max(r.w, r.h));
+    EXPECT_EQ(smallest_square_side(curve), expect);
+  }
+}
+
+TEST(CurveQueriesIntegrationTest, RootCurveAnswersOutlineQueries) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 6;
+  cfg.seed = 44;
+  const FloorplanTree tree = make_single_pinwheel(cfg);
+  const OptimizeOutcome out = optimize_floorplan(tree, {});
+  ASSERT_FALSE(out.out_of_memory);
+  const Dim side = smallest_square_side(out.root);
+  EXPECT_TRUE(best_in_outline(out.root, side, side).has_value());
+  EXPECT_FALSE(best_in_outline(out.root, side - 1, side - 1).has_value())
+      << "smallest_square_side is tight";
+  // The unconstrained best is the min-area index.
+  const auto any = best_in_outline(out.root, 1'000'000, 1'000'000);
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(*any, out.root.min_area_index());
+}
+
+}  // namespace
+}  // namespace fpopt

@@ -1,0 +1,87 @@
+// Parameterized exactness sweep: the optimizer must match the brute-force
+// geometric oracle on a battery of small topologies (all node kinds, both
+// chiralities, wheels nested in every position) across several random
+// module libraries — and every root implementation must trace to a valid
+// tiling.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "floorplan/serialize.h"
+#include "optimize/optimizer.h"
+#include "optimize/placement.h"
+#include "test_util.h"
+#include "workload/module_gen.h"
+
+namespace fpopt {
+namespace {
+
+// Topologies over exactly 7..9 single-letter modules a..i.
+constexpr const char* kTopologies[] = {
+    "(V a b c d e f g)",                  // wide slice
+    "(H (V a b) (V c d) (V e f g))",      // grid-ish
+    "(W a b c d e)",                      // bare wheel, leftover modules unused -> see below
+    "(W (V a b) c d e (H f g))",          // wheel with slice children
+    "(M (H a b) c d e (V f g))",          // mirrored wheel with slice children
+    "(V (W a b c d e) (H f g))",          // wheel inside a slice
+    "(H a (M b c d e f) g)",              // mirrored wheel mid-slice
+    "(W (W a b c d e) f g h i)",          // wheel in the Bottom position
+    "(W a (W b c d e f) g h i)",          // wheel in the Left position
+    "(W a b (W c d e f g) h i)",          // wheel in the Center position
+    "(W a b c (M d e f g h) i)",          // mirrored wheel in the Right position
+    "(M a b c (W d e f g h) i)",          // wheel in Right, mirrored parent
+    "(W a b c d (W e f g h i))",          // wheel in the Top position
+};
+
+std::size_t leaf_count(std::string_view topo) {
+  std::size_t n = 0;
+  for (const char c : topo) {
+    if (c >= 'a' && c <= 'i') ++n;
+  }
+  return n;
+}
+
+class ExactnessSweepTest : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ExactnessSweepTest, OptimizerEqualsBruteForceAndPlacementsTile) {
+  const auto [topo_idx, seed] = GetParam();
+  const std::string topo = kTopologies[topo_idx];
+  const std::size_t n = leaf_count(topo);
+
+  ModuleGenConfig cfg;
+  cfg.impl_count = n <= 7 ? 3 : 2;  // keep the oracle's 3^7 / 2^9 in check
+  cfg.min_dim = 2;
+  cfg.max_dim = 14;
+  cfg.min_area = 9;
+  cfg.max_area = 80;
+  std::vector<Module> modules = generate_modules(n, cfg, seed);
+  for (std::size_t i = 0; i < n; ++i) modules[i].name = std::string(1, static_cast<char>('a' + i));
+
+  FloorplanTree tree = parse_floorplan(topo, std::move(modules));
+  ASSERT_TRUE(tree.validate().empty());
+
+  OptimizerOptions opts;
+  opts.impl_budget = 0;
+  const OptimizeOutcome out = optimize_floorplan(tree, opts);
+  ASSERT_FALSE(out.out_of_memory);
+  EXPECT_EQ(out.best_area, test::brute_force_tree_area(tree)) << topo << " seed=" << seed;
+
+  for (std::size_t pick = 0; pick < out.root.size(); ++pick) {
+    const Placement p = trace_placement(tree, out, pick);
+    EXPECT_EQ(p.chip_area(), out.root[pick].area());
+    const auto problems = validate_placement(p, tree);
+    ASSERT_TRUE(problems.empty()) << topo << " impl#" << pick << ": " << problems.front();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologiesTimesSeeds, ExactnessSweepTest,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(std::size(kTopologies))),
+                       ::testing::Values(101u, 202u, 303u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& param_info) {
+      return "topo" + std::to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace fpopt

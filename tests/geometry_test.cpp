@@ -1,0 +1,135 @@
+// Unit tests for the geometry substrate: dominance, L shapes, staircases.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "geometry/l_impl.h"
+#include "geometry/placed_rect.h"
+#include "geometry/rect_impl.h"
+#include "geometry/staircase.h"
+#include "test_util.h"
+
+namespace fpopt {
+namespace {
+
+TEST(RectImplTest, AreaAndValidity) {
+  const RectImpl r{4, 6};
+  EXPECT_EQ(r.area(), 24);
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE((RectImpl{0, 5}.valid()));
+  EXPECT_FALSE((RectImpl{5, 0}.valid()));
+}
+
+TEST(RectImplTest, DominanceIsComponentwiseGeq) {
+  const RectImpl big{5, 5};
+  const RectImpl small{3, 4};
+  EXPECT_TRUE(big.dominates(small));
+  EXPECT_FALSE(small.dominates(big));
+  EXPECT_TRUE(big.dominates(big)) << "reflexive by Definition 1";
+  EXPECT_FALSE((RectImpl{6, 3}.dominates(RectImpl{3, 6})));
+  EXPECT_FALSE((RectImpl{3, 6}.dominates(RectImpl{6, 3})));
+}
+
+TEST(LImplTest, AreaOfLRegion) {
+  // w1=10, w2=4, h1=8, h2=3: bottom strip 10x3 + column part 4x5.
+  const LImpl l{10, 4, 8, 3};
+  EXPECT_EQ(l.area(), 10 * 3 + 4 * 5);
+  EXPECT_EQ(l.bounding_rect(), (RectImpl{10, 8}));
+  EXPECT_FALSE(l.is_degenerate());
+  EXPECT_TRUE(l.valid());
+}
+
+TEST(LImplTest, DegenerateFormsAreRectangles) {
+  EXPECT_TRUE((LImpl{5, 5, 8, 3}.is_degenerate()));
+  EXPECT_TRUE((LImpl{7, 4, 6, 6}.is_degenerate()));
+  EXPECT_EQ((LImpl{5, 5, 8, 3}.area()), 5 * 8);
+}
+
+TEST(LImplTest, CanonicalValidity) {
+  EXPECT_FALSE((LImpl{3, 5, 8, 3}.valid())) << "w1 < w2";
+  EXPECT_FALSE((LImpl{5, 3, 2, 3}.valid())) << "h1 < h2";
+  EXPECT_FALSE((LImpl{5, 0, 8, 3}.valid()));
+}
+
+TEST(LImplTest, DominanceFourWay) {
+  const LImpl a{10, 4, 8, 3};
+  const LImpl b{9, 4, 8, 3};
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+  const LImpl c{11, 3, 8, 3};  // wider bottom, narrower top: incomparable with a
+  EXPECT_FALSE(a.dominates(c));
+  EXPECT_FALSE(c.dominates(a));
+}
+
+TEST(PlacedRectTest, OverlapAndContainment) {
+  const PlacedRect a{0, 0, 4, 4};
+  const PlacedRect b{4, 0, 4, 4};
+  EXPECT_FALSE(a.overlaps(b)) << "touching edges do not overlap";
+  EXPECT_TRUE(a.overlaps({3, 3, 2, 2}));
+  EXPECT_TRUE((PlacedRect{0, 0, 10, 10}.contains(a)));
+  EXPECT_FALSE(a.contains({0, 0, 5, 4}));
+}
+
+TEST(PlacedRectTest, MirrorWithinFrame) {
+  const PlacedRect frame{0, 0, 10, 6};
+  const PlacedRect r{1, 2, 3, 2};
+  const PlacedRect m = r.mirrored_x(frame);
+  EXPECT_EQ(m, (PlacedRect{6, 2, 3, 2}));
+  EXPECT_EQ(m.mirrored_x(frame), r) << "mirroring is an involution";
+}
+
+TEST(StaircaseTest, IrreducibleDetection) {
+  const std::vector<RectImpl> good{{9, 2}, {6, 4}, {3, 7}};
+  EXPECT_TRUE(is_irreducible_r_list(good));
+  const std::vector<RectImpl> equal_w{{9, 2}, {9, 4}};
+  EXPECT_FALSE(is_irreducible_r_list(equal_w));
+  const std::vector<RectImpl> equal_h{{9, 2}, {6, 2}};
+  EXPECT_FALSE(is_irreducible_r_list(equal_h));
+  EXPECT_TRUE(is_irreducible_r_list(std::vector<RectImpl>{}));
+}
+
+TEST(StaircaseTest, MinHeightQueries) {
+  const std::vector<RectImpl> pts{{9, 2}, {6, 4}, {3, 7}};
+  EXPECT_EQ(staircase_min_height(pts, 100), 2);
+  EXPECT_EQ(staircase_min_height(pts, 9), 2);
+  EXPECT_EQ(staircase_min_height(pts, 8), 4);
+  EXPECT_EQ(staircase_min_height(pts, 6), 4);
+  EXPECT_EQ(staircase_min_height(pts, 3), 7);
+  EXPECT_EQ(staircase_min_height(pts, 2), -1) << "narrower than the narrowest corner";
+}
+
+TEST(StaircaseTest, AdjacentCornersHaveZeroError) {
+  const std::vector<RectImpl> pts{{9, 2}, {6, 4}, {3, 7}};
+  EXPECT_EQ(staircase_error_geometric(pts, 0, 1), 0);
+  EXPECT_EQ(staircase_error_geometric(pts, 1, 2), 0);
+}
+
+TEST(StaircaseTest, SingleDropMatchesHandComputation) {
+  // Dropping (6,4) between (9,2) and (3,7): lost band is (9-6)x(7-4).
+  const std::vector<RectImpl> pts{{9, 2}, {6, 4}, {3, 7}};
+  EXPECT_EQ(staircase_error_geometric(pts, 0, 2), 3 * 3);
+}
+
+TEST(StaircaseTest, SubsetErrorAgreesWithColumnIntegration) {
+  Pcg32 rng(7);
+  for (int iter = 0; iter < 40; ++iter) {
+    const RList list = test::random_r_list(10, rng);
+    // Keep endpoints plus every other interior corner.
+    std::vector<std::size_t> kept{0};
+    for (std::size_t i = 2; i + 1 < list.size(); i += 2) kept.push_back(i);
+    kept.push_back(list.size() - 1);
+    EXPECT_EQ(staircase_subset_error(list.impls(), kept),
+              staircase_subset_error_by_columns(list.impls(), kept));
+  }
+}
+
+TEST(StaircaseTest, KeepingEverythingCostsNothing) {
+  Pcg32 rng(9);
+  const RList list = test::random_r_list(8, rng);
+  std::vector<std::size_t> all(list.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  EXPECT_EQ(staircase_subset_error(list.impls(), all), 0);
+}
+
+}  // namespace
+}  // namespace fpopt

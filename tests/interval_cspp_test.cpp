@@ -1,0 +1,132 @@
+// Tests for the interval-DAG constrained-shortest-path evaluators: the
+// literal layered DP and the Monge divide-and-conquer variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <tuple>
+
+#include "core/interval_cspp.h"
+#include "workload/rng.h"
+
+namespace fpopt {
+namespace {
+
+TEST(IntervalCsppTest, KEqualsNKeepsEverything) {
+  const auto w = [](std::size_t, std::size_t) { return 1.0; };
+  const auto r = interval_constrained_shortest_path(5, 5, w);
+  EXPECT_EQ(r.indices, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(r.weight, 4.0);
+}
+
+TEST(IntervalCsppTest, KEquals2IsTheDirectEdge) {
+  const auto w = [](std::size_t i, std::size_t j) {
+    return static_cast<Weight>((j - i) * (j - i));
+  };
+  const auto r = interval_constrained_shortest_path(6, 2, w);
+  EXPECT_EQ(r.indices, (std::vector<std::size_t>{0, 5}));
+  EXPECT_EQ(r.weight, 25.0);
+}
+
+TEST(IntervalCsppTest, PrefersBalancedHopsForConvexCosts) {
+  // Quadratic hop cost: the optimal 3-vertex path over 0..8 is 0-4-8.
+  const auto w = [](std::size_t i, std::size_t j) {
+    return static_cast<Weight>((j - i) * (j - i));
+  };
+  const auto r = interval_constrained_shortest_path(9, 3, w);
+  EXPECT_EQ(r.indices, (std::vector<std::size_t>{0, 4, 8}));
+  EXPECT_EQ(r.weight, 32.0);
+}
+
+/// Brute force over all endpoint-keeping index subsets.
+template <typename WeightFn>
+Weight brute_force_best(std::size_t n, std::size_t k, WeightFn&& w) {
+  Weight best = kInfiniteWeight;
+  std::vector<std::size_t> pick;
+  const std::function<void(std::size_t, std::size_t, Weight)> rec = [&](std::size_t last,
+                                                                        std::size_t left,
+                                                                        Weight acc) {
+    if (left == 0) {
+      if (last != n - 1) return;
+      best = std::min(best, acc);
+      return;
+    }
+    for (std::size_t v = last + 1; v < n; ++v) rec(v, left - 1, acc + w(last, v));
+  };
+  rec(0, k - 1, 0);
+  return best;
+}
+
+class IntervalCsppRandomTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IntervalCsppRandomTest, GenericMatchesBruteForce) {
+  const auto [n, k] = GetParam();
+  Pcg32 rng(static_cast<std::uint64_t>(n * 100 + k));
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<std::vector<Weight>> w(static_cast<std::size_t>(n),
+                                       std::vector<Weight>(static_cast<std::size_t>(n), 0));
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = rng.below(50);
+      }
+    }
+    const auto weight = [&w](std::size_t i, std::size_t j) { return w[i][j]; };
+    const auto r = interval_constrained_shortest_path(static_cast<std::size_t>(n),
+                                                      static_cast<std::size_t>(k), weight);
+    EXPECT_EQ(r.weight, brute_force_best(static_cast<std::size_t>(n),
+                                         static_cast<std::size_t>(k), weight));
+    ASSERT_EQ(r.indices.size(), static_cast<std::size_t>(k));
+    EXPECT_EQ(r.indices.front(), 0u);
+    EXPECT_EQ(r.indices.back(), static_cast<std::size_t>(n - 1));
+    // The reported weight equals the weight of the reported path.
+    Weight acc = 0;
+    for (std::size_t q = 0; q + 1 < r.indices.size(); ++q) {
+      acc += weight(r.indices[q], r.indices[q + 1]);
+    }
+    EXPECT_EQ(acc, r.weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, IntervalCsppRandomTest,
+                         ::testing::Values(std::tuple{2, 2}, std::tuple{5, 2}, std::tuple{5, 3},
+                                           std::tuple{6, 4}, std::tuple{8, 5}, std::tuple{9, 2},
+                                           std::tuple{9, 8}, std::tuple{10, 6}));
+
+/// Random Monge weight: w(i,j) = f(x_j - x_i) for convex f over random
+/// increasing positions satisfies the quadrangle inequality.
+TEST(IntervalCsppMongeTest, MatchesGenericOnConvexHopCosts) {
+  Pcg32 rng(77);
+  for (int iter = 0; iter < 25; ++iter) {
+    const std::size_t n = 3 + rng.below(30);
+    std::vector<Weight> x(n, 0);
+    for (std::size_t i = 1; i < n; ++i) x[i] = x[i - 1] + 1 + rng.below(9);
+    const auto weight = [&x](std::size_t i, std::size_t j) {
+      const Weight d = x[j] - x[i];
+      return d * d;
+    };
+    for (std::size_t k = 2; k <= n; k += 1 + rng.below(3)) {
+      const auto generic = interval_constrained_shortest_path(n, k, weight);
+      const auto monge = interval_constrained_shortest_path_monge(n, k, weight);
+      EXPECT_EQ(generic.weight, monge.weight) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(IntervalCsppMongeTest, ExactForAdditivelySeparableCosts) {
+  Pcg32 rng(78);
+  const std::size_t n = 40;
+  std::vector<Weight> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.below(100);
+    b[i] = rng.below(100);
+  }
+  // w(i,j) = a[i] + b[j] is Monge with equality.
+  const auto weight = [&](std::size_t i, std::size_t j) { return a[i] + b[j]; };
+  for (const std::size_t k : {2u, 3u, 7u, 20u, 39u, 40u}) {
+    EXPECT_EQ(interval_constrained_shortest_path(n, k, weight).weight,
+              interval_constrained_shortest_path_monge(n, k, weight).weight);
+  }
+}
+
+}  // namespace
+}  // namespace fpopt

@@ -1,0 +1,177 @@
+// Unit and property tests for irreducible L-lists, chain pruning, and
+// L-list sets (global pruning + chain partition).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shape/l_list.h"
+#include "shape/l_list_set.h"
+#include "test_util.h"
+
+namespace fpopt {
+namespace {
+
+TEST(LChainTest, IrreducibleDetection) {
+  const std::vector<LImpl> good{{12, 5, 6, 3}, {10, 5, 7, 4}, {8, 5, 9, 4}};
+  EXPECT_TRUE(is_irreducible_l_chain(good));
+  const std::vector<LImpl> wrong_w2{{12, 5, 6, 3}, {10, 6, 7, 4}};
+  EXPECT_FALSE(is_irreducible_l_chain(wrong_w2));
+  const std::vector<LImpl> equal_w1{{12, 5, 6, 3}, {12, 5, 7, 4}};
+  EXPECT_FALSE(is_irreducible_l_chain(equal_w1));
+  const std::vector<LImpl> decreasing_h{{12, 5, 6, 3}, {10, 5, 5, 3}};
+  EXPECT_FALSE(is_irreducible_l_chain(decreasing_h));
+  EXPECT_TRUE(is_irreducible_l_chain(std::vector<LImpl>{}));
+}
+
+TEST(LListTest, FromPrechainPrunesDominatedEntries) {
+  // Ties in w1: the earlier (taller) entry is redundant; ties in heights:
+  // the wider entry is redundant.
+  const std::vector<LEntry> pre{
+      {{12, 5, 6, 3}, 0}, {{12, 5, 6, 3}, 1},  // duplicate
+      {{10, 5, 6, 3}, 2},                      // same heights, narrower: makes id1 redundant
+      {{8, 5, 9, 4}, 3},
+  };
+  const LList pruned = LList::from_prechain(pre);
+  ASSERT_EQ(pruned.size(), 2u);
+  EXPECT_EQ(pruned[0].id, 2u);
+  EXPECT_EQ(pruned[1].id, 3u);
+}
+
+TEST(LListTest, FromPrechainKeepsStrictChains) {
+  Pcg32 rng(5);
+  for (int iter = 0; iter < 30; ++iter) {
+    const LList chain = test::random_l_chain(10, rng);
+    const std::vector<LEntry> pre(chain.begin(), chain.end());
+    EXPECT_EQ(LList::from_prechain(pre), chain) << "already-irreducible chains are unchanged";
+  }
+}
+
+TEST(LListTest, SubsetKeepsIdsAndInvariant) {
+  Pcg32 rng(6);
+  const LList chain = test::random_l_chain(9, rng);
+  const std::vector<std::size_t> kept{0, 2, 5, 8};
+  const LList sub = chain.subset(kept);
+  ASSERT_EQ(sub.size(), 4u);
+  for (std::size_t i = 0; i < kept.size(); ++i) EXPECT_EQ(sub[i], chain[kept[i]]);
+}
+
+TEST(LListSetTest, AddIgnoresEmptyAndCountsTotals) {
+  LListSet set;
+  set.add(LList{});
+  EXPECT_TRUE(set.empty());
+  Pcg32 rng(7);
+  set.add(test::random_l_chain(4, rng));
+  set.add(test::random_l_chain(6, rng));
+  EXPECT_EQ(set.list_count(), 2u);
+  EXPECT_EQ(set.total_size(), 10u);
+  EXPECT_EQ(set.all_entries().size(), 10u);
+}
+
+TEST(ParetoMinTest, DropsCrossChainDominatedEntries) {
+  // Same w2 group; the second entry is dominated by the first.
+  std::vector<LEntry> entries{
+      {{10, 5, 6, 3}, 0},
+      {{11, 5, 7, 3}, 1},  // dominates nothing, dominated by... it dominates entry 0? No:
+                           // (11,5,7,3) >= (10,5,6,3) componentwise -> redundant.
+      {{9, 5, 8, 2}, 2},   // incomparable with entry 0
+  };
+  const auto kept = pareto_min_l_entries(entries);
+  std::set<std::uint32_t> ids;
+  for (const LEntry& e : kept) ids.insert(e.id);
+  EXPECT_EQ(ids, (std::set<std::uint32_t>{0, 2}));
+}
+
+TEST(ParetoMinTest, KeepsOneCopyOfDuplicates) {
+  std::vector<LEntry> entries{{{10, 5, 6, 3}, 0}, {{10, 5, 6, 3}, 1}, {{10, 5, 6, 3}, 2}};
+  EXPECT_EQ(pareto_min_l_entries(entries).size(), 1u);
+}
+
+TEST(ParetoMinTest, AgreesWithQuadraticOracleOnRandomGroups) {
+  Pcg32 rng(23);
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<LEntry> entries;
+    const std::size_t n = 1 + rng.below(60);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Dim h2 = 1 + static_cast<Dim>(rng.below(12));
+      const Dim h1 = h2 + static_cast<Dim>(rng.below(12));
+      entries.push_back(
+          {{7 + static_cast<Dim>(rng.below(12)), 7, h1, h2}, static_cast<std::uint32_t>(i)});
+    }
+    const auto kept = pareto_min_l_entries(entries);
+    // Oracle on unique shapes.
+    std::vector<LImpl> uniq;
+    for (const LEntry& e : entries) uniq.push_back(e.shape);
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    std::size_t expected = 0;
+    for (const LImpl& c : uniq) {
+      bool redundant = false;
+      for (const LImpl& other : uniq) {
+        if (other != c && c.dominates(other)) redundant = true;
+      }
+      if (!redundant) ++expected;
+    }
+    ASSERT_EQ(kept.size(), expected);
+    // No kept entry dominates another.
+    for (const LEntry& a : kept) {
+      for (const LEntry& b : kept) {
+        if (a.id != b.id) {
+          EXPECT_FALSE(a.shape.dominates(b.shape));
+        }
+      }
+    }
+  }
+}
+
+TEST(ChainPartitionTest, ProducesValidChainsCoveringAllEntries) {
+  Pcg32 rng(31);
+  for (int iter = 0; iter < 40; ++iter) {
+    std::vector<LEntry> entries;
+    const std::size_t n = 1 + rng.below(50);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Dim h2 = 1 + static_cast<Dim>(rng.below(15));
+      const Dim h1 = h2 + static_cast<Dim>(rng.below(15));
+      entries.push_back(
+          {{9 + static_cast<Dim>(rng.below(15)), 9, h1, h2}, static_cast<std::uint32_t>(i)});
+    }
+    const auto minimal = pareto_min_l_entries(entries);
+    const auto chains = partition_into_chains(minimal);
+    std::size_t covered = 0;
+    std::set<std::uint32_t> seen;
+    for (const LList& c : chains) {
+      EXPECT_TRUE(is_irreducible_l_chain(c.shapes()));
+      covered += c.size();
+      for (const LEntry& e : c) seen.insert(e.id);
+    }
+    EXPECT_EQ(covered, minimal.size());
+    EXPECT_EQ(seen.size(), minimal.size()) << "every entry lands in exactly one chain";
+  }
+}
+
+TEST(LListSetCanonicalizeTest, RemovesCrossChainRedundancyAndPreservesIds) {
+  LListSet set;
+  set.add(LList::from_chain_unchecked({{{12, 5, 6, 3}, 0}, {{10, 5, 7, 4}, 1}}));
+  set.add(LList::from_chain_unchecked({{{12, 5, 6, 4}, 2}}));  // dominates nothing... it
+  // dominates entry 0? (12,5,6,4) >= (12,5,6,3): yes -> id 2 is redundant.
+  set.add(LList::from_chain_unchecked({{{20, 9, 4, 2}, 3}}));  // different w2 group
+  const std::size_t removed = set.canonicalize();
+  EXPECT_EQ(removed, 1u);
+  std::set<std::uint32_t> ids;
+  for (const LEntry& e : set.all_entries()) ids.insert(e.id);
+  EXPECT_EQ(ids, (std::set<std::uint32_t>{0, 1, 3}));
+}
+
+TEST(LListSetCanonicalizeTest, IdempotentOnRandomSets) {
+  Pcg32 rng(41);
+  for (int iter = 0; iter < 20; ++iter) {
+    LListSet set;
+    for (int c = 0; c < 4; ++c) set.add(test::random_l_chain(6, rng));
+    set.canonicalize();
+    const std::size_t after_first = set.total_size();
+    EXPECT_EQ(set.canonicalize(), 0u);
+    EXPECT_EQ(set.total_size(), after_first);
+  }
+}
+
+}  // namespace
+}  // namespace fpopt

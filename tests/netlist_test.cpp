@@ -1,0 +1,138 @@
+// Tests for the netlist substrate and HPWL, plus wirelength-aware
+// annealing and Polish-expression placement.
+#include <gtest/gtest.h>
+
+#include "floorplan/serialize.h"
+#include "net/netlist.h"
+#include "topology/annealing.h"
+#include "workload/module_gen.h"
+
+namespace fpopt {
+namespace {
+
+TEST(NetlistTest, ValidationCatchesBrokenNets) {
+  Netlist nl(3);
+  nl.add_net({"ok", {0, 1}});
+  EXPECT_TRUE(nl.validate().empty());
+  nl.add_net({"single", {0}});
+  nl.add_net({"oob", {0, 9}});
+  nl.add_net({"dup", {1, 1}});
+  EXPECT_EQ(nl.validate().size(), 3u);
+}
+
+TEST(NetlistTest, ParseAndPrintRoundTrip) {
+  const auto modules = parse_module_library("a 1x1\nb 1x1\nc 1x1\n");
+  const Netlist nl = parse_netlist("# comment\nn0 a b\nn1 a b c # tail\n", modules);
+  ASSERT_EQ(nl.net_count(), 2u);
+  EXPECT_EQ(nl.nets()[1].pins, (std::vector<std::size_t>{0, 1, 2}));
+  const Netlist again = parse_netlist(to_netlist_string(nl, modules), modules);
+  EXPECT_EQ(again, nl);
+  EXPECT_THROW(parse_netlist("n0 a unknown\n", modules), std::runtime_error);
+}
+
+TEST(NetlistTest, RandomNetlistIsValidAndDeterministic) {
+  const Netlist a = random_netlist(10, 20, 4, 7);
+  const Netlist b = random_netlist(10, 20, 4, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.validate().empty());
+  EXPECT_EQ(a.net_count(), 20u);
+  for (const Net& net : a.nets()) {
+    EXPECT_GE(net.pins.size(), 2u);
+    EXPECT_LE(net.pins.size(), 4u);
+  }
+}
+
+TEST(HpwlTest, HandComputedBoundingBoxes) {
+  // Two rooms: [0,0 2x2] (center*2 = (2,2)) and [4,0 2x4] (center*2 = (10,4)).
+  Placement p;
+  p.width = 6;
+  p.height = 4;
+  p.rooms = {{0, {0, 0, 2, 2}, {2, 2}}, {1, {4, 0, 2, 4}, {2, 4}}};
+  Netlist nl(2);
+  nl.add_net({"n", {0, 1}});
+  EXPECT_EQ(hpwl2(nl, p), (10 - 2) + (4 - 2));
+  nl.add_net({"m", {0, 1}});
+  EXPECT_EQ(hpwl2(nl, p), 2 * ((10 - 2) + (4 - 2))) << "nets sum";
+}
+
+TEST(HpwlTest, SingleRoomNetsHaveZeroLength) {
+  Placement p;
+  p.rooms = {{0, {0, 0, 3, 3}, {3, 3}}, {1, {3, 0, 3, 3}, {3, 3}}};
+  Netlist nl(2);
+  nl.add_net({"n", {0, 0}});  // degenerate but measurable
+  EXPECT_EQ(hpwl2(nl, p), 0);
+}
+
+TEST(PolishPlaceTest, PlacementTilesAndMatchesMinArea) {
+  Pcg32 rng(3);
+  ModuleGenConfig cfg;
+  cfg.impl_count = 4;
+  const auto modules = generate_modules(9, cfg, 17);
+  PolishExpr e = PolishExpr::initial(9);
+  for (int iter = 0; iter < 20; ++iter) {
+    for (int i = 0; i < 15; ++i) e.random_move(rng);
+    const Placement p = e.place(modules);
+    EXPECT_EQ(p.chip_area(), e.min_area(modules));
+    // Tiling invariants (one room per module, exact cover).
+    Area covered = 0;
+    std::vector<bool> seen(modules.size(), false);
+    for (const ModulePlacement& m : p.rooms) {
+      EXPECT_FALSE(seen[m.module_id]);
+      seen[m.module_id] = true;
+      covered += m.room.area();
+      EXPECT_GE(m.room.w, m.impl.w);
+      EXPECT_GE(m.room.h, m.impl.h);
+    }
+    EXPECT_EQ(covered, p.chip_area());
+  }
+}
+
+TEST(WirelengthAnnealingTest, LambdaPullsConnectedModulesTogether) {
+  // 10 modules; a clique net group over {0,1,2} and long random nets.
+  ModuleGenConfig cfg;
+  cfg.impl_count = 4;
+  cfg.min_dim = 4;
+  cfg.max_dim = 20;
+  cfg.min_area = 50;
+  cfg.max_area = 200;
+  const auto modules = generate_modules(10, cfg, 5);
+  Netlist nl(10);
+  nl.add_net({"clique01", {0, 1}});
+  nl.add_net({"clique02", {0, 2}});
+  nl.add_net({"clique12", {1, 2}});
+
+  AnnealingOptions area_only;
+  area_only.seed = 11;
+  area_only.max_total_moves = 3'000;
+  const AnnealingResult base = anneal_slicing_topology(modules, area_only);
+
+  AnnealingOptions wired = area_only;
+  wired.netlist = &nl;
+  wired.lambda = 2.0;
+  const AnnealingResult tuned = anneal_slicing_topology(modules, wired);
+
+  const Area base_wl = hpwl2(nl, base.best.place(modules));
+  const Area tuned_wl = hpwl2(nl, tuned.best.place(modules));
+  EXPECT_LE(tuned_wl, base_wl) << "the wirelength term must not hurt wirelength";
+  EXPECT_LE(tuned.best_cost, tuned.initial_cost);
+  EXPECT_GE(tuned.best_area, base.best_area) << "area can only get worse or stay";
+}
+
+TEST(WirelengthAnnealingTest, DeterministicWithNetlist) {
+  ModuleGenConfig cfg;
+  cfg.impl_count = 3;
+  const auto modules = generate_modules(6, cfg, 9);
+  const Netlist nl = random_netlist(6, 8, 3, 9);
+  AnnealingOptions opts;
+  opts.seed = 4;
+  opts.max_total_moves = 1'000;
+  opts.netlist = &nl;
+  opts.lambda = 1.0;
+  const AnnealingResult a = anneal_slicing_topology(modules, opts);
+  const AnnealingResult b = anneal_slicing_topology(modules, opts);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+}
+
+}  // namespace
+}  // namespace fpopt

@@ -1,0 +1,184 @@
+// Property tests for traceback: every traced placement must tile the chip
+// exactly, contain every module once, fit every chosen implementation, and
+// realize the area the optimizer reported — across slicing trees, wheels
+// of both chiralities, nested wheels, and bounded (selection) runs.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "floorplan/serialize.h"
+#include "optimize/optimizer.h"
+#include "optimize/placement.h"
+#include "workload/floorplans.h"
+
+namespace fpopt {
+namespace {
+
+void expect_valid_everywhere(const FloorplanTree& tree, const OptimizerOptions& opts,
+                             bool every_root_impl = true) {
+  const OptimizeOutcome out = optimize_floorplan(tree, opts);
+  ASSERT_FALSE(out.out_of_memory);
+  const std::size_t count = every_root_impl ? out.root.size() : 1;
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    const std::size_t pick = every_root_impl ? idx : out.root.min_area_index();
+    const Placement p = trace_placement(tree, out, pick);
+    EXPECT_EQ(p.chip_area(), out.root[pick].area());
+    const auto problems = validate_placement(p, tree);
+    EXPECT_TRUE(problems.empty()) << "root impl #" << pick << ": " << problems.front();
+    if (!problems.empty()) return;
+  }
+}
+
+TEST(PlacementTest, SlicingChainsTileExactly) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 5;
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    cfg.seed = seed;
+    expect_valid_everywhere(make_slicing_chain(7, SliceDir::Vertical, true, cfg), {});
+  }
+}
+
+TEST(PlacementTest, GridsTileExactly) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 4;
+  cfg.seed = 4;
+  expect_valid_everywhere(make_grid(3, 3, cfg), {});
+}
+
+TEST(PlacementTest, ClockwisePinwheelTilesExactly) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 6;
+  for (const std::uint64_t seed : {5u, 6u, 7u, 8u}) {
+    cfg.seed = seed;
+    expect_valid_everywhere(make_single_pinwheel(cfg, WheelChirality::Clockwise), {});
+  }
+}
+
+TEST(PlacementTest, CounterClockwisePinwheelTilesExactly) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 6;
+  for (const std::uint64_t seed : {5u, 9u, 10u}) {
+    cfg.seed = seed;
+    expect_valid_everywhere(make_single_pinwheel(cfg, WheelChirality::CounterClockwise), {});
+  }
+}
+
+TEST(PlacementTest, MirroredWheelIsTheReflectionOfTheClockwiseOne) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 5;
+  cfg.seed = 17;
+  const FloorplanTree cw = make_single_pinwheel(cfg, WheelChirality::Clockwise);
+  const FloorplanTree ccw = make_single_pinwheel(cfg, WheelChirality::CounterClockwise);
+  const OptimizeOutcome out_cw = optimize_floorplan(cw, {});
+  const OptimizeOutcome out_ccw = optimize_floorplan(ccw, {});
+  ASSERT_FALSE(out_cw.out_of_memory);
+  // Shape curves are mirror-invariant.
+  EXPECT_EQ(out_cw.root, out_ccw.root);
+  EXPECT_EQ(out_cw.best_area, out_ccw.best_area);
+  // And the CCW placement is the x-mirror of the CW one.
+  const std::size_t pick = out_cw.root.min_area_index();
+  const Placement p_cw = trace_placement(cw, out_cw, pick);
+  const Placement p_ccw = trace_placement(ccw, out_ccw, pick);
+  const PlacedRect frame{0, 0, p_cw.width, p_cw.height};
+  ASSERT_EQ(p_cw.rooms.size(), p_ccw.rooms.size());
+  for (std::size_t i = 0; i < p_cw.rooms.size(); ++i) {
+    EXPECT_EQ(p_ccw.rooms[i].room, p_cw.rooms[i].room.mirrored_x(frame));
+  }
+}
+
+TEST(PlacementTest, NestedWheelsBothChiralitiesTileExactly) {
+  const char* lib =
+      "a 3x2 2x3\nb 2x2 1x4\nc 4x1 2x2\nd 1x3 3x1\ne 2x4 4x2\n"
+      "f 3x3 2x4\ng 1x2 2x1\nh 2x2 3x1\ni 4x2 2x3\n";
+  for (const char* topo :
+       {"(W (W a b c d e) f g h i)", "(M (W a b c d e) f g h i)",
+        "(W (M a b c d e) f g h i)", "(W a b (M c d e f g) h i)"}) {
+    FloorplanTree tree = parse_floorplan(topo, parse_module_library(lib));
+    expect_valid_everywhere(tree, {});
+  }
+}
+
+TEST(PlacementTest, MixedTreesEveryRootImplementation) {
+  const char* lib =
+      "a 4x2 3x3 2x5\nb 5x1 3x2 1x6\nc 2x2 1x4 4x1\nd 3x3 2x4 5x2\n"
+      "e 2x6 4x3 6x2\nf 1x3 2x2 3x1\ng 2x4 3x3 5x2\n";
+  for (const char* topo : {"(W (V a b) c d e (H f g))", "(V a (W b c d e f) g)",
+                           "(H (M a b c d e) (V f g))"}) {
+    FloorplanTree tree = parse_floorplan(topo, parse_module_library(lib));
+    expect_valid_everywhere(tree, {});
+  }
+}
+
+TEST(PlacementTest, FP1ThroughFP3StyleTreesUnderSelection) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 8;
+  cfg.seed = 3;
+  OptimizerOptions bounded;
+  bounded.selection.k1 = 10;
+  bounded.selection.k2 = 50;
+  expect_valid_everywhere(make_fp1(cfg), bounded, /*every_root_impl=*/true);
+
+  WorkloadConfig small = cfg;
+  small.impls_per_module = 4;
+  expect_valid_everywhere(make_fp3(small), bounded, /*every_root_impl=*/false);
+}
+
+TEST(PlacementTest, BoundedRunsWithHeuristicCapStillTile) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 10;
+  cfg.seed = 12;
+  OptimizerOptions bounded;
+  bounded.selection.k1 = 8;
+  bounded.selection.k2 = 30;
+  bounded.selection.heuristic_cap = 40;
+  bounded.selection.theta = 0.8;
+  expect_valid_everywhere(make_fp1(cfg), bounded, /*every_root_impl=*/false);
+}
+
+TEST(PlacementTest, WasteIsChipMinusModules) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 5;
+  cfg.seed = 30;
+  const FloorplanTree tree = make_single_pinwheel(cfg);
+  const OptimizeOutcome out = optimize_floorplan(tree, {});
+  const Placement p = trace_placement(tree, out, out.root.min_area_index());
+  EXPECT_LE(p.total_module_area(), p.chip_area());
+  EXPECT_EQ(p.rooms.size(), 5u);
+}
+
+TEST(ValidatePlacementTest, CatchesBrokenPlacements) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 3;
+  cfg.seed = 40;
+  const FloorplanTree tree = make_grid(2, 2, cfg);
+  const OptimizeOutcome out = optimize_floorplan(tree, {});
+  Placement p = trace_placement(tree, out, out.root.min_area_index());
+  ASSERT_TRUE(validate_placement(p, tree).empty());
+
+  Placement overlapping = p;
+  overlapping.rooms[1].room = overlapping.rooms[0].room;
+  EXPECT_FALSE(validate_placement(overlapping, tree).empty());
+
+  Placement bad_impl = p;
+  bad_impl.rooms[0].impl = {bad_impl.rooms[0].room.w + 1, 1};
+  EXPECT_FALSE(validate_placement(bad_impl, tree).empty());
+
+  Placement escaped = p;
+  escaped.rooms[0].room.x = -1;
+  EXPECT_FALSE(validate_placement(escaped, tree).empty());
+}
+
+TEST(RenderAsciiTest, ProducesNonEmptyGrid) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 3;
+  cfg.seed = 50;
+  const FloorplanTree tree = make_single_pinwheel(cfg);
+  const OptimizeOutcome out = optimize_floorplan(tree, {});
+  const Placement p = trace_placement(tree, out, out.root.min_area_index());
+  const std::string art = render_ascii(p, tree, 40);
+  EXPECT_GT(art.size(), 40u);
+  EXPECT_EQ(art.find('.'), std::string::npos) << "a tiling leaves no uncovered cells";
+}
+
+}  // namespace
+}  // namespace fpopt

@@ -1,0 +1,106 @@
+// Tests for normalized Polish expressions: validity invariants, the three
+// moves, tree conversion, and Stockmeyer evaluation.
+#include <gtest/gtest.h>
+
+#include "floorplan/serialize.h"
+#include "optimize/stockmeyer.h"
+#include "topology/polish.h"
+#include "workload/module_gen.h"
+
+namespace fpopt {
+namespace {
+
+std::vector<Module> some_modules(std::size_t n, std::uint64_t seed = 5) {
+  ModuleGenConfig cfg;
+  cfg.impl_count = 4;
+  return generate_modules(n, cfg, seed);
+}
+
+TEST(PolishExprTest, InitialExpressionIsValid) {
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 20u}) {
+    const PolishExpr e = PolishExpr::initial(n);
+    EXPECT_TRUE(e.valid()) << "n=" << n;
+    EXPECT_EQ(e.operand_count(), n);
+    EXPECT_EQ(e.tokens().size(), 2 * n - 1);
+  }
+  EXPECT_EQ(PolishExpr::initial(3).to_string(), "m0 m1 V m2 H");
+  EXPECT_EQ(PolishExpr::initial(3, /*alternate=*/false).to_string(), "m0 m1 V m2 V");
+}
+
+TEST(PolishExprTest, ValidityRejectsBrokenSequences) {
+  using T = PolishToken;
+  EXPECT_TRUE(PolishExpr::from_tokens_unchecked({{0}}).valid()) << "single operand";
+  EXPECT_FALSE(PolishExpr::from_tokens_unchecked({}).valid()) << "empty";
+  EXPECT_FALSE(PolishExpr::from_tokens_unchecked({{0}, {1}, {T::kV}, {T::kV}}).valid())
+      << "too many operators";
+  EXPECT_FALSE(PolishExpr::from_tokens_unchecked({{0}, {T::kV}, {1}}).valid())
+      << "balloting violated";
+  EXPECT_FALSE(
+      PolishExpr::from_tokens_unchecked({{0}, {1}, {T::kV}, {2}, {3}, {T::kV}, {T::kV}})
+          .valid())
+      << "adjacent identical operators (not normalized)";
+  EXPECT_TRUE(
+      PolishExpr::from_tokens_unchecked({{0}, {1}, {T::kV}, {2}, {3}, {T::kV}, {T::kH}})
+          .valid());
+  EXPECT_FALSE(PolishExpr::from_tokens_unchecked({{0}, {0}, {T::kV}}).valid())
+      << "module id repeated";
+  EXPECT_FALSE(PolishExpr::from_tokens_unchecked({{0}, {5}, {T::kV}}).valid())
+      << "module id out of range";
+}
+
+TEST(PolishExprTest, MovesPreserveAllInvariants) {
+  Pcg32 rng(7);
+  for (const std::size_t n : {2u, 5u, 12u, 30u}) {
+    PolishExpr e = PolishExpr::initial(n);
+    for (int step = 0; step < 400; ++step) {
+      e.random_move(rng);
+      ASSERT_TRUE(e.valid()) << "n=" << n << " step=" << step << " expr=" << e.to_string();
+    }
+  }
+}
+
+TEST(PolishExprTest, MovesActuallyChangeTheExpression) {
+  Pcg32 rng(9);
+  PolishExpr e = PolishExpr::initial(8);
+  const PolishExpr original = e;
+  int changed = 0;
+  for (int step = 0; step < 50; ++step) {
+    PolishExpr before = e;
+    if (e.random_move(rng) && !(e == before)) ++changed;
+  }
+  EXPECT_GT(changed, 25);
+  EXPECT_FALSE(e == original);
+}
+
+TEST(PolishExprTest, TreeConversionUsesEveryModuleOnce) {
+  Pcg32 rng(11);
+  PolishExpr e = PolishExpr::initial(9);
+  for (int i = 0; i < 100; ++i) e.random_move(rng);
+  FloorplanTree tree = e.to_tree(some_modules(9));
+  EXPECT_TRUE(tree.validate().empty());
+  EXPECT_EQ(tree.stats().leaf_count, 9u);
+  EXPECT_EQ(tree.stats().wheel_count, 0u);
+}
+
+TEST(PolishExprTest, EvaluationMatchesStockmeyerOnTheConvertedTree) {
+  Pcg32 rng(13);
+  const auto modules = some_modules(7);
+  PolishExpr e = PolishExpr::initial(7);
+  for (int iter = 0; iter < 25; ++iter) {
+    for (int i = 0; i < 20; ++i) e.random_move(rng);
+    const FloorplanTree tree = e.to_tree(modules);
+    EXPECT_EQ(e.min_area(modules), stockmeyer_best_area(tree).value());
+    EXPECT_EQ(e.shape_curve(modules), stockmeyer_shape_curve(tree).value());
+  }
+}
+
+TEST(PolishExprTest, HandExampleEvaluation) {
+  // m0 m1 H: stacked. Modules: 3x2|2x3 and 2x2.
+  auto modules = parse_module_library("a 3x2 2x3\nb 2x2\n");
+  const PolishExpr e = PolishExpr::from_tokens_unchecked({{0}, {1}, {PolishToken::kH}});
+  // Stack: (3, 2+2)=12 or (2+... (2x3)+(2x2) -> (2? max(2,2)=2 x 5)=10.
+  EXPECT_EQ(e.min_area(modules), 10);
+}
+
+}  // namespace
+}  // namespace fpopt

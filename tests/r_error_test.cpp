@@ -1,0 +1,96 @@
+// Tests for Compute_R_Error and the O(1) prefix-sum oracle: both must
+// agree with the geometric definition (area between staircases), and the
+// oracle cost must be Monge.
+#include <gtest/gtest.h>
+
+#include "core/r_error.h"
+#include "geometry/staircase.h"
+#include "test_util.h"
+
+namespace fpopt {
+namespace {
+
+TEST(TriangularIndexTest, EnumeratesUpperTriangleDensely) {
+  const std::size_t n = 7;
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      EXPECT_EQ(triangular_index(n, i, j), expected);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(expected, n * (n - 1) / 2);
+}
+
+TEST(ComputeRErrorTest, AdjacentPairsCostNothing) {
+  Pcg32 rng(2);
+  const RList list = test::random_r_list(9, rng);
+  const auto table = compute_r_error_table(list.impls());
+  for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+    EXPECT_EQ(table[triangular_index(list.size(), i, i + 1)], 0);
+  }
+}
+
+TEST(ComputeRErrorTest, PaperRecurrenceMatchesGeometricDefinition) {
+  Pcg32 rng(13);
+  for (int iter = 0; iter < 30; ++iter) {
+    const RList list = test::random_r_list(2 + rng.below(14), rng);
+    const auto table = compute_r_error_table(list.impls());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        EXPECT_EQ(table[triangular_index(list.size(), i, j)],
+                  staircase_error_geometric(list.impls(), i, j))
+            << "i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(RErrorOracleTest, MatchesTheTableEverywhere) {
+  Pcg32 rng(19);
+  for (int iter = 0; iter < 30; ++iter) {
+    const RList list = test::random_r_list(2 + rng.below(20), rng);
+    const auto table = compute_r_error_table(list.impls());
+    const RErrorOracle oracle(list.impls());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        EXPECT_EQ(oracle.error(i, j), table[triangular_index(list.size(), i, j)]);
+      }
+    }
+  }
+}
+
+TEST(RErrorOracleTest, CostIsMonge) {
+  // QI: error(i,j) + error(i',j') <= error(i,j') + error(i',j) for
+  // i <= i' <= j <= j'. The closed form predicts the slack is exactly
+  // (w_i - w_i')(h_j' - h_j).
+  Pcg32 rng(29);
+  for (int iter = 0; iter < 20; ++iter) {
+    const RList list = test::random_r_list(12, rng);
+    const RErrorOracle oracle(list.impls());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t ip = i; ip < list.size(); ++ip) {
+        for (std::size_t j = ip + 1; j < list.size(); ++j) {
+          for (std::size_t jp = j; jp < list.size(); ++jp) {
+            if (i >= j || ip >= jp) continue;
+            const Area lhs = oracle.error(i, j) + oracle.error(ip, jp);
+            const Area rhs = oracle.error(i, jp) + oracle.error(ip, j);
+            EXPECT_LE(lhs, rhs);
+            const Area slack = (list[i].w - list[ip].w) * (list[jp].h - list[j].h);
+            EXPECT_EQ(rhs - lhs, slack);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ComputeRErrorTest, TwoElementListHasEmptyInterior) {
+  const RList list = RList::from_candidates({{9, 2}, {3, 7}});
+  const auto table = compute_r_error_table(list.impls());
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0], 0);
+}
+
+}  // namespace
+}  // namespace fpopt

@@ -1,0 +1,148 @@
+// Tests for R_Selection: optimality against brute-force subset
+// enumeration, endpoint preservation, and evaluator agreement.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "core/r_selection.h"
+#include "geometry/staircase.h"
+#include "test_util.h"
+
+namespace fpopt {
+namespace {
+
+TEST(RSelectionTest, NoLimitKeepsEverything) {
+  Pcg32 rng(1);
+  const RList list = test::random_r_list(7, rng);
+  for (const std::size_t k : {std::size_t{0}, std::size_t{7}, std::size_t{20}}) {
+    const SelectionResult r = r_selection(list, k);
+    EXPECT_EQ(r.kept.size(), list.size());
+    EXPECT_EQ(r.error, 0);
+  }
+}
+
+TEST(RSelectionTest, EndpointsAlwaysSurvive) {
+  Pcg32 rng(2);
+  for (int iter = 0; iter < 20; ++iter) {
+    const RList list = test::random_r_list(12, rng);
+    for (std::size_t k = 2; k < 12; ++k) {
+      const SelectionResult r = r_selection(list, k);
+      ASSERT_EQ(r.kept.size(), k);
+      EXPECT_EQ(r.kept.front(), 0u);
+      EXPECT_EQ(r.kept.back(), list.size() - 1);
+    }
+  }
+}
+
+TEST(RSelectionTest, ReportedErrorMatchesGeometricCost) {
+  Pcg32 rng(3);
+  for (int iter = 0; iter < 25; ++iter) {
+    const RList list = test::random_r_list(3 + rng.below(15), rng);
+    const std::size_t k = 2 + rng.below(static_cast<std::uint32_t>(list.size() - 2));
+    const SelectionResult r = r_selection(list, k);
+    EXPECT_EQ(static_cast<Area>(r.error), staircase_subset_error(list.impls(), r.kept));
+  }
+}
+
+class RSelectionBruteForceTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RSelectionBruteForceTest, OptimalAgainstAllSubsets) {
+  const auto [n, k] = GetParam();
+  Pcg32 rng(100 + n * 10 + k);
+  for (int iter = 0; iter < 8; ++iter) {
+    const RList list = test::random_r_list(n, rng);
+    Area best = std::numeric_limits<Area>::max();
+    test::for_each_endpoint_subset(n, k, [&](const std::vector<std::size_t>& subset) {
+      best = std::min(best, staircase_subset_error(list.impls(), subset));
+    });
+    const SelectionResult monge = r_selection(list, k, SelectionDp::Monge);
+    const SelectionResult generic = r_selection(list, k, SelectionDp::Generic);
+    EXPECT_EQ(static_cast<Area>(monge.error), best);
+    EXPECT_EQ(static_cast<Area>(generic.error), best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RSelectionBruteForceTest,
+    ::testing::Values(std::tuple{4, 2}, std::tuple{5, 3}, std::tuple{7, 3}, std::tuple{7, 5},
+                      std::tuple{9, 2}, std::tuple{9, 4}, std::tuple{10, 6}, std::tuple{11, 8},
+                      std::tuple{12, 3}));
+
+TEST(RSelectionTest, MongeAgreesWithGenericOnLargeRandomLists) {
+  Pcg32 rng(55);
+  for (int iter = 0; iter < 10; ++iter) {
+    const RList list = test::random_r_list(80, rng);
+    for (const std::size_t k : {std::size_t{2}, std::size_t{5}, std::size_t{20},
+                                std::size_t{50}, std::size_t{79}}) {
+      const SelectionResult monge = r_selection(list, k, SelectionDp::Monge);
+      const SelectionResult generic = r_selection(list, k, SelectionDp::Generic);
+      EXPECT_EQ(monge.error, generic.error) << "k=" << k;
+    }
+  }
+}
+
+TEST(RSelectionTest, ErrorIsMonotoneNonIncreasingInK) {
+  Pcg32 rng(66);
+  const RList list = test::random_r_list(40, rng);
+  Weight prev = kInfiniteWeight;
+  for (std::size_t k = 2; k <= 40; ++k) {
+    const SelectionResult r = r_selection(list, k);
+    EXPECT_LE(r.error, prev) << "keeping more corners can never increase the error";
+    prev = r.error;
+  }
+  EXPECT_EQ(prev, 0) << "k == n keeps everything";
+}
+
+TEST(RSelectionForErrorTest, ZeroBudgetKeepsEverythingUnlessFree) {
+  Pcg32 rng(70);
+  const RList list = test::random_r_list(20, rng);
+  const SelectionResult r = r_selection_for_error(list, 0);
+  // With random strict staircases every interior corner costs area, so a
+  // zero budget forces keeping all corners.
+  EXPECT_EQ(r.kept.size(), list.size());
+  EXPECT_EQ(r.error, 0);
+}
+
+TEST(RSelectionForErrorTest, HugeBudgetKeepsOnlyTheEndpoints) {
+  Pcg32 rng(71);
+  const RList list = test::random_r_list(20, rng);
+  const SelectionResult r = r_selection_for_error(list, 1e18);
+  EXPECT_EQ(r.kept, (std::vector<std::size_t>{0, list.size() - 1}));
+}
+
+TEST(RSelectionForErrorTest, ReturnsTheMinimalFeasibleK) {
+  Pcg32 rng(72);
+  for (int iter = 0; iter < 20; ++iter) {
+    const RList list = test::random_r_list(16, rng);
+    // Use the k=6 optimum as the budget: the answer must have size <= 6,
+    // meet the budget, and size-1 must violate it.
+    const Weight budget = r_selection(list, 6).error;
+    const SelectionResult r = r_selection_for_error(list, budget);
+    EXPECT_LE(r.error, budget);
+    EXPECT_LE(r.kept.size(), 6u);
+    if (r.kept.size() > 2) {
+      EXPECT_GT(r_selection(list, r.kept.size() - 1).error, budget);
+    }
+  }
+}
+
+TEST(RSelectionForErrorTest, TinyListsPassThrough) {
+  const RList one = RList::from_candidates({{5, 5}});
+  EXPECT_EQ(r_selection_for_error(one, 0).kept.size(), 1u);
+  const RList two = RList::from_candidates({{9, 2}, {3, 7}});
+  EXPECT_EQ(r_selection_for_error(two, 0).kept.size(), 2u);
+}
+
+TEST(RSelectionTest, SubsetIsUsableAsAnRList) {
+  Pcg32 rng(67);
+  const RList list = test::random_r_list(30, rng);
+  const SelectionResult r = r_selection(list, 7);
+  const RList reduced = list.subset(r.kept);
+  EXPECT_TRUE(is_irreducible_r_list(reduced.impls()));
+  EXPECT_EQ(reduced.size(), 7u);
+}
+
+}  // namespace
+}  // namespace fpopt

@@ -1,0 +1,66 @@
+// Tests for Section-6 soft modules: shape-curve sampling + optimal
+// reduction.
+#include <gtest/gtest.h>
+
+#include "core/soft_module.h"
+#include "geometry/staircase.h"
+
+namespace fpopt {
+namespace {
+
+TEST(SampleShapeCurveTest, EveryPointCoversTheArea) {
+  const RList curve = sample_shape_curve(600, 10, 60);
+  EXPECT_TRUE(is_irreducible_r_list(curve.impls()));
+  for (const RectImpl& r : curve) {
+    EXPECT_GE(r.area(), 600);
+    EXPECT_LT((r.w - 1) * r.h, 600) << "height is minimal for its width";
+    EXPECT_GE(r.w, 10);
+    EXPECT_LE(r.w, 60);
+  }
+}
+
+TEST(SampleShapeCurveTest, EndpointWidthsSurvivePruning) {
+  const RList curve = sample_shape_curve(600, 10, 60);
+  EXPECT_EQ(curve[0].w, 60) << "widest sample is never dominated";
+  // The narrowest width always has the strictly largest height.
+  EXPECT_EQ(curve[curve.size() - 1].w, 10);
+}
+
+TEST(SampleShapeCurveTest, PlateausArePruned) {
+  // ceil(100/w) plateaus: e.g. w=51..100 all give h=1... with range 51..100
+  // and area 100, h == 2 for w in [50,99]? ceil(100/51)=2 ... ceil(100/100)=1.
+  const RList curve = sample_shape_curve(100, 51, 100);
+  // Heights take only values 1 and 2: exactly two non-redundant corners.
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_EQ(curve[0], (RectImpl{100, 1}));
+  EXPECT_EQ(curve[1], (RectImpl{51, 2}));
+}
+
+TEST(SampleShapeCurveTest, PerfectSquares) {
+  const RList curve = sample_shape_curve(36, 6, 6);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0], (RectImpl{6, 6}));
+}
+
+TEST(MakeSoftModuleTest, UnreducedKeepsTheFullCurve) {
+  const Module m = make_soft_module("soft", 600, 10, 60);
+  EXPECT_EQ(m.name, "soft");
+  EXPECT_EQ(m.impls, sample_shape_curve(600, 10, 60));
+}
+
+TEST(MakeSoftModuleTest, ReductionKeepsKAndEndpoints) {
+  const Module m = make_soft_module("soft", 600, 10, 60, 5);
+  ASSERT_EQ(m.impls.size(), 5u);
+  const RList full = sample_shape_curve(600, 10, 60);
+  EXPECT_EQ(m.impls[0], full[0]);
+  EXPECT_EQ(m.impls[4], full[full.size() - 1]);
+  EXPECT_TRUE(is_irreducible_r_list(m.impls.impls()));
+}
+
+TEST(MakeSoftModuleTest, LargeKIsANoOp) {
+  const Module m = make_soft_module("soft", 600, 10, 60, 10'000);
+  EXPECT_EQ(m.impls, sample_shape_curve(600, 10, 60));
+}
+
+}  // namespace
+}  // namespace fpopt

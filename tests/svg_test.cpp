@@ -1,0 +1,55 @@
+// Tests for the SVG placement renderer.
+#include <gtest/gtest.h>
+
+#include "floorplan/serialize.h"
+#include "io/svg.h"
+#include "optimize/optimizer.h"
+#include "optimize/placement.h"
+
+namespace fpopt {
+namespace {
+
+Placement demo_placement(FloorplanTree& tree) {
+  tree = parse_floorplan("(V a (H b c))",
+                         parse_module_library("a 2x6 3x4\nb 4x2\nc 3x3 4x2\n"));
+  const OptimizeOutcome out = optimize_floorplan(tree, {});
+  return trace_placement(tree, out, out.root.min_area_index());
+}
+
+TEST(SvgTest, ContainsOneRoomAndOneModuleRectPerModule) {
+  FloorplanTree tree;
+  const Placement p = demo_placement(tree);
+  const std::string svg = placement_to_svg(p, tree);
+  std::size_t rects = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<rect", pos)) != std::string::npos; ++pos) ++rects;
+  EXPECT_EQ(rects, 1 + 2 * tree.module_count()) << "chip + (room, impl) per module";
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+}
+
+TEST(SvgTest, LabelsCanBeDisabled) {
+  FloorplanTree tree;
+  const Placement p = demo_placement(tree);
+  SvgOptions opts;
+  opts.label_rooms = false;
+  const std::string svg = placement_to_svg(p, tree, opts);
+  EXPECT_EQ(svg.find("<text"), std::string::npos);
+  const std::string with_labels = placement_to_svg(p, tree);
+  EXPECT_NE(with_labels.find("<text"), std::string::npos);
+  EXPECT_NE(with_labels.find(">a<"), std::string::npos) << "module names appear";
+}
+
+TEST(SvgTest, ScaleChangesDocumentSize) {
+  FloorplanTree tree;
+  const Placement p = demo_placement(tree);
+  SvgOptions small;
+  small.scale = 2.0;
+  SvgOptions big;
+  big.scale = 20.0;
+  EXPECT_LT(placement_to_svg(p, tree, small).find("width='"),
+            placement_to_svg(p, tree, big).find("width='") + 1);
+  EXPECT_NE(placement_to_svg(p, tree, small), placement_to_svg(p, tree, big));
+}
+
+}  // namespace
+}  // namespace fpopt

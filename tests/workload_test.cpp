@@ -1,0 +1,133 @@
+// Tests for the workload substrate: RNG determinism, module generation,
+// and the FP1-FP4 builders.
+#include <gtest/gtest.h>
+
+#include "io/table.h"
+#include "workload/experiment.h"
+#include "workload/floorplans.h"
+#include "workload/module_gen.h"
+
+namespace fpopt {
+namespace {
+
+TEST(Pcg32Test, DeterministicAcrossInstances) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Pcg32 c(124);
+  bool differs = false;
+  Pcg32 d(123);
+  for (int i = 0; i < 100; ++i) differs |= (c.next() != d.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Pcg32Test, BoundsAreRespected) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Dim v = rng.dim_between(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(ModuleGenTest, ProducesExactlyNNonRedundantImplementations) {
+  Pcg32 rng(1);
+  for (const std::size_t n : {1u, 2u, 5u, 20u, 40u}) {
+    ModuleGenConfig cfg;
+    cfg.impl_count = n;
+    const Module m = generate_module("x", cfg, rng);
+    EXPECT_EQ(m.impls.size(), n);
+    EXPECT_TRUE(is_irreducible_r_list(m.impls.impls()));
+  }
+}
+
+TEST(ModuleGenTest, RespectsDimensionRange) {
+  Pcg32 rng(2);
+  ModuleGenConfig cfg;
+  cfg.impl_count = 30;
+  cfg.min_dim = 10;
+  cfg.max_dim = 50;
+  const Module m = generate_module("x", cfg, rng);
+  for (const RectImpl& r : m.impls) {
+    EXPECT_GE(r.w, 10);
+    EXPECT_LE(r.w, 50);
+    EXPECT_GE(r.h, 1);
+  }
+}
+
+TEST(ModuleGenTest, SeedsReproduceModuleSets) {
+  ModuleGenConfig cfg;
+  const auto a = generate_modules(5, cfg, 42);
+  const auto b = generate_modules(5, cfg, 42);
+  EXPECT_EQ(a, b);
+  const auto c = generate_modules(5, cfg, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(FloorplanBuildersTest, ModuleCountsMatchThePaper) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 2;
+  EXPECT_EQ(make_fp1(cfg).module_count(), 25u);
+  EXPECT_EQ(make_fp2(cfg).module_count(), 49u);
+  EXPECT_EQ(make_fp3(cfg).module_count(), 120u);
+  EXPECT_EQ(make_fp4(cfg).module_count(), 245u);
+}
+
+TEST(FloorplanBuildersTest, AllBuildersValidate) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 2;
+  for (const FloorplanTree& t :
+       {make_fp1(cfg), make_fp2(cfg), make_fp3(cfg), make_fp4(cfg), make_grid(3, 5, cfg),
+        make_single_pinwheel(cfg), make_slicing_chain(6, SliceDir::Vertical, true, cfg)}) {
+    EXPECT_TRUE(t.validate().empty());
+  }
+}
+
+TEST(FloorplanBuildersTest, StructuralShapes) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = 2;
+  EXPECT_EQ(make_fp1(cfg).stats().wheel_count, 6u) << "pinwheel of pinwheels";
+  EXPECT_EQ(make_fp2(cfg).stats().wheel_count, 10u) << "outer wheel + 9 inner";
+  EXPECT_EQ(make_fp3(cfg).stats().wheel_count, 1u) << "one wheel over slicing blocks";
+  EXPECT_EQ(make_fp4(cfg).stats().wheel_count, 51u);
+  EXPECT_EQ(make_fp4(cfg).stats().slice_count, make_fp2(cfg).stats().slice_count * 5);
+}
+
+TEST(ExperimentTest, FormattingHelpers) {
+  EXPECT_EQ(format_quality_pct(103, 100), "3.00%");
+  EXPECT_EQ(format_quality_pct(0, 100), "-");
+  EXPECT_EQ(format_quality_pct(100, 0), "-");
+  CaseResult ok;
+  ok.peak_stored = 1234;
+  ok.seconds = 1.5;
+  EXPECT_EQ(format_m(ok, 800000), "1234");
+  EXPECT_EQ(format_cpu(ok), "1.50");
+  CaseResult oom;
+  oom.oom = true;
+  EXPECT_EQ(format_m(oom, 800000), "> 800000");
+  EXPECT_EQ(format_cpu(oom), "-");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"Case", "M", "CPU"});
+  t.add_row({"1", "15834", "5.30"});
+  t.add_row({"long-name", "7", "0.10"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Case"), std::string::npos);
+  EXPECT_NE(s.find("15834"), std::string::npos);
+  // All lines equally wide (alignment held).
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t eol = s.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    pos = eol + 1;
+  }
+}
+
+}  // namespace
+}  // namespace fpopt

@@ -1,0 +1,11 @@
+// fpopt: command-line front end (see src/io/cli.h for usage).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return fpopt::run_cli(args, std::cout, std::cerr);
+}
