@@ -4,6 +4,7 @@
 // corners. This example samples w*h >= A, runs R_Selection for several k,
 // and prints the staircases plus the exact area-between-curves error.
 #include <iostream>
+#include <optional>
 
 #include "core/r_selection.h"
 #include "geometry/staircase.h"
@@ -20,10 +21,10 @@ void draw(const fpopt::RList& full, const std::vector<std::size_t>& kept) {
     for (int col = 0; col < 24; ++col) {
       const auto w = static_cast<fpopt::Dim>((col + 1) * wmax / 24);
       const auto h = static_cast<fpopt::Dim>((row)*hmax / 12);
-      const fpopt::Dim need_full = fpopt::staircase_min_height(full.impls(), w);
-      const fpopt::Dim need_sub = fpopt::staircase_min_height(sub, w);
-      const bool ok_full = need_full >= 0 && h >= need_full;
-      const bool ok_sub = need_sub >= 0 && h >= need_sub;
+      const std::optional<fpopt::Dim> need_full = fpopt::staircase_min_height(full.impls(), w);
+      const std::optional<fpopt::Dim> need_sub = fpopt::staircase_min_height(sub, w);
+      const bool ok_full = need_full && h >= *need_full;
+      const bool ok_sub = need_sub && h >= *need_sub;
       line += ok_sub ? '#' : (ok_full ? '+' : '.');
     }
     std::cout << "  " << line << '\n';

@@ -1,0 +1,48 @@
+#include "check/check.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <utility>
+
+namespace fpopt {
+
+void CheckResult::add(std::string rule, std::string where, std::string message) {
+  violations_.push_back({std::move(rule), std::move(where), std::move(message)});
+}
+
+void CheckResult::merge(CheckResult other) {
+  violations_.insert(violations_.end(),
+                     std::make_move_iterator(other.violations_.begin()),
+                     std::make_move_iterator(other.violations_.end()));
+}
+
+bool CheckResult::room_for_more() {
+  if (violations_.size() < kMaxViolationsPerCheck) return true;
+  if (!truncated_) {
+    truncated_ = true;
+    add("check/truncated", "-",
+        "more violations follow; report truncated at " +
+            std::to_string(kMaxViolationsPerCheck));
+  }
+  return false;
+}
+
+std::string CheckResult::report() const {
+  std::ostringstream out;
+  for (const Violation& v : violations_) {
+    out << v.rule << " @ " << v.where << ": " << v.message << '\n';
+  }
+  return out.str();
+}
+
+void enforce(const CheckResult& result, const char* context) {
+  if (result.ok()) return;
+  std::cerr << "fpopt invariant violation (" << context << "), " << result.size()
+            << " violation(s):\n"
+            << result.report();
+  std::abort();
+}
+
+}  // namespace fpopt

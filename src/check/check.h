@@ -1,0 +1,61 @@
+// Invariant-audit subsystem: machine-checkable statements of the structural
+// invariants the paper's correctness argument rests on.
+//
+// Every validator in src/check re-derives its invariant from the geometric
+// or graph-theoretic *definition* (Definitions 1, 3-5, Lemmas 1-3, Eq. (2)
+// and (3)) rather than calling the production code it audits, so a bug in a
+// kernel and its checker would have to coincide to slip through. Validators
+// return a CheckResult instead of asserting, which lets the fpopt_audit
+// tool and the tests report every violation of a broken structure at once;
+// the FPOPT_VALIDATE build mode turns the same validators into hard
+// post-conditions on the optimizer's hot paths via enforce().
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fpopt {
+
+/// One broken invariant, localized and explained.
+struct Violation {
+  std::string rule;     ///< stable identifier, e.g. "r-list/width-order"
+  std::string where;    ///< locus, e.g. "T' node 7 (SliceV)[3]"
+  std::string message;  ///< what the definition requires vs what was found
+
+  friend bool operator==(const Violation&, const Violation&) = default;
+};
+
+/// Checkers stop adding detail past this many violations per call and
+/// append a single truncation marker instead, so a corrupted 100k-entry
+/// list cannot flood a report.
+inline constexpr std::size_t kMaxViolationsPerCheck = 32;
+
+class CheckResult {
+ public:
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] std::size_t size() const { return violations_.size(); }
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+
+  void add(std::string rule, std::string where, std::string message);
+  void merge(CheckResult other);
+
+  /// True while the caller may keep adding detail (see
+  /// kMaxViolationsPerCheck); adds the truncation marker on the first call
+  /// that crosses the cap.
+  [[nodiscard]] bool room_for_more();
+
+  /// One line per violation: "rule @ where: message".
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::vector<Violation> violations_;
+  bool truncated_ = false;
+};
+
+/// FPOPT_VALIDATE backstop: print the report to stderr and abort when the
+/// result carries violations. Deliberately not assert()-based so optimized
+/// validate builds still die loudly.
+void enforce(const CheckResult& result, const char* context);
+
+}  // namespace fpopt

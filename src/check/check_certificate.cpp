@@ -1,0 +1,107 @@
+#include "check/check_certificate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "check/check_cspp.h"
+#include "geometry/staircase.h"
+
+namespace fpopt {
+namespace {
+
+/// True iff the claimed selection is the keep-everything identity with zero
+/// error; otherwise appends the violations. Shared by both certificates.
+void check_keep_all(std::size_t n, const SelectionResult& sel, std::string_view where,
+                    CheckResult& res) {
+  bool identity = sel.kept.size() == n;
+  for (std::size_t i = 0; identity && i < n; ++i) identity = sel.kept[i] == i;
+  if (!identity) {
+    res.add("certificate/keep-all", std::string(where),
+            "k does not force a reduction, so all " + std::to_string(n) +
+                " positions must be kept in order; got " + std::to_string(sel.kept.size()));
+  }
+  if (sel.error != 0) {
+    res.add("certificate/keep-all", std::string(where),
+            "keeping everything must cost 0, claimed error is " + std::to_string(sel.error));
+  }
+}
+
+/// Local L_p distance mirroring the semantics of l_dist (core/l_error.cpp)
+/// without linking against it: the certificate must stay an independent
+/// re-derivation.
+Weight lp_dist(const LImpl& a, const LImpl& b, LpMetric metric) {
+  const Area d1 = std::llabs(a.w1 - b.w1);
+  const Area d2 = std::llabs(a.w2 - b.w2);
+  const Area d3 = std::llabs(a.h1 - b.h1);
+  const Area d4 = std::llabs(a.h2 - b.h2);
+  switch (metric) {
+    case LpMetric::L1:
+      return static_cast<Weight>(d1 + d2 + d3 + d4);
+    case LpMetric::L2:
+      return std::sqrt(static_cast<Weight>(d1 * d1 + d2 * d2 + d3 * d3 + d4 * d4));
+    case LpMetric::LInf:
+      return static_cast<Weight>(std::max({d1, d2, d3, d4}));
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace
+
+CheckResult check_selection_certificate(const RList& full, const SelectionResult& sel,
+                                        std::size_t k, std::string_view where) {
+  CheckResult res;
+  const std::size_t n = full.size();
+  if (k == 0 || k >= n) {
+    check_keep_all(n, sel, where, res);
+    return res;
+  }
+
+  res.merge(check_interval_selection(n, k, sel.kept, where));
+  if (!res.ok()) return res;
+
+  // ERROR(R, R') from the area-between-staircases definition (Eq. (2)).
+  const Area oracle = staircase_subset_error(full.impls(), sel.kept);
+  if (sel.error != static_cast<Weight>(oracle)) {
+    res.add("certificate/error", std::string(where),
+            "claimed error " + std::to_string(sel.error) +
+                " differs from the geometric re-derivation " + std::to_string(oracle));
+  }
+  return res;
+}
+
+CheckResult check_l_selection_certificate(const LList& chain, const SelectionResult& sel,
+                                          std::size_t k, LpMetric metric,
+                                          std::string_view where) {
+  CheckResult res;
+  const std::size_t n = chain.size();
+  if (k == 0 || k >= n) {
+    check_keep_all(n, sel, where, res);
+    return res;
+  }
+
+  res.merge(check_interval_selection(n, k, sel.kept, where));
+  if (!res.ok()) return res;
+
+  // ERROR(L, L') from Lemma 3: every discarded q between kept neighbors
+  // i < q < j pays min(dist(l_i, l_q), dist(l_q, l_j)).
+  Weight oracle = 0;
+  for (std::size_t seg = 0; seg + 1 < sel.kept.size(); ++seg) {
+    const std::size_t i = sel.kept[seg];
+    const std::size_t j = sel.kept[seg + 1];
+    for (std::size_t q = i + 1; q < j; ++q) {
+      oracle += std::min(lp_dist(chain[i].shape, chain[q].shape, metric),
+                         lp_dist(chain[q].shape, chain[j].shape, metric));
+    }
+  }
+  const Weight tol = 1e-6 * std::max<Weight>(1.0, std::fabs(oracle));
+  if (std::fabs(sel.error - oracle) > tol) {
+    res.add("certificate/error", std::string(where),
+            "claimed error " + std::to_string(sel.error) +
+                " differs from the Lemma-3 re-derivation " + std::to_string(oracle));
+  }
+  return res;
+}
+
+}  // namespace fpopt

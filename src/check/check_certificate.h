@@ -1,0 +1,37 @@
+// Certificate validators for the selection layer (Sections 4.2-4.3).
+//
+// A SelectionResult is treated as a *claim*: "these kept positions are a
+// well-formed selection and discarding the rest costs exactly this much".
+// The validators re-derive the cost from the geometric / metric definitions
+// (Eq. (2) via staircase_subset_error, Eq. (3) via Lemma 3 with a local
+// L_p evaluator) instead of trusting the DP's edge weights, so a bug in
+// Compute_R_Error / Compute_L_Error or in the DP itself is caught here.
+#pragma once
+
+#include <string_view>
+
+#include "check/check.h"
+#include "core/l_error.h"      // LpMetric
+#include "core/r_selection.h"  // SelectionResult
+#include "shape/l_list.h"
+#include "shape/r_list.h"
+
+namespace fpopt {
+
+/// R_Selection certificate. k == 0 or k >= full.size() must keep every
+/// position with zero error; otherwise `sel.kept` must be a valid
+/// interval-DAG selection of exactly k positions and `sel.error` must equal
+/// ERROR(R, R') re-derived geometrically (exact, integer areas).
+[[nodiscard]] CheckResult check_selection_certificate(const RList& full,
+                                                      const SelectionResult& sel, std::size_t k,
+                                                      std::string_view where = "r-selection");
+
+/// L_Selection certificate, same contract against ERROR(L, L'): each
+/// discarded implementation pays its Lemma-3 distance to the nearer of its
+/// two bracketing survivors, evaluated with a local L_p implementation.
+[[nodiscard]] CheckResult check_l_selection_certificate(const LList& chain,
+                                                        const SelectionResult& sel, std::size_t k,
+                                                        LpMetric metric,
+                                                        std::string_view where = "l-selection");
+
+}  // namespace fpopt

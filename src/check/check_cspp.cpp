@@ -1,0 +1,116 @@
+#include "check/check_cspp.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace fpopt {
+
+CheckResult check_cspp_path(const CsppGraph& g, std::size_t s, std::size_t t, std::size_t k,
+                            const CsppResult& result, std::string_view where) {
+  CheckResult res;
+  const std::vector<std::size_t>& path = result.path;
+  if (path.size() != k) {
+    res.add("cspp/cardinality", std::string(where),
+            "path visits " + std::to_string(path.size()) + " vertices, constraint is exactly " +
+                std::to_string(k));
+    return res;
+  }
+  if (path.empty()) return res;
+  if (path.front() != s) {
+    res.add("cspp/source", std::string(where),
+            "path starts at v" + std::to_string(path.front()) + ", want v" + std::to_string(s));
+  }
+  if (path.back() != t) {
+    res.add("cspp/target", std::string(where),
+            "path ends at v" + std::to_string(path.back()) + ", want v" + std::to_string(t));
+  }
+
+  std::vector<bool> seen(g.vertex_count(), false);
+  Weight rederived = 0;
+  bool edges_ok = true;
+  for (std::size_t i = 0; i < path.size() && res.room_for_more(); ++i) {
+    const std::size_t v = path[i];
+    if (v >= g.vertex_count()) {
+      res.add("cspp/vertex-range", std::string(where) + "[" + std::to_string(i) + "]",
+              "vertex v" + std::to_string(v) + " out of range");
+      edges_ok = false;
+      continue;
+    }
+    if (seen[v]) {
+      res.add("cspp/repeated-vertex", std::string(where) + "[" + std::to_string(i) + "]",
+              "vertex v" + std::to_string(v) + " visited twice");
+    }
+    seen[v] = true;
+    if (i == 0) continue;
+
+    // The DP relaxes over incoming edges and always picks the cheapest
+    // parallel edge, so the path weight is the sum of per-hop minima.
+    const std::size_t from = path[i - 1];
+    Weight best = kInfiniteWeight;
+    for (const CsppGraph::InEdge& e : g.in_edges(v)) {
+      if (e.from == from) best = std::min(best, e.weight);
+    }
+    if (best == kInfiniteWeight) {
+      res.add("cspp/missing-edge", std::string(where) + "[" + std::to_string(i) + "]",
+              "no edge v" + std::to_string(from) + " -> v" + std::to_string(v));
+      edges_ok = false;
+      continue;
+    }
+    rederived += best;
+  }
+
+  if (edges_ok) {
+    const Weight tol = 1e-9 * std::max<Weight>(1.0, std::fabs(rederived));
+    if (std::fabs(rederived - result.weight) > tol) {
+      res.add("cspp/weight", std::string(where),
+              "claimed weight " + std::to_string(result.weight) +
+                  " does not match the per-hop re-derivation " + std::to_string(rederived));
+    }
+  }
+  return res;
+}
+
+CheckResult check_interval_selection(std::size_t n, std::size_t k,
+                                     std::span<const std::size_t> kept,
+                                     std::string_view where) {
+  CheckResult res;
+  if (n == 0) {
+    if (!kept.empty()) {
+      res.add("selection/empty", std::string(where), "selection from an empty list");
+    }
+    return res;
+  }
+  if (kept.size() != k) {
+    res.add("selection/cardinality", std::string(where),
+            "kept " + std::to_string(kept.size()) + " positions, constraint is exactly " +
+                std::to_string(k));
+  }
+  if (kept.empty()) return res;
+  if (kept.front() != 0) {
+    res.add("selection/first-endpoint", std::string(where),
+            "position 0 (the widest implementation) must be kept; first kept is " +
+                std::to_string(kept.front()));
+  }
+  if (kept.back() != n - 1) {
+    res.add("selection/last-endpoint", std::string(where),
+            "position " + std::to_string(n - 1) +
+                " (the tallest implementation) must be kept; last kept is " +
+                std::to_string(kept.back()));
+  }
+  for (std::size_t i = 0; i < kept.size() && res.room_for_more(); ++i) {
+    if (kept[i] >= n) {
+      res.add("selection/range", std::string(where) + "[" + std::to_string(i) + "]",
+              "position " + std::to_string(kept[i]) + " out of range (n = " +
+                  std::to_string(n) + ")");
+    }
+    if (i > 0 && kept[i - 1] >= kept[i]) {
+      res.add("selection/monotone", std::string(where) + "[" + std::to_string(i) + "]",
+              "interval-DAG edges go strictly forward: " + std::to_string(kept[i - 1]) +
+                  " then " + std::to_string(kept[i]));
+    }
+  }
+  return res;
+}
+
+}  // namespace fpopt

@@ -1,0 +1,30 @@
+// Validators for the constrained-shortest-path layer (Section 4.1) and the
+// interval-DAG selections built on it (Sections 4.2-4.3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "check/check.h"
+#include "core/cspp.h"
+
+namespace fpopt {
+
+/// A claimed CSPP solution: exactly k vertices, path.front() == s,
+/// path.back() == t, no vertex repeated, every hop an edge of `g`, and the
+/// claimed weight re-derivable as the sum of the cheapest parallel edge of
+/// each hop (the DP always relaxes over the cheapest one).
+[[nodiscard]] CheckResult check_cspp_path(const CsppGraph& g, std::size_t s, std::size_t t,
+                                          std::size_t k, const CsppResult& result,
+                                          std::string_view where = "cspp");
+
+/// A claimed selection over the complete interval DAG of an n-element
+/// list: exactly k strictly increasing positions whose edges are the
+/// monotone intervals (i, j), i < j — equivalently, kept.front() == 0,
+/// kept.back() == n-1, strictly increasing interior.
+[[nodiscard]] CheckResult check_interval_selection(std::size_t n, std::size_t k,
+                                                   std::span<const std::size_t> kept,
+                                                   std::string_view where = "selection");
+
+}  // namespace fpopt

@@ -1,0 +1,115 @@
+#include "check/check_placement.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace fpopt {
+namespace {
+
+std::string room_loc(std::string_view where, const FloorplanTree& tree,
+                     const ModulePlacement& mp) {
+  std::string loc = std::string(where) + " room of module " + std::to_string(mp.module_id);
+  if (mp.module_id < tree.module_count()) {
+    loc += " ('" + tree.module(mp.module_id).name + "')";
+  }
+  return loc;
+}
+
+}  // namespace
+
+CheckResult check_placement(const Placement& placement, const FloorplanTree& tree,
+                            std::string_view where) {
+  CheckResult res;
+  if (placement.width <= 0 || placement.height <= 0) {
+    res.add("placement/chip", std::string(where),
+            "chip is " + std::to_string(placement.width) + " x " +
+                std::to_string(placement.height) + ", both sides must be positive");
+    return res;
+  }
+  const PlacedRect chip{0, 0, placement.width, placement.height};
+
+  std::vector<std::size_t> uses(tree.module_count(), 0);
+  Area room_area = 0;
+  Dim max_x2 = 0;
+  Dim max_y2 = 0;
+  bool rooms_ok = true;
+  for (const ModulePlacement& mp : placement.rooms) {
+    if (!res.room_for_more()) return res;
+    if (mp.module_id >= tree.module_count()) {
+      res.add("placement/module-id", room_loc(where, tree, mp),
+              "module id out of range (library has " + std::to_string(tree.module_count()) + ")");
+      rooms_ok = false;
+      continue;
+    }
+    ++uses[mp.module_id];
+
+    if (!mp.room.valid()) {
+      res.add("placement/invalid-room", room_loc(where, tree, mp),
+              "room has a non-positive side");
+      rooms_ok = false;
+      continue;
+    }
+    if (!chip.contains(mp.room)) {
+      res.add("placement/outside-chip", room_loc(where, tree, mp),
+              "room sticks out of the " + std::to_string(placement.width) + " x " +
+                  std::to_string(placement.height) + " chip");
+      rooms_ok = false;
+    }
+    room_area += mp.room.area();
+    max_x2 = std::max(max_x2, mp.room.x2());
+    max_y2 = std::max(max_y2, mp.room.y2());
+
+    if (mp.room.w < mp.impl.w || mp.room.h < mp.impl.h) {
+      res.add("placement/impl-fit", room_loc(where, tree, mp),
+              "chosen implementation " + std::to_string(mp.impl.w) + " x " +
+                  std::to_string(mp.impl.h) + " does not fit its " +
+                  std::to_string(mp.room.w) + " x " + std::to_string(mp.room.h) + " room");
+    }
+    const std::span<const RectImpl> impls = tree.module(mp.module_id).impls.impls();
+    if (std::find(impls.begin(), impls.end(), mp.impl) == impls.end()) {
+      res.add("placement/impl-membership", room_loc(where, tree, mp),
+              "chosen implementation " + std::to_string(mp.impl.w) + " x " +
+                  std::to_string(mp.impl.h) + " is not in the module's R-list");
+    }
+  }
+
+  for (std::size_t id = 0; id < uses.size() && res.room_for_more(); ++id) {
+    if (uses[id] != 1) {
+      res.add("placement/module-usage", std::string(where),
+              "module " + std::to_string(id) + " ('" + tree.module(id).name + "') has " +
+                  std::to_string(uses[id]) + " rooms (want exactly 1)");
+      rooms_ok = false;
+    }
+  }
+
+  for (std::size_t a = 0; a < placement.rooms.size() && res.room_for_more(); ++a) {
+    for (std::size_t b = a + 1; b < placement.rooms.size() && res.room_for_more(); ++b) {
+      if (placement.rooms[a].room.overlaps(placement.rooms[b].room)) {
+        res.add("placement/overlap", room_loc(where, tree, placement.rooms[a]),
+                "room interior intersects the room of module " +
+                    std::to_string(placement.rooms[b].module_id));
+        rooms_ok = false;
+      }
+    }
+  }
+
+  if (rooms_ok) {
+    // With containment and pairwise disjointness established, matching
+    // total area proves the rooms tile the chip with no gap.
+    if (room_area != chip.area()) {
+      res.add("placement/area-accounting", std::string(where),
+              "room areas sum to " + std::to_string(room_area) + ", chip area is " +
+                  std::to_string(chip.area()));
+    }
+    if (max_x2 != placement.width || max_y2 != placement.height) {
+      res.add("placement/bbox", std::string(where),
+              "rooms reach (" + std::to_string(max_x2) + ", " + std::to_string(max_y2) +
+                  ") but the reported chip is " + std::to_string(placement.width) + " x " +
+                  std::to_string(placement.height));
+    }
+  }
+  return res;
+}
+
+}  // namespace fpopt

@@ -1,0 +1,22 @@
+// Validator for traced placements (the traceback layer, placement.h).
+//
+// Re-derives the tiling contract from scratch: one valid room per module
+// (each module exactly once), every room inside the chip, no two room
+// interiors intersecting, room areas summing to the chip area (with the
+// containment and disjointness checks this proves an exact tiling), the
+// chip tight against its reported bounding box, and every chosen
+// implementation fitting its room and present in its module's R-list.
+#pragma once
+
+#include <string_view>
+
+#include "check/check.h"
+#include "floorplan/tree.h"
+#include "optimize/placement.h"
+
+namespace fpopt {
+
+[[nodiscard]] CheckResult check_placement(const Placement& placement, const FloorplanTree& tree,
+                                          std::string_view where = "placement");
+
+}  // namespace fpopt

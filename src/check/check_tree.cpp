@@ -1,0 +1,118 @@
+#include "check/check_tree.h"
+
+#include <string>
+#include <vector>
+
+namespace fpopt {
+namespace {
+
+const char* op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::LeafModule: return "LeafModule";
+    case BinaryOp::SliceH: return "SliceH";
+    case BinaryOp::SliceV: return "SliceV";
+    case BinaryOp::WheelStack: return "WheelStack";
+    case BinaryOp::WheelFillNotch: return "WheelFillNotch";
+    case BinaryOp::WheelExtend: return "WheelExtend";
+    case BinaryOp::WheelClose: return "WheelClose";
+  }
+  return "?";
+}
+
+struct TreeWalker {
+  const FloorplanTree& tree;
+  std::string_view where;
+  CheckResult& res;
+  std::size_t next_id = 0;
+  std::vector<std::size_t> module_uses;
+
+  [[nodiscard]] std::string node_loc(const BinaryNode& node) const {
+    return std::string(where) + " node " + std::to_string(node.id) + " (" +
+           op_name(node.op) + ")";
+  }
+
+  void walk(const BinaryNode& node) {
+    if (!res.room_for_more()) return;
+    if (node.id != next_id) {
+      res.add("tree/preorder-id", node_loc(node),
+              "expected preorder id " + std::to_string(next_id));
+    }
+    ++next_id;
+
+    if (node.is_leaf()) {
+      if (node.left || node.right) {
+        res.add("tree/leaf-children", node_loc(node), "leaves must not have children");
+      }
+      if (node.module_id >= tree.module_count()) {
+        res.add("tree/module-id", node_loc(node),
+                "module id " + std::to_string(node.module_id) + " out of range (library has " +
+                    std::to_string(tree.module_count()) + ")");
+      } else {
+        ++module_uses[node.module_id];
+      }
+      return;
+    }
+
+    if (!node.left || !node.right) {
+      res.add("tree/missing-child", node_loc(node),
+              "internal nodes of the binary tree need both children");
+      if (node.left) walk(*node.left);
+      if (node.right) walk(*node.right);
+      return;
+    }
+
+    // Cut-type consistency: the op fixes which block kind each child is.
+    // Left children of L-consuming ops are L-shaped blocks; every other
+    // child (including every right child) is a rectangular block.
+    const bool wants_l_left =
+        node.op == BinaryOp::WheelFillNotch || node.op == BinaryOp::WheelExtend ||
+        node.op == BinaryOp::WheelClose;
+    if (wants_l_left != node.left->is_l_block()) {
+      res.add("tree/cut-type", node_loc(node),
+              std::string("left child ") + op_name(node.left->op) +
+                  (wants_l_left ? " should produce an L-shaped block"
+                                : " should produce a rectangular block"));
+    }
+    if (node.right->is_l_block()) {
+      res.add("tree/cut-type", node_loc(node),
+              std::string("right child ") + op_name(node.right->op) +
+                  " should produce a rectangular block");
+    }
+    walk(*node.left);
+    walk(*node.right);
+  }
+};
+
+}  // namespace
+
+CheckResult check_tree(const BinaryTree& btree, const FloorplanTree& tree,
+                       std::string_view where) {
+  CheckResult res;
+  if (!btree.root) {
+    res.add("tree/empty", std::string(where), "binary tree has no root");
+    return res;
+  }
+
+  TreeWalker walker{tree, where, res, 0, std::vector<std::size_t>(tree.module_count(), 0)};
+  walker.walk(*btree.root);
+
+  if (btree.root->is_l_block()) {
+    res.add("tree/l-root", walker.node_loc(*btree.root),
+            "the root of T' must be a rectangular block");
+  }
+  if (walker.next_id != btree.node_count) {
+    res.add("tree/node-count", std::string(where),
+            "node_count says " + std::to_string(btree.node_count) + " but the tree holds " +
+                std::to_string(walker.next_id));
+  }
+  for (std::size_t id = 0; id < walker.module_uses.size() && res.room_for_more(); ++id) {
+    if (walker.module_uses[id] != 1) {
+      res.add("tree/module-usage", std::string(where),
+              "module " + std::to_string(id) + " ('" + tree.module(id).name + "') used " +
+                  std::to_string(walker.module_uses[id]) + " times (want exactly 1)");
+    }
+  }
+  return res;
+}
+
+}  // namespace fpopt

@@ -1,0 +1,22 @@
+// Validator for the restructured binary tree T' (Section 3, Figure 3).
+//
+// Re-derives, node by node, the structural contract restructure() promises:
+// preorder ids, binary shape (internal nodes have both children), cut-type
+// consistency (each op's child block kinds match its geometry: L-consuming
+// ops take an L left child, everything else rectangles; right children are
+// always rectangular), a rectangular root, and leaves referencing every
+// module of the library exactly once.
+#pragma once
+
+#include <string_view>
+
+#include "check/check.h"
+#include "floorplan/restructure.h"
+#include "floorplan/tree.h"
+
+namespace fpopt {
+
+[[nodiscard]] CheckResult check_tree(const BinaryTree& btree, const FloorplanTree& tree,
+                                     std::string_view where = "T'");
+
+}  // namespace fpopt

@@ -8,6 +8,10 @@
 #include "core/interval_cspp.h"
 #include "core/r_error.h"  // triangular_index
 
+#if defined(FPOPT_VALIDATE)
+#include "check/check_certificate.h"
+#endif
+
 namespace fpopt {
 namespace {
 
@@ -45,6 +49,7 @@ SelectionResult l_selection(const LList& chain, std::size_t k, const LSelectionO
 
   const std::vector<LImpl> shapes = chain.shapes();
 
+  SelectionResult result;
   if (opts.metric == LpMetric::L1) {
     const L1ErrorOracle oracle(shapes);
     const auto weight = [&oracle](std::size_t i, std::size_t j) { return oracle.error(i, j); };
@@ -52,18 +57,22 @@ SelectionResult l_selection(const LList& chain, std::size_t k, const LSelectionO
         (opts.dp == SelectionDp::Generic)
             ? interval_constrained_shortest_path(n, k, weight)
             : interval_constrained_shortest_path_monge(n, k, weight);
-    return {path.indices, path.weight};
+    result = {path.indices, path.weight};
+  } else {
+    // Non-L1 metrics: the paper's table-based path (Compute_L_Error is the
+    // O(n^3) dominant cost of Theorem 3). Monge is only established for L1,
+    // so Auto falls back to the literal DP here.
+    const std::vector<Weight> table = compute_l_error_table(shapes, opts.metric);
+    const auto weight = [&table, n](std::size_t i, std::size_t j) {
+      return table[triangular_index(n, i, j)];
+    };
+    const IntervalCsppResult path = interval_constrained_shortest_path(n, k, weight);
+    result = {path.indices, path.weight};
   }
-
-  // Non-L1 metrics: the paper's table-based path (Compute_L_Error is the
-  // O(n^3) dominant cost of Theorem 3). Monge is only established for L1,
-  // so Auto falls back to the literal DP here.
-  const std::vector<Weight> table = compute_l_error_table(shapes, opts.metric);
-  const auto weight = [&table, n](std::size_t i, std::size_t j) {
-    return table[triangular_index(n, i, j)];
-  };
-  const IntervalCsppResult path = interval_constrained_shortest_path(n, k, weight);
-  return {path.indices, path.weight};
+#if defined(FPOPT_VALIDATE)
+  enforce(check_l_selection_certificate(chain, result, k, opts.metric), "l_selection");
+#endif
+  return result;
 }
 
 std::vector<std::size_t> greedy_drop_indices(const LList& chain, std::size_t target,
@@ -165,7 +174,16 @@ Weight reduce_l_list(LList& chain, std::size_t k, const LSelectionOptions& opts)
   }
 
   chain = original.subset(survivors);
-  return l_subset_error(original.shapes(), survivors, opts.metric);
+  const Weight error = l_subset_error(original.shapes(), survivors, opts.metric);
+#if defined(FPOPT_VALIDATE)
+  // The two-stage (heuristic + optimal) reduction still has to hand back a
+  // well-formed selection whose reported cost matches Lemma 3 against the
+  // *original* chain.
+  enforce(check_l_selection_certificate(original, SelectionResult{survivors, error}, k,
+                                        opts.metric, "reduce_l_list"),
+          "reduce_l_list");
+#endif
+  return error;
 }
 
 LReductionReport reduce_l_set(LListSet& set, std::size_t k2, double theta,

@@ -6,6 +6,10 @@
 #include "core/interval_cspp.h"
 #include "core/r_error.h"
 
+#if defined(FPOPT_VALIDATE)
+#include "check/check_certificate.h"
+#endif
+
 namespace fpopt {
 
 SelectionResult r_selection(const RList& list, std::size_t k, SelectionDp dp) {
@@ -26,7 +30,11 @@ SelectionResult r_selection(const RList& list, std::size_t k, SelectionDp dp) {
   const IntervalCsppResult path = (dp == SelectionDp::Generic)
                                       ? interval_constrained_shortest_path(n, k, weight)
                                       : interval_constrained_shortest_path_monge(n, k, weight);
-  return {path.indices, path.weight};
+  const SelectionResult result{path.indices, path.weight};
+#if defined(FPOPT_VALIDATE)
+  enforce(check_selection_certificate(list, result, k), "r_selection");
+#endif
+  return result;
 }
 
 SelectionResult r_selection_for_error(const RList& list, Weight max_error, SelectionDp dp) {

@@ -13,11 +13,11 @@ bool is_irreducible_r_list(std::span<const RectImpl> pts) {
   return true;
 }
 
-Dim staircase_min_height(std::span<const RectImpl> pts, Dim w) {
+std::optional<Dim> staircase_min_height(std::span<const RectImpl> pts, Dim w) {
   // pts is sorted by w strictly decreasing; find the first corner that fits.
   const auto it = std::lower_bound(pts.begin(), pts.end(), w,
                                    [](const RectImpl& r, Dim width) { return r.w > width; });
-  if (it == pts.end()) return -1;  // narrower than every corner: infeasible
+  if (it == pts.end()) return std::nullopt;  // narrower than every corner: infeasible
   return it->h;
 }
 
@@ -53,10 +53,10 @@ Area staircase_subset_error_by_columns(std::span<const RectImpl> full,
 
   Area total = 0;
   for (Dim x = full.back().w; x < full.front().w; ++x) {
-    const Dim h_full = staircase_min_height(full, x);
-    const Dim h_sub = staircase_min_height(sub, x);
-    assert(h_full >= 0 && h_sub >= h_full);
-    total += h_sub - h_full;
+    const std::optional<Dim> h_full = staircase_min_height(full, x);
+    const std::optional<Dim> h_sub = staircase_min_height(sub, x);
+    assert(h_full && h_sub && *h_sub >= *h_full);
+    total += *h_sub - *h_full;
   }
   return total;
 }

@@ -7,6 +7,7 @@
 // recurrence (Compute_R_Error) and the area-between-curves cost.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -21,9 +22,9 @@ namespace fpopt {
 [[nodiscard]] bool is_irreducible_r_list(std::span<const RectImpl> pts);
 
 /// Smallest feasible height at width `w` according to staircase `pts`
-/// (the curve value), or kInfiniteWeight-like sentinel: returns -1 when
-/// `w` is narrower than the narrowest corner (infeasible).
-[[nodiscard]] Dim staircase_min_height(std::span<const RectImpl> pts, Dim w);
+/// (the curve value), or std::nullopt when `w` is narrower than the
+/// narrowest corner (no feasible implementation fits).
+[[nodiscard]] std::optional<Dim> staircase_min_height(std::span<const RectImpl> pts, Dim w);
 
 /// Area of the region under-approximation lost when the corners strictly
 /// between `pts[i]` and `pts[j]` are discarded: the bounded area between

@@ -2,6 +2,10 @@
 
 #include <cassert>
 
+#if defined(FPOPT_VALIDATE)
+#include "check/check_shapes.h"
+#endif
+
 namespace fpopt {
 namespace {
 
@@ -16,6 +20,11 @@ void emit_chain(std::vector<LEntry>& pre_chain, std::uint32_t right_idx, LCombin
   stats.total_generated += pre_chain.size();
   if (pre_chain.empty()) return;
   const LList pruned = LList::from_prechain(pre_chain);
+#if defined(FPOPT_VALIDATE)
+  // Catch from_prechain bugs right where the chain is born, before the
+  // temp ids are rewritten into provenance records.
+  enforce(check_l_list(pruned, "emit_chain"), "combine emit_chain");
+#endif
   std::vector<LEntry> entries(pruned.begin(), pruned.end());
   for (LEntry& e : entries) {
     out.prov.push_back({e.id, right_idx});
@@ -87,6 +96,14 @@ RCombineResult finalize_rect(std::vector<RectImpl>& cands, std::vector<Prov>& pr
     out.prov.push_back(prov[idx]);
   }
   out.list = RList::from_sorted_unchecked(std::move(impls));
+#if defined(FPOPT_VALIDATE)
+  CheckResult post;
+  if (out.prov.size() != out.list.size()) {
+    post.add("combine/provenance", "finalize_rect",
+             "provenance array no longer parallel to the pruned list");
+  }
+  enforce(post, "combine finalize_rect");
+#endif
   return out;
 }
 

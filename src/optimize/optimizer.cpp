@@ -5,6 +5,12 @@
 
 #include "core/l_selection.h"
 
+#if defined(FPOPT_VALIDATE)
+#include <string>
+
+#include "check/check_shapes.h"
+#endif
+
 namespace fpopt {
 
 const LImpl* NodeResult::find_l(std::uint32_t id) const {
@@ -111,6 +117,14 @@ class Engine {
     res.is_l = false;
     res.rlist = std::move(combined.list);
     res.rprov = std::move(combined.prov);
+#if defined(FPOPT_VALIDATE)
+    CheckResult post = check_r_list(res.rlist, "stored node list");
+    if (res.rprov.size() != res.rlist.size()) {
+      post.add("optimizer/provenance", "stored node list",
+               "provenance size does not match the implementation list");
+    }
+    enforce(post, "Engine::store_rect");
+#endif
   }
 
   /// Store an L block's set: remove cross-chain redundancy (that is what
@@ -135,6 +149,20 @@ class Engine {
     res.is_l = true;
     res.lset = std::move(combined.set);
     res.lprov = std::move(combined.prov);
+#if defined(FPOPT_VALIDATE)
+    // Cross-chain redundancy is legitimate under PerChain pruning.
+    CheckResult post =
+        check_l_list_set(res.lset, opts_.l_pruning != LPruning::PerChain, "stored node set");
+    for (const LList& list : res.lset.lists()) {
+      for (const LEntry& e : list) {
+        if (e.id >= res.lprov.size() && post.room_for_more()) {
+          post.add("optimizer/provenance", "stored node set",
+                   "L entry id " + std::to_string(e.id) + " has no provenance record");
+        }
+      }
+    }
+    enforce(post, "Engine::store_l");
+#endif
   }
 
   const FloorplanTree& tree_;

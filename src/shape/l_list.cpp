@@ -2,6 +2,10 @@
 
 #include <cassert>
 
+#if defined(FPOPT_VALIDATE)
+#include "check/check_shapes.h"
+#endif
+
 namespace fpopt {
 
 bool is_irreducible_l_chain(std::span<const LImpl> chain) {
@@ -48,7 +52,11 @@ LList LList::from_prechain(std::span<const LEntry> cands) {
 LList LList::from_chain_unchecked(std::vector<LEntry> entries) {
   LList out;
   out.entries_ = std::move(entries);
+#if defined(FPOPT_VALIDATE)
+  enforce(check_l_list(out, "from_chain_unchecked"), "LList::from_chain_unchecked");
+#else
   assert(is_irreducible_l_chain(out.shapes()));
+#endif
   return out;
 }
 

@@ -4,6 +4,10 @@
 #include <cassert>
 #include <numeric>
 
+#if defined(FPOPT_VALIDATE)
+#include "check/check_shapes.h"
+#endif
+
 namespace fpopt {
 
 std::vector<std::size_t> prune_rect_candidates(std::span<const RectImpl> cands) {
@@ -38,7 +42,11 @@ RList RList::from_candidates(std::vector<RectImpl> cands) {
 }
 
 RList RList::from_sorted_unchecked(std::vector<RectImpl> impls) {
+#if defined(FPOPT_VALIDATE)
+  enforce(check_r_list(impls, "from_sorted_unchecked"), "RList::from_sorted_unchecked");
+#else
   assert(is_irreducible_r_list(impls));
+#endif
   RList out;
   out.impls_ = std::move(impls);
   return out;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -47,8 +48,11 @@ class RList {
   /// Precondition: non-empty.
   [[nodiscard]] std::size_t min_area_index() const;
 
-  /// Smallest feasible height given a width budget, or -1 if infeasible.
-  [[nodiscard]] Dim min_height_at(Dim w) const { return staircase_min_height(impls_, w); }
+  /// Smallest feasible height given a width budget, or std::nullopt if no
+  /// implementation fits in `w`.
+  [[nodiscard]] std::optional<Dim> min_height_at(Dim w) const {
+    return staircase_min_height(impls_, w);
+  }
 
   /// New R-list holding impls()[i] for each i in `kept` (strictly
   /// increasing indices). Any such subset of an irreducible list is itself

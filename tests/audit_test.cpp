@@ -1,0 +1,99 @@
+// End-to-end tests of audit_optimize: clean runs over the workload
+// floorplans must produce zero violations in every configuration, and the
+// out-of-memory path must be reported as a legal outcome.
+#include <gtest/gtest.h>
+
+#include "check/audit.h"
+#include "workload/floorplans.h"
+
+namespace fpopt {
+namespace {
+
+WorkloadConfig small_config(std::size_t impls = 5) {
+  WorkloadConfig cfg;
+  cfg.impls_per_module = impls;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(AuditTest, ExactFp1RunsClean) {
+  const FloorplanTree tree = make_fp1(small_config());
+  const AuditReport rep = audit_optimize(tree);
+  EXPECT_TRUE(rep.ok()) << rep.checks.report();
+  EXPECT_FALSE(rep.out_of_memory);
+  EXPECT_GT(rep.best_area, 0);
+  EXPECT_GT(rep.root_impls, 0u);
+  EXPECT_GT(rep.nodes_checked, 0u);
+  EXPECT_GT(rep.placements_checked, 0u);
+  EXPECT_GT(rep.certificates_checked, 0u);
+  EXPECT_GT(rep.stats.peak_stored, 0u);
+}
+
+TEST(AuditTest, ReducedRunsCleanUnderEveryPruningMode) {
+  const FloorplanTree tree = make_fp1(small_config(6));
+  for (const LPruning pruning :
+       {LPruning::PerChain, LPruning::GlobalAtNode, LPruning::GlobalEager}) {
+    AuditOptions opts;
+    opts.optimizer.l_pruning = pruning;
+    opts.optimizer.selection.k1 = 8;
+    opts.optimizer.selection.k2 = 8;
+    const AuditReport rep = audit_optimize(tree, opts);
+    EXPECT_TRUE(rep.ok()) << "pruning mode " << static_cast<int>(pruning) << "\n"
+                          << rep.checks.report();
+    EXPECT_FALSE(rep.out_of_memory);
+  }
+}
+
+TEST(AuditTest, EveryMetricCertifiesClean) {
+  const FloorplanTree tree = make_single_pinwheel(small_config(8));
+  for (const LpMetric metric : {LpMetric::L1, LpMetric::L2, LpMetric::LInf}) {
+    AuditOptions opts;
+    opts.optimizer.selection.metric = metric;
+    opts.optimizer.selection.k1 = 6;
+    opts.optimizer.selection.k2 = 6;
+    const AuditReport rep = audit_optimize(tree, opts);
+    EXPECT_TRUE(rep.ok()) << "metric " << static_cast<int>(metric) << "\n"
+                          << rep.checks.report();
+  }
+}
+
+TEST(AuditTest, SlicingGridRunsClean) {
+  const FloorplanTree tree = make_grid(3, 3, small_config(6));
+  const AuditReport rep = audit_optimize(tree);
+  EXPECT_TRUE(rep.ok()) << rep.checks.report();
+  EXPECT_GT(rep.placements_checked, 0u);
+}
+
+TEST(AuditTest, OutOfMemoryIsALegalOutcome) {
+  AuditOptions opts;
+  opts.optimizer.impl_budget = 10;  // nothing real fits in 10 implementations
+  const FloorplanTree tree = make_single_pinwheel(small_config(6));
+  const AuditReport rep = audit_optimize(tree, opts);
+  EXPECT_TRUE(rep.out_of_memory);
+  EXPECT_TRUE(rep.ok()) << rep.checks.report();
+  EXPECT_EQ(rep.checks.size(), 0u);
+  EXPECT_EQ(rep.nodes_checked, 0u);
+  EXPECT_EQ(rep.placements_checked, 0u);
+}
+
+TEST(AuditTest, SamplingKnobsBoundTheWork) {
+  AuditOptions opts;
+  opts.max_traced_placements = 3;
+  opts.certificate_samples = 1;
+  const FloorplanTree tree = make_single_pinwheel(small_config(8));
+  const AuditReport rep = audit_optimize(tree, opts);
+  EXPECT_TRUE(rep.ok()) << rep.checks.report();
+  EXPECT_LE(rep.placements_checked, 3u);
+  // One R sample + one L sample at most.
+  EXPECT_LE(rep.certificates_checked, 2u);
+
+  opts.max_traced_placements = 0;
+  opts.certificate_samples = 0;
+  const AuditReport quiet = audit_optimize(tree, opts);
+  EXPECT_TRUE(quiet.ok()) << quiet.checks.report();
+  EXPECT_EQ(quiet.placements_checked, 0u);
+  EXPECT_EQ(quiet.certificates_checked, 0u);
+}
+
+}  // namespace
+}  // namespace fpopt

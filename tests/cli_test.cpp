@@ -13,11 +13,18 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    topo_path_ = testing::TempDir() + "cli_test.topo";
-    lib_path_ = testing::TempDir() + "cli_test.lib";
+    topo_path_ = unique_path("cli_test.topo");
+    lib_path_ = unique_path("cli_test.lib");
     write(topo_path_, "(W a b c d (V e f))");
     write(lib_path_,
           "a 5x3 4x4 3x6\nb 4x5 3x7\nc 2x2 3x1\nd 4x4 5x3\ne 3x3\nf 3x4 4x3\n");
+  }
+
+  /// Per-test file name: ctest runs the discovered tests as concurrent
+  /// processes, so shared fixture files would race.
+  static std::string unique_path(const std::string& name) {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    return testing::TempDir() + info->name() + "_" + name;
   }
 
   static void write(const std::string& path, const std::string& text) {
@@ -79,7 +86,7 @@ TEST_F(CliTest, PlaceWithExplicitImplementationIndex) {
 }
 
 TEST_F(CliTest, SvgWritesAFile) {
-  const std::string svg_path = testing::TempDir() + "cli_test.svg";
+  const std::string svg_path = unique_path("cli_test.svg");
   std::remove(svg_path.c_str());
   ASSERT_EQ(run({"svg", topo_path_, lib_path_, svg_path}), 0) << err_.str();
   std::ifstream in(svg_path);
@@ -110,7 +117,7 @@ TEST_F(CliTest, ErrorHandling) {
 }
 
 TEST_F(CliTest, AnnealProducesAUsableTopology) {
-  const std::string out_path = testing::TempDir() + "cli_annealed.topo";
+  const std::string out_path = unique_path("cli_annealed.topo");
   ASSERT_EQ(run({"anneal", lib_path_, "--moves", "800", "--seed", "3", "--out", out_path}), 0)
       << err_.str();
   EXPECT_NE(out_.str().find("topology:"), std::string::npos);
@@ -120,7 +127,7 @@ TEST_F(CliTest, AnnealProducesAUsableTopology) {
 }
 
 TEST_F(CliTest, AnnealWithNetlistReportsWirelength) {
-  const std::string net_path = testing::TempDir() + "cli_test.net";
+  const std::string net_path = unique_path("cli_test.net");
   write(net_path, "n0 a b\nn1 c d e\nn2 a f\n");
   ASSERT_EQ(run({"anneal", lib_path_, "--moves", "500", "--netlist", net_path, "--lambda",
                  "1.5"}),
@@ -134,12 +141,12 @@ TEST_F(CliTest, AnnealWithNetlistReportsWirelength) {
 }
 
 TEST_F(CliTest, MalformedInputsFailCleanly) {
-  const std::string bad_topo = testing::TempDir() + "cli_bad.topo";
+  const std::string bad_topo = unique_path("cli_bad.topo");
   write(bad_topo, "(V a");
   EXPECT_NE(run({"stats", bad_topo, lib_path_}), 0);
   EXPECT_NE(err_.str().find("parse error"), std::string::npos);
 
-  const std::string bad_lib = testing::TempDir() + "cli_bad.lib";
+  const std::string bad_lib = unique_path("cli_bad.lib");
   write(bad_lib, "a 0x3\n");
   EXPECT_NE(run({"stats", topo_path_, bad_lib}), 0);
 }

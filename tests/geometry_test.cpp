@@ -95,7 +95,8 @@ TEST(StaircaseTest, MinHeightQueries) {
   EXPECT_EQ(staircase_min_height(pts, 8), 4);
   EXPECT_EQ(staircase_min_height(pts, 6), 4);
   EXPECT_EQ(staircase_min_height(pts, 3), 7);
-  EXPECT_EQ(staircase_min_height(pts, 2), -1) << "narrower than the narrowest corner";
+  EXPECT_EQ(staircase_min_height(pts, 2), std::nullopt)
+      << "narrower than the narrowest corner";
 }
 
 TEST(StaircaseTest, AdjacentCornersHaveZeroError) {

@@ -1,0 +1,214 @@
+// Randomized property tests (satellite of the invariant-audit PR): fuzz the
+// pruning, combine and selection kernels with Pcg32-generated inputs and
+// assert that (a) every produced artifact passes the src/check/ validators
+// and (b) selection errors match the independent geometric oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "check/check_certificate.h"
+#include "check/check_shapes.h"
+#include "core/l_selection.h"
+#include "core/r_selection.h"
+#include "geometry/staircase.h"
+#include "optimize/combine.h"
+#include "shape/r_list.h"
+#include "test_util.h"
+#include "workload/rng.h"
+
+namespace fpopt {
+namespace {
+
+using test::random_l_chain;
+using test::random_r_list;
+
+Dim random_dim(Pcg32& rng, std::uint32_t lo, std::uint32_t hi) {
+  return static_cast<Dim>(lo + rng.below(hi - lo + 1));
+}
+
+TEST(PruneFuzzTest, FromCandidatesIsIrreducibleAndCoversEveryCandidate) {
+  Pcg32 rng(101);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + rng.below(40);
+    std::vector<RectImpl> cands(n);
+    for (RectImpl& c : cands) c = {random_dim(rng, 1, 60), random_dim(rng, 1, 60)};
+    // Sprinkle in exact duplicates.
+    for (std::size_t i = 0; i + 1 < n && rng.below(4) == 0; i += 2) cands[i + 1] = cands[i];
+
+    const RList list = RList::from_candidates(cands);
+    const CheckResult res = check_r_list(list);
+    ASSERT_TRUE(res.ok()) << res.report();
+
+    // Dominance pruning must not lose coverage: every candidate is on or
+    // above the staircase of the pruned list.
+    for (const RectImpl& c : cands) {
+      const std::optional<Dim> h = list.min_height_at(c.w);
+      ASSERT_TRUE(h.has_value());
+      EXPECT_LE(*h, c.h);
+    }
+
+    // And the kept subset really came from the candidate set.
+    const std::vector<std::size_t> kept = prune_rect_candidates(cands);
+    ASSERT_EQ(kept.size(), list.size());
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      EXPECT_EQ(cands[kept[i]], list[i]);
+    }
+  }
+}
+
+TEST(CombineFuzzTest, SliceMatchesNaiveAndChecksClean) {
+  Pcg32 rng(202);
+  BudgetTracker budget(0);
+  for (int iter = 0; iter < 40; ++iter) {
+    const RList a = random_r_list(1 + rng.below(12), rng);
+    const RList b = random_r_list(1 + rng.below(12), rng);
+    for (const bool horizontal : {false, true}) {
+      OptimizerStats stats;
+      const RCombineResult fast = combine_slice(a, b, horizontal, budget, stats);
+      const RCombineResult naive = combine_slice_naive(a, b, horizontal, budget, stats);
+      EXPECT_EQ(fast.list, naive.list);
+      EXPECT_EQ(fast.prov.size(), fast.list.size());
+      const CheckResult res = check_r_list(fast.list, "combine_slice");
+      EXPECT_TRUE(res.ok()) << res.report();
+    }
+  }
+}
+
+TEST(CombineFuzzTest, WheelPipelineChecksCleanUnderEveryPruningMode) {
+  Pcg32 rng(303);
+  BudgetTracker budget(0);
+  for (int iter = 0; iter < 12; ++iter) {
+    const RList d = random_r_list(2 + rng.below(5), rng);
+    const RList a = random_r_list(2 + rng.below(5), rng);
+    const RList e = random_r_list(2 + rng.below(5), rng);
+    const RList c = random_r_list(2 + rng.below(5), rng);
+    const RList b = random_r_list(2 + rng.below(5), rng);
+    for (const LPruning pruning :
+         {LPruning::PerChain, LPruning::GlobalAtNode, LPruning::GlobalEager}) {
+      OptimizerStats stats;
+      const bool cross = pruning != LPruning::PerChain;
+      // Raw combine output is only per-chain irreducible; the optimizer
+      // removes cross-chain redundancy at store time via canonicalize().
+      // Mirror that contract here.
+      const auto settle = [&](LCombineResult&& out, const char* where) {
+        if (cross) out.set.canonicalize();
+        const CheckResult res = check_l_list_set(out.set, cross, where);
+        EXPECT_TRUE(res.ok()) << res.report();
+        return std::move(out);
+      };
+
+      const LCombineResult stacked =
+          settle(combine_wheel_stack(d, a, pruning, budget, stats), "wheel-stack");
+      const LCombineResult notched =
+          settle(combine_wheel_fill_notch(stacked.set, e, pruning, budget, stats),
+                 "wheel-fill-notch");
+      const LCombineResult extended =
+          settle(combine_wheel_extend(notched.set, c, pruning, budget, stats),
+                 "wheel-extend");
+
+      const RCombineResult closed = combine_wheel_close(extended.set, b, budget, stats);
+      const CheckResult res = check_r_list(closed.list, "wheel-close");
+      ASSERT_TRUE(res.ok()) << res.report();
+      EXPECT_EQ(closed.prov.size(), closed.list.size());
+      EXPECT_FALSE(closed.list.empty());
+    }
+  }
+}
+
+TEST(SelectionFuzzTest, RSelectionErrorMatchesGeometricOracle) {
+  Pcg32 rng(404);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t n = 4 + rng.below(20);
+    const RList list = random_r_list(n, rng);
+    const std::size_t k = 2 + rng.below(static_cast<std::uint32_t>(n - 1));
+    for (const SelectionDp dp : {SelectionDp::Generic, SelectionDp::Monge}) {
+      const SelectionResult sel = r_selection(list, k, dp);
+      ASSERT_EQ(sel.kept.size(), std::min(k, n));
+      EXPECT_EQ(sel.error,
+                static_cast<Weight>(staircase_subset_error(list.impls(), sel.kept)));
+      const CheckResult res = check_selection_certificate(list, sel, k);
+      EXPECT_TRUE(res.ok()) << res.report();
+    }
+  }
+}
+
+TEST(SelectionFuzzTest, RSelectionIsOptimalOnSmallLists) {
+  Pcg32 rng(505);
+  for (int iter = 0; iter < 15; ++iter) {
+    const std::size_t n = 5 + rng.below(5);  // 5..9
+    const RList list = random_r_list(n, rng);
+    const std::size_t k = 3 + rng.below(2);  // 3..4
+    const SelectionResult sel = r_selection(list, k);
+    Weight best = kInfiniteWeight;
+    test::for_each_endpoint_subset(n, k, [&](const std::vector<std::size_t>& kept) {
+      best = std::min(best, static_cast<Weight>(staircase_subset_error(list.impls(), kept)));
+    });
+    EXPECT_EQ(sel.error, best);
+  }
+}
+
+TEST(SelectionFuzzTest, LSelectionCertifiesAndIsOptimalOnSmallChains) {
+  Pcg32 rng(606);
+  for (int iter = 0; iter < 15; ++iter) {
+    const std::size_t n = 5 + rng.below(5);  // 5..9
+    const LList chain = random_l_chain(n, rng);
+    std::vector<LImpl> shapes;
+    for (const LEntry& entry : chain) shapes.push_back(entry.shape);
+    const std::size_t k = 3 + rng.below(2);  // 3..4
+    for (const LpMetric metric : {LpMetric::L1, LpMetric::L2, LpMetric::LInf}) {
+      LSelectionOptions opts;
+      opts.metric = metric;
+      const SelectionResult sel = l_selection(chain, k, opts);
+      ASSERT_EQ(sel.kept.size(), k);
+      const CheckResult res = check_l_selection_certificate(chain, sel, k, metric);
+      EXPECT_TRUE(res.ok()) << res.report();
+
+      // Optimality against the definition-level brute force (which uses
+      // the whole kept set, not the Lemma-3 neighbor shortcut).
+      Weight best = kInfiniteWeight;
+      test::for_each_endpoint_subset(n, k, [&](const std::vector<std::size_t>& kept) {
+        best = std::min(best, test::brute_force_l_error(shapes, kept, metric));
+      });
+      EXPECT_NEAR(sel.error, best, 1e-6 * std::max<Weight>(1.0, best));
+    }
+  }
+}
+
+TEST(SelectionFuzzTest, LSelectionAutoAgreesWithGenericOnL1) {
+  Pcg32 rng(707);
+  for (int iter = 0; iter < 25; ++iter) {
+    const std::size_t n = 4 + rng.below(20);
+    const LList chain = random_l_chain(n, rng);
+    const std::size_t k = 2 + rng.below(static_cast<std::uint32_t>(n - 1));
+    LSelectionOptions generic;
+    generic.dp = SelectionDp::Generic;
+    LSelectionOptions fast;
+    fast.dp = SelectionDp::Auto;
+    const SelectionResult g = l_selection(chain, k, generic);
+    const SelectionResult f = l_selection(chain, k, fast);
+    EXPECT_EQ(f.error, g.error);
+    const CheckResult res = check_l_selection_certificate(chain, f, k, LpMetric::L1);
+    EXPECT_TRUE(res.ok()) << res.report();
+  }
+}
+
+TEST(SelectionFuzzTest, KeepEverythingContract) {
+  Pcg32 rng(808);
+  const RList list = random_r_list(6, rng);
+  for (const std::size_t k : {std::size_t{0}, std::size_t{6}, std::size_t{99}}) {
+    const SelectionResult sel = r_selection(list, k);
+    EXPECT_EQ(sel.kept.size(), list.size());
+    EXPECT_EQ(sel.error, 0);
+    EXPECT_TRUE(check_selection_certificate(list, sel, k).ok());
+  }
+  const LList chain = random_l_chain(6, rng);
+  const SelectionResult sel = l_selection(chain, 0);
+  EXPECT_EQ(sel.kept.size(), chain.size());
+  EXPECT_EQ(sel.error, 0);
+  EXPECT_TRUE(check_l_selection_certificate(chain, sel, 0, LpMetric::L1).ok());
+}
+
+}  // namespace
+}  // namespace fpopt

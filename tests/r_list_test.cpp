@@ -52,8 +52,8 @@ TEST(RListTest, FromCandidatesProducesIrreducibleList) {
     // Everything removed is dominated by something kept; everything kept
     // is a candidate.
     for (const RectImpl& c : cands) {
-      const Dim h = list.min_height_at(c.w);
-      EXPECT_TRUE(h >= 0 && h <= c.h) << "candidate " << c << " not covered by the frontier";
+      const std::optional<Dim> h = list.min_height_at(c.w);
+      EXPECT_TRUE(h && *h <= c.h) << "candidate " << c << " not covered by the frontier";
     }
   }
 }

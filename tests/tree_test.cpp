@@ -120,14 +120,14 @@ TEST(WithRotationTest, CurveBecomesSymmetricAndIrreducible) {
   EXPECT_TRUE(is_irreducible_r_list(rotated.impls.impls()));
   // Both orientations of every original implementation are feasible.
   for (const RectImpl& r : m.impls) {
-    EXPECT_LE(rotated.impls.min_height_at(r.w), r.h);
-    EXPECT_LE(rotated.impls.min_height_at(r.h), r.w);
+    EXPECT_LE(rotated.impls.min_height_at(r.w).value(), r.h);
+    EXPECT_LE(rotated.impls.min_height_at(r.h).value(), r.w);
   }
   // Symmetry: (w, h) feasible iff (h, w) feasible.
   for (const RectImpl& r : rotated.impls) {
-    const Dim h = rotated.impls.min_height_at(r.h);
-    EXPECT_GE(h, 0);
-    EXPECT_LE(h, r.w);
+    const std::optional<Dim> h = rotated.impls.min_height_at(r.h);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_LE(*h, r.w);
   }
 }
 

@@ -1,0 +1,205 @@
+// fpopt_audit: run the optimizer on a floorplan and audit every artifact
+// with the src/check/ validators (see check/audit.h).
+//
+// Usage:
+//   fpopt_audit --fp N [--case M] [options]      paper floorplan FP1..FP4
+//   fpopt_audit <topology-file> <library-file> [options]
+//
+// Options:
+//   --n N        implementations per module for --fp (default 8)
+//   --seed S     module-set seed for --fp (default 1)
+//   --k1 N --k2 N --theta X --scap N   selection knobs (default exact)
+//   --budget N   simulated memory budget in implementations (default 0 = unlimited)
+//   --metric l1|l2|linf                (default l1)
+//   --pruning perchain|node|eager      L pruning mode (default node, i.e. [9])
+//   --trace N    root implementations traced to placements (default 16)
+//   --certs N    selection certificates re-derived per kind (default 4)
+//
+// Exit codes: 0 all checks passed, 1 violations found, 2 usage/input error,
+// 3 the run exceeded the memory budget (no verdict).
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/audit.h"
+#include "floorplan/serialize.h"
+#include "workload/floorplans.h"
+
+namespace {
+
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw UsageError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+long long parse_int(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const long long parsed = std::stoll(value, &used);
+    if (used != value.size() || parsed < 0) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw UsageError(flag + " needs a non-negative integer, got '" + value + "'");
+  }
+}
+
+struct Cli {
+  int fp = 0;           // 0 = file mode
+  int case_number = 0;  // 0 = use --n/--seed instead of a paper case
+  std::string topology_path;
+  std::string library_path;
+  fpopt::WorkloadConfig workload{.impls_per_module = 8};
+  fpopt::AuditOptions audit;
+};
+
+Cli parse_args(const std::vector<std::string>& args) {
+  Cli cli;
+  cli.audit.optimizer.impl_budget = 0;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0) {
+      positional.push_back(a);
+      continue;
+    }
+    const auto need_value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) throw UsageError(a + " needs a value");
+      return args[++i];
+    };
+    fpopt::SelectionConfig& sel = cli.audit.optimizer.selection;
+    if (a == "--fp") {
+      cli.fp = static_cast<int>(parse_int(a, need_value()));
+      if (cli.fp < 1 || cli.fp > 4) throw UsageError("--fp must be 1..4");
+    } else if (a == "--case") {
+      cli.case_number = static_cast<int>(parse_int(a, need_value()));
+      if (cli.case_number < 1 || cli.case_number > 4) throw UsageError("--case must be 1..4");
+    } else if (a == "--n") {
+      cli.workload.impls_per_module = static_cast<std::size_t>(parse_int(a, need_value()));
+      if (cli.workload.impls_per_module == 0) throw UsageError("--n must be positive");
+    } else if (a == "--seed") {
+      cli.workload.seed = static_cast<std::uint64_t>(parse_int(a, need_value()));
+    } else if (a == "--k1") {
+      sel.k1 = static_cast<std::size_t>(parse_int(a, need_value()));
+    } else if (a == "--k2") {
+      sel.k2 = static_cast<std::size_t>(parse_int(a, need_value()));
+    } else if (a == "--theta") {
+      try {
+        sel.theta = std::stod(need_value());
+      } catch (const std::exception&) {
+        throw UsageError("--theta needs a number");
+      }
+      if (sel.theta <= 0 || sel.theta > 1) throw UsageError("--theta must be in (0, 1]");
+    } else if (a == "--scap") {
+      sel.heuristic_cap = static_cast<std::size_t>(parse_int(a, need_value()));
+    } else if (a == "--budget") {
+      cli.audit.optimizer.impl_budget = static_cast<std::size_t>(parse_int(a, need_value()));
+    } else if (a == "--metric") {
+      const std::string& m = need_value();
+      if (m == "l1") {
+        sel.metric = fpopt::LpMetric::L1;
+      } else if (m == "l2") {
+        sel.metric = fpopt::LpMetric::L2;
+      } else if (m == "linf") {
+        sel.metric = fpopt::LpMetric::LInf;
+      } else {
+        throw UsageError("--metric must be l1, l2 or linf");
+      }
+    } else if (a == "--pruning") {
+      const std::string& p = need_value();
+      if (p == "perchain") {
+        cli.audit.optimizer.l_pruning = fpopt::LPruning::PerChain;
+      } else if (p == "node") {
+        cli.audit.optimizer.l_pruning = fpopt::LPruning::GlobalAtNode;
+      } else if (p == "eager") {
+        cli.audit.optimizer.l_pruning = fpopt::LPruning::GlobalEager;
+      } else {
+        throw UsageError("--pruning must be perchain, node or eager");
+      }
+    } else if (a == "--trace") {
+      cli.audit.max_traced_placements = static_cast<std::size_t>(parse_int(a, need_value()));
+    } else if (a == "--certs") {
+      cli.audit.certificate_samples = static_cast<std::size_t>(parse_int(a, need_value()));
+    } else {
+      throw UsageError("unknown flag " + a);
+    }
+  }
+
+  if (cli.fp == 0) {
+    if (positional.size() != 2) {
+      throw UsageError("expected --fp N or <topology-file> <library-file>");
+    }
+    cli.topology_path = positional[0];
+    cli.library_path = positional[1];
+  } else if (!positional.empty()) {
+    throw UsageError("--fp and positional files are mutually exclusive");
+  }
+  return cli;
+}
+
+fpopt::FloorplanTree build_tree(const Cli& cli) {
+  if (cli.fp == 0) {
+    return fpopt::parse_floorplan(read_file(cli.topology_path),
+                                  fpopt::parse_module_library(read_file(cli.library_path)));
+  }
+  if (cli.case_number != 0) return fpopt::make_paper_floorplan(cli.fp, cli.case_number);
+  switch (cli.fp) {
+    case 1: return fpopt::make_fp1(cli.workload);
+    case 2: return fpopt::make_fp2(cli.workload);
+    case 3: return fpopt::make_fp3(cli.workload);
+    default: return fpopt::make_fp4(cli.workload);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  Cli cli;
+  fpopt::FloorplanTree tree;
+  try {
+    cli = parse_args(args);
+    tree = build_tree(cli);
+  } catch (const UsageError& e) {
+    std::cerr << "fpopt_audit: " << e.what() << '\n';
+    return 2;
+  } catch (const fpopt::ParseError& e) {
+    std::cerr << "fpopt_audit: parse error: " << e.what() << '\n';
+    return 2;
+  }
+
+  const fpopt::AuditReport report = fpopt::audit_optimize(tree, cli.audit);
+  if (report.out_of_memory) {
+    std::cout << "OUT-OF-MEMORY: the run exceeded the budget of "
+              << cli.audit.optimizer.impl_budget
+              << " implementations (peak stored " << report.stats.peak_stored
+              << ", peak transient " << report.stats.peak_transient << "); no verdict\n";
+    return 3;
+  }
+
+  std::cout << "modules:            " << tree.module_count() << '\n'
+            << "nodes checked:      " << report.nodes_checked << '\n'
+            << "root impls:         " << report.root_impls << '\n'
+            << "best area:          " << report.best_area << '\n'
+            << "placements checked: " << report.placements_checked << '\n'
+            << "certificates:       " << report.certificates_checked << '\n'
+            << "generated impls:    " << report.stats.total_generated << '\n'
+            << "peak stored:        " << report.stats.peak_stored << '\n';
+
+  if (!report.ok()) {
+    std::cout << '\n' << report.checks.report() << "\nFAIL: " << report.checks.size()
+              << " violation(s)\n";
+    return 1;
+  }
+  std::cout << "\nPASS: no violations\n";
+  return 0;
+}
