@@ -7,6 +7,7 @@
 
 #include "core/interval_cspp.h"
 #include "core/r_error.h"  // triangular_index
+#include "runtime/parallel.h"
 
 #if defined(FPOPT_VALIDATE)
 #include "check/check_certificate.h"
@@ -42,7 +43,8 @@ Weight l_subset_error(std::span<const LImpl> chain, std::span<const std::size_t>
 
 }  // namespace
 
-SelectionResult l_selection(const LList& chain, std::size_t k, const LSelectionOptions& opts) {
+SelectionResult l_selection(const LList& chain, std::size_t k, const LSelectionOptions& opts,
+                            ThreadPool* pool) {
   const std::size_t n = chain.size();
   if (k == 0 || k >= n) return keep_everything(n);
   assert(k >= 2 && "a reduced L-list must keep both chain endpoints");
@@ -55,18 +57,18 @@ SelectionResult l_selection(const LList& chain, std::size_t k, const LSelectionO
     const auto weight = [&oracle](std::size_t i, std::size_t j) { return oracle.error(i, j); };
     const IntervalCsppResult path =
         (opts.dp == SelectionDp::Generic)
-            ? interval_constrained_shortest_path(n, k, weight)
-            : interval_constrained_shortest_path_monge(n, k, weight);
+            ? interval_constrained_shortest_path(n, k, weight, pool)
+            : interval_constrained_shortest_path_monge(n, k, weight, pool);
     result = {path.indices, path.weight};
   } else {
     // Non-L1 metrics: the paper's table-based path (Compute_L_Error is the
     // O(n^3) dominant cost of Theorem 3). Monge is only established for L1,
     // so Auto falls back to the literal DP here.
-    const std::vector<Weight> table = compute_l_error_table(shapes, opts.metric);
+    const std::vector<Weight> table = compute_l_error_table(shapes, opts.metric, pool);
     const auto weight = [&table, n](std::size_t i, std::size_t j) {
       return table[triangular_index(n, i, j)];
     };
-    const IntervalCsppResult path = interval_constrained_shortest_path(n, k, weight);
+    const IntervalCsppResult path = interval_constrained_shortest_path(n, k, weight, pool);
     result = {path.indices, path.weight};
   }
 #if defined(FPOPT_VALIDATE)
@@ -151,7 +153,8 @@ std::vector<std::size_t> heuristic_subsample_indices(std::size_t n, std::size_t 
   return idx;
 }
 
-Weight reduce_l_list(LList& chain, std::size_t k, const LSelectionOptions& opts) {
+Weight reduce_l_list(LList& chain, std::size_t k, const LSelectionOptions& opts,
+                     ThreadPool* pool) {
   const std::size_t n = chain.size();
   if (k == 0 || n <= k) return 0;
 
@@ -166,11 +169,11 @@ Weight reduce_l_list(LList& chain, std::size_t k, const LSelectionOptions& opts)
             ? greedy_drop_indices(chain, opts.heuristic_cap, opts.metric)
             : heuristic_subsample_indices(n, opts.heuristic_cap);
     const LList coarse_chain = chain.subset(coarse);
-    const SelectionResult sel = l_selection(coarse_chain, k, opts);
+    const SelectionResult sel = l_selection(coarse_chain, k, opts, pool);
     survivors.reserve(sel.kept.size());
     for (std::size_t pos : sel.kept) survivors.push_back(coarse[pos]);
   } else {
-    survivors = l_selection(chain, k, opts).kept;
+    survivors = l_selection(chain, k, opts, pool).kept;
   }
 
   chain = original.subset(survivors);
@@ -187,7 +190,7 @@ Weight reduce_l_list(LList& chain, std::size_t k, const LSelectionOptions& opts)
 }
 
 LReductionReport reduce_l_set(LListSet& set, std::size_t k2, double theta,
-                              const LSelectionOptions& opts) {
+                              const LSelectionOptions& opts, ThreadPool* pool) {
   LReductionReport report;
   report.before = set.total_size();
   report.after = set.total_size();
@@ -198,15 +201,21 @@ LReductionReport reduce_l_set(LListSet& set, std::size_t k2, double theta,
   if (!(static_cast<double>(k2) / static_cast<double>(n_total) < theta)) return report;
 
   report.triggered = true;
-  std::vector<LList> reduced;
-  reduced.reserve(set.list_count());
-  for (const LList& list : set.lists()) {
-    LList copy = list;
+  const std::span<const LList> lists = set.lists();
+  std::vector<LList> reduced(lists.size());
+  std::vector<Weight> errors(lists.size(), 0);
+  // Chains reduce independently; run them concurrently and let each chain
+  // also use the pool internally for its error table / DP layers. The
+  // per-chain errors are summed in chain order below, so the report (a
+  // sum of doubles) does not depend on completion order.
+  parallel_for(pool, 0, lists.size(), 1, [&](std::size_t i) {
+    LList copy = lists[i];
     const std::size_t budget =
-        std::max<std::size_t>(2, k2 * list.size() / n_total);  // floor(K2 |L| / N)
-    report.total_error += reduce_l_list(copy, budget, opts);
-    reduced.push_back(std::move(copy));
-  }
+        std::max<std::size_t>(2, k2 * lists[i].size() / n_total);  // floor(K2 |L| / N)
+    errors[i] = reduce_l_list(copy, budget, opts, pool);
+    reduced[i] = std::move(copy);
+  });
+  for (const Weight e : errors) report.total_error += e;
   set.replace_lists(std::move(reduced));
   report.after = set.total_size();
   return report;

@@ -50,8 +50,11 @@ struct LSelectionOptions {
 
 /// Optimal k-subset of one irreducible L-list (indices into `chain`).
 /// k == 0 or k >= size keeps everything. Endpoints always survive.
+/// A non-null `pool` parallelizes the error-table precomputation and the
+/// DP layers; results are bit-identical for every worker count.
 [[nodiscard]] SelectionResult l_selection(const LList& chain, std::size_t k,
-                                          const LSelectionOptions& opts = {});
+                                          const LSelectionOptions& opts = {},
+                                          ThreadPool* pool = nullptr);
 
 /// The unspecified "heuristic version of L_Selection" used for the S cap:
 /// evenly spaced positions of 0..n-1 including both endpoints.
@@ -66,7 +69,8 @@ struct LSelectionOptions {
 
 /// Reduce one chain to `k` entries (heuristic cap first if configured,
 /// then optimal selection). Returns the total selection error paid.
-[[nodiscard]] Weight reduce_l_list(LList& chain, std::size_t k, const LSelectionOptions& opts);
+[[nodiscard]] Weight reduce_l_list(LList& chain, std::size_t k, const LSelectionOptions& opts,
+                                   ThreadPool* pool = nullptr);
 
 struct LReductionReport {
   bool triggered = false;      ///< false when X <= K2/theta (Section 5 trigger)
@@ -79,7 +83,11 @@ struct LReductionReport {
 /// to (about) K2, splitting the budget across lists in proportion to their
 /// sizes: each list of length |L| gets max(2, floor(K2 |L| / N)).
 /// theta in (0, 1]: reduction only happens when K2 < theta * N.
+/// A non-null `pool` reduces the chains concurrently (each chain's
+/// reduction is independent; the reported total error is summed in chain
+/// order, so the report is bit-identical for every worker count).
 [[nodiscard]] LReductionReport reduce_l_set(LListSet& set, std::size_t k2, double theta,
-                                            const LSelectionOptions& opts = {});
+                                            const LSelectionOptions& opts = {},
+                                            ThreadPool* pool = nullptr);
 
 }  // namespace fpopt

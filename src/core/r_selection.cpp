@@ -12,7 +12,8 @@
 
 namespace fpopt {
 
-SelectionResult r_selection(const RList& list, std::size_t k, SelectionDp dp) {
+SelectionResult r_selection(const RList& list, std::size_t k, SelectionDp dp,
+                            ThreadPool* pool) {
   const std::size_t n = list.size();
   if (k == 0 || k >= n) {
     SelectionResult all;
@@ -27,9 +28,10 @@ SelectionResult r_selection(const RList& list, std::size_t k, SelectionDp dp) {
     return static_cast<Weight>(oracle.error(i, j));
   };
 
-  const IntervalCsppResult path = (dp == SelectionDp::Generic)
-                                      ? interval_constrained_shortest_path(n, k, weight)
-                                      : interval_constrained_shortest_path_monge(n, k, weight);
+  const IntervalCsppResult path =
+      (dp == SelectionDp::Generic)
+          ? interval_constrained_shortest_path(n, k, weight, pool)
+          : interval_constrained_shortest_path_monge(n, k, weight, pool);
   const SelectionResult result{path.indices, path.weight};
 #if defined(FPOPT_VALIDATE)
   enforce(check_selection_certificate(list, result, k), "r_selection");
@@ -37,18 +39,19 @@ SelectionResult r_selection(const RList& list, std::size_t k, SelectionDp dp) {
   return result;
 }
 
-SelectionResult r_selection_for_error(const RList& list, Weight max_error, SelectionDp dp) {
+SelectionResult r_selection_for_error(const RList& list, Weight max_error, SelectionDp dp,
+                                      ThreadPool* pool) {
   assert(max_error >= 0);
   const std::size_t n = list.size();
-  if (n <= 2) return r_selection(list, n, dp);
+  if (n <= 2) return r_selection(list, n, dp, pool);
 
   // Smallest k in [2, n] with optimal_error(k) <= max_error; the optimal
   // error is non-increasing in k, so plain binary search applies.
   std::size_t lo = 2, hi = n;  // error(n) == 0 <= max_error always holds
-  SelectionResult best = r_selection(list, n, dp);
+  SelectionResult best = r_selection(list, n, dp, pool);
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    SelectionResult cand = r_selection(list, mid, dp);
+    SelectionResult cand = r_selection(list, mid, dp, pool);
     if (cand.error <= max_error) {
       best = std::move(cand);
       hi = mid;
@@ -58,7 +61,7 @@ SelectionResult r_selection_for_error(const RList& list, Weight max_error, Selec
   }
   // The minimal k may never have been evaluated (e.g. when the search
   // narrowed from the failing side); make sure the result matches it.
-  if (best.kept.size() != lo) best = r_selection(list, lo, dp);
+  if (best.kept.size() != lo) best = r_selection(list, lo, dp, pool);
   return best;
 }
 

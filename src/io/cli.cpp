@@ -83,6 +83,8 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
           static_cast<std::size_t>(parse_long(a, need_value()));
     } else if (a == "--budget") {
       parsed.options.impl_budget = static_cast<std::size_t>(parse_long(a, need_value()));
+    } else if (a == "--threads") {
+      parsed.options.threads = static_cast<std::size_t>(parse_long(a, need_value()));
     } else if (a == "--impl") {
       parsed.impl_index = static_cast<std::size_t>(parse_long(a, need_value()));
     } else if (a == "--seed") {
@@ -247,7 +249,7 @@ constexpr const char* kUsage =
     "commands:\n"
     "  stats | optimize | place [--impl I] | svg <out.svg>   (args: <topology-file> <library-file>)\n"
     "  anneal <library-file> [--seed N --moves N --netlist F --lambda X --out F]\n"
-    "flags: --k1 N --k2 N --theta X --scap N --budget N --metric l1|l2|linf\n";
+    "flags: --k1 N --k2 N --theta X --scap N --budget N --threads N --metric l1|l2|linf\n";
 
 }  // namespace
 

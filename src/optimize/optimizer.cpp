@@ -1,9 +1,12 @@
 #include "optimize/optimizer.h"
 
+#include <atomic>
 #include <cassert>
 #include <chrono>
+#include <limits>
 
 #include "core/l_selection.h"
+#include "runtime/thread_pool.h"
 
 #if defined(FPOPT_VALIDATE)
 #include <string>
@@ -24,31 +27,19 @@ const LImpl* NodeResult::find_l(std::uint32_t id) const {
 
 namespace {
 
-class Engine {
+/// Evaluates one T' node from its children's (already computed)
+/// NodeResults. Shared between the serial engine and every parallel task:
+/// the two engines differ only in scheduling and in which BudgetTracker
+/// they hand in (the serial engine threads one global tracker through the
+/// whole run; the parallel engine gives every node task its own).
+class NodeEvaluator {
  public:
-  Engine(const FloorplanTree& tree, const OptimizerOptions& opts, OptimizeArtifacts& art,
-         OptimizerStats& stats)
-      : tree_(tree), opts_(opts), art_(art), stats_(stats), budget_(opts.impl_budget) {}
+  NodeEvaluator(const FloorplanTree& tree, const OptimizerOptions& opts, OptimizeArtifacts& art,
+                BudgetTracker& budget, OptimizerStats& stats, ThreadPool* pool)
+      : tree_(tree), opts_(opts), art_(art), budget_(budget), stats_(stats), pool_(pool) {}
 
-  void run() {
-    eval(*art_.btree.root);
-    stats_.final_stored = budget_.stored();
-    stats_.peak_stored = budget_.peak_stored();
-    stats_.peak_transient = budget_.peak_transient();
-  }
-
-  /// Copies the tracker peaks out even when the run aborted mid-way.
-  void snapshot_peaks() {
-    stats_.final_stored = budget_.stored();
-    stats_.peak_stored = budget_.peak_stored();
-    stats_.peak_transient = budget_.peak_transient();
-  }
-
- private:
-  void eval(const BinaryNode& node) {
-    if (node.left) eval(*node.left);
-    if (node.right) eval(*node.right);
-
+  /// Both children of `node` (if any) must already have their NodeResult.
+  void eval_node(const BinaryNode& node) {
     NodeResult& res = art_.nodes[node.id];
     switch (node.op) {
       case BinaryOp::LeafModule: {
@@ -85,6 +76,7 @@ class Engine {
     }
   }
 
+ private:
   [[nodiscard]] const RList& rect_of(const BinaryNode& child) const {
     const NodeResult& res = art_.nodes[child.id];
     assert(!res.is_l);
@@ -102,7 +94,7 @@ class Engine {
     budget_.add_stored(combined.list.size());  // the full non-redundant list is stored first
     const SelectionConfig& sel = opts_.selection;
     if (sel.k1 != 0 && combined.list.size() > sel.k1) {
-      const SelectionResult picked = r_selection(combined.list, sel.k1, sel.dp);
+      const SelectionResult picked = r_selection(combined.list, sel.k1, sel.dp, pool_);
       const std::size_t removed = combined.list.size() - picked.kept.size();
       std::vector<Prov> prov;
       prov.reserve(picked.kept.size());
@@ -123,7 +115,7 @@ class Engine {
       post.add("optimizer/provenance", "stored node list",
                "provenance size does not match the implementation list");
     }
-    enforce(post, "Engine::store_rect");
+    enforce(post, "NodeEvaluator::store_rect");
 #endif
   }
 
@@ -136,9 +128,10 @@ class Engine {
     }
     const SelectionConfig& sel = opts_.selection;
     if (sel.k2 != 0) {
-      const LSelectionOptions lopts{sel.metric, sel.dp, sel.heuristic_cap};
+      const LSelectionOptions lopts{sel.metric, sel.dp, sel.heuristic_cap,
+                                    LHeuristic::UniformSubsample};
       const LReductionReport report =
-          reduce_l_set(combined.set, sel.k2, sel.theta, lopts);
+          reduce_l_set(combined.set, sel.k2, sel.theta, lopts, pool_);
       if (report.triggered) {
         budget_.sub_stored(report.before - report.after);
         ++stats_.l_selection_calls;
@@ -161,15 +154,256 @@ class Engine {
         }
       }
     }
-    enforce(post, "Engine::store_l");
+    enforce(post, "NodeEvaluator::store_l");
 #endif
   }
 
   const FloorplanTree& tree_;
   const OptimizerOptions& opts_;
   OptimizeArtifacts& art_;
+  BudgetTracker& budget_;
+  OptimizerStats& stats_;
+  ThreadPool* pool_;
+};
+
+/// Fold `from`'s additive counters into `into`. The peak fields are *not*
+/// additive and are handled by the schedule-profile reconstruction.
+void accumulate_counters(OptimizerStats& into, const OptimizerStats& from) {
+  into.total_generated += from.total_generated;
+  into.r_selection_calls += from.r_selection_calls;
+  into.l_selection_calls += from.l_selection_calls;
+  into.r_selected_away += from.r_selected_away;
+  into.l_selected_away += from.l_selected_away;
+  into.r_selection_error += from.r_selection_error;
+  into.l_selection_error += from.l_selection_error;
+}
+
+/// The serial engine: plain postorder recursion with one global tracker,
+/// byte-for-byte the behaviour this project has always had.
+class Engine {
+ public:
+  Engine(const FloorplanTree& tree, const OptimizerOptions& opts, OptimizeArtifacts& art,
+         OptimizerStats& stats)
+      : art_(art),
+        stats_(stats),
+        budget_(opts.impl_budget),
+        evaluator_(tree, opts, art, budget_, stats, nullptr) {}
+
+  void run() {
+    eval(*art_.btree.root);
+    snapshot_peaks();
+  }
+
+  /// Copies the tracker peaks out even when the run aborted mid-way.
+  void snapshot_peaks() {
+    stats_.final_stored = budget_.stored();
+    stats_.peak_stored = budget_.peak_stored();
+    stats_.peak_transient = budget_.peak_transient();
+    stats_.peak_live = budget_.peak_total();
+  }
+
+ private:
+  void eval(const BinaryNode& node) {
+    if (node.left) eval(*node.left);
+    if (node.right) eval(*node.right);
+    evaluator_.eval_node(node);
+  }
+
+  OptimizeArtifacts& art_;
   OptimizerStats& stats_;
   BudgetTracker budget_;
+  NodeEvaluator evaluator_;
+};
+
+constexpr std::size_t kNoParent = std::numeric_limits<std::size_t>::max();
+
+/// The parallel engine: a dependency-counting bottom-up schedule over T'.
+/// Every node is a task that fires when both children are done; each task
+/// evaluates its node with a task-local BudgetTracker and records the
+/// node's memory profile (net stored delta, intra-node peaks). Because a
+/// node's combine/selection work is a pure function of its children, those
+/// profiles are schedule-independent, and after the DAG drains the engine
+/// replays the *serial* postorder memory profile from them. The
+/// budget-abort decision and the reported peaks come from that replay, so
+/// they are identical to the serial engine's for every thread count.
+///
+/// Two sound early-abort checks avoid computing doomed runs to the end:
+///  * committed counter: net stored deltas are non-negative, so as soon as
+///    the completed nodes' nets alone exceed the budget, the serial run's
+///    final stored count exceeds it too — abort.
+///  * per-task local cap: when node v runs, the serial schedule would hold
+///    at least the net stored of v's whole subtree; a task-local budget of
+///    (budget - subtree nets of children) therefore only trips when the
+///    serial run would trip at or before the same point in v.
+/// Neither check can fire on a run the serial engine completes, and any
+/// abort the checks miss is caught by the exact replay, so the outcome is
+/// deterministic either way.
+class ParallelEngine {
+ public:
+  ParallelEngine(const FloorplanTree& tree, const OptimizerOptions& opts,
+                 OptimizeArtifacts& art, OptimizerStats& stats, ThreadPool& pool)
+      : tree_(tree), opts_(opts), art_(art), stats_(stats), pool_(pool) {
+    const std::size_t n = art_.btree.node_count;
+    nodes_.resize(n, nullptr);
+    parent_.resize(n, kNoParent);
+    pending_ = std::vector<std::atomic<int>>(n);
+    profiles_ = std::vector<NodeProfile>(n);
+    postorder_.reserve(n);
+    flatten(*art_.btree.root, kNoParent);
+  }
+
+  /// Throws MemoryLimitExceeded when the (deterministic) budget decision
+  /// is "abort"; fills stats_ otherwise.
+  void run() {
+    TaskGroup group(&pool_);
+    group_ = &group;
+    for (std::size_t id = 0; id < nodes_.size(); ++id) {
+      if (pending_[id].load(std::memory_order_relaxed) == 0) {
+        group.run([this, id] { exec(id); });
+      }
+    }
+    group.wait();  // rethrows unexpected task exceptions
+    group_ = nullptr;
+
+    if (aborted_.load(std::memory_order_acquire)) {
+      snapshot_partial();
+      throw MemoryLimitExceeded{committed_.load(std::memory_order_acquire), 0};
+    }
+    replay_serial_profile();
+  }
+
+ private:
+  struct NodeProfile {
+    OptimizerStats stats;            ///< this node's counters only
+    std::size_t net_stored = 0;      ///< stored delta the node leaves behind
+    std::size_t peak_stored = 0;     ///< intra-node peak, relative to entry
+    std::size_t peak_transient = 0;  ///< intra-node transient peak
+    std::size_t peak_total = 0;      ///< intra-node stored+transient peak
+    std::size_t subtree_net = 0;     ///< net_stored summed over the subtree
+    bool done = false;
+  };
+
+  void flatten(const BinaryNode& node, std::size_t parent) {
+    nodes_[node.id] = &node;
+    parent_[node.id] = parent;
+    int children = 0;
+    if (node.left) {
+      ++children;
+      flatten(*node.left, node.id);
+    }
+    if (node.right) {
+      ++children;
+      flatten(*node.right, node.id);
+    }
+    pending_[node.id].store(children, std::memory_order_relaxed);
+    postorder_.push_back(node.id);  // children pushed above => postorder
+  }
+
+  [[nodiscard]] std::size_t children_subtree_net(const BinaryNode& node) const {
+    std::size_t net = 0;
+    if (node.left) net += profiles_[node.left->id].subtree_net;
+    if (node.right) net += profiles_[node.right->id].subtree_net;
+    return net;
+  }
+
+  void exec(std::size_t id) {
+    const BinaryNode& node = *nodes_[id];
+    if (!aborted_.load(std::memory_order_acquire)) {
+      const std::size_t desc_net = children_subtree_net(node);
+      std::size_t local_budget = 0;  // 0 = unlimited
+      if (opts_.impl_budget != 0) {
+        // Sound early cap (see class comment); when the children already
+        // fill the budget, any add of >= 1 implementation must abort.
+        local_budget = opts_.impl_budget > desc_net ? opts_.impl_budget - desc_net : 1;
+      }
+      BudgetTracker local(local_budget);
+      NodeProfile& prof = profiles_[id];
+      NodeEvaluator evaluator(tree_, opts_, art_, local, prof.stats, &pool_);
+      try {
+        evaluator.eval_node(node);
+        prof.net_stored = local.stored();
+        prof.peak_stored = local.peak_stored();
+        prof.peak_transient = local.peak_transient();
+        prof.peak_total = local.peak_total();
+        prof.subtree_net = prof.net_stored + desc_net;
+        prof.done = true;
+        const std::size_t committed =
+            committed_.fetch_add(prof.net_stored, std::memory_order_acq_rel) +
+            prof.net_stored;
+        if (opts_.impl_budget != 0 && committed > opts_.impl_budget) {
+          aborted_.store(true, std::memory_order_release);
+        }
+      } catch (const MemoryLimitExceeded&) {
+        aborted_.store(true, std::memory_order_release);
+      }
+    }
+    // Cascade even when aborted so every queued dependency drains and
+    // TaskGroup::wait returns promptly.
+    const std::size_t parent = parent_[id];
+    if (parent != kNoParent &&
+        pending_[parent].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      group_->run([this, parent] { exec(parent); });
+    }
+  }
+
+  /// Replay the serial postorder schedule's memory profile from the
+  /// per-node records: stored at node entry is the prefix sum of earlier
+  /// nets, transient is zero between nodes (TransientScope is node-local).
+  void replay_serial_profile() {
+    std::size_t prefix = 0;
+    std::size_t peak_stored = 0, peak_transient = 0, peak_total = 0;
+    for (const std::size_t id : postorder_) {
+      const NodeProfile& prof = profiles_[id];
+      assert(prof.done);
+      peak_stored = std::max(peak_stored, prefix + prof.peak_stored);
+      peak_transient = std::max(peak_transient, prof.peak_transient);
+      peak_total = std::max(peak_total, prefix + prof.peak_total);
+      prefix += prof.net_stored;
+      accumulate_counters(stats_, prof.stats);
+    }
+    stats_.peak_stored = peak_stored;
+    stats_.peak_transient = peak_transient;
+    stats_.peak_live = peak_total;
+    stats_.final_stored = prefix;
+    if (opts_.impl_budget != 0 && peak_total > opts_.impl_budget) {
+      // The serial schedule would have thrown mid-run (a transient spike
+      // no early check can see); report the same outcome.
+      throw MemoryLimitExceeded{prefix, 0};
+    }
+  }
+
+  /// Best-effort stats for an aborted run: counters and peaks over the
+  /// nodes that did complete, merged in postorder. (The serial engine's
+  /// abort-time snapshot is schedule-position-dependent in the same way.)
+  void snapshot_partial() {
+    std::size_t prefix = 0;
+    for (const std::size_t id : postorder_) {
+      const NodeProfile& prof = profiles_[id];
+      if (!prof.done) continue;
+      stats_.peak_stored = std::max(stats_.peak_stored, prefix + prof.peak_stored);
+      stats_.peak_transient = std::max(stats_.peak_transient, prof.peak_transient);
+      stats_.peak_live = std::max(stats_.peak_live, prefix + prof.peak_total);
+      prefix += prof.net_stored;
+      accumulate_counters(stats_, prof.stats);
+    }
+    stats_.final_stored = prefix;
+  }
+
+  const FloorplanTree& tree_;
+  const OptimizerOptions& opts_;
+  OptimizeArtifacts& art_;
+  OptimizerStats& stats_;
+  ThreadPool& pool_;
+  TaskGroup* group_ = nullptr;
+
+  std::vector<const BinaryNode*> nodes_;  ///< by node id
+  std::vector<std::size_t> parent_;       ///< by node id
+  std::vector<std::atomic<int>> pending_; ///< children left, by node id
+  std::vector<NodeProfile> profiles_;     ///< by node id
+  std::vector<std::size_t> postorder_;    ///< the serial evaluation order
+
+  std::atomic<std::size_t> committed_{0};  ///< nets of completed nodes
+  std::atomic<bool> aborted_{false};
 };
 
 }  // namespace
@@ -184,15 +418,25 @@ OptimizeOutcome optimize_floorplan(const FloorplanTree& tree, const OptimizerOpt
   assert(!artifacts->btree.root->is_l_block() && "T' roots are rectangular blocks");
 
   OptimizeOutcome outcome;
-  Engine engine(tree, opts, *artifacts, outcome.stats);
   try {
-    engine.run();
+    if (opts.threads == 0) {
+      Engine engine(tree, opts, *artifacts, outcome.stats);
+      try {
+        engine.run();
+      } catch (const MemoryLimitExceeded&) {
+        engine.snapshot_peaks();
+        throw;
+      }
+    } else {
+      ThreadPool pool(static_cast<unsigned>(opts.threads));
+      ParallelEngine engine(tree, opts, *artifacts, outcome.stats, pool);
+      engine.run();
+    }
     const NodeResult& root = artifacts->nodes[artifacts->btree.root->id];
     outcome.root = root.rlist;
     outcome.best_area = root.rlist[root.rlist.min_area_index()].area();
     outcome.artifacts = std::move(artifacts);
   } catch (const MemoryLimitExceeded&) {
-    engine.snapshot_peaks();
     outcome.out_of_memory = true;
   }
 

@@ -11,6 +11,16 @@
 // traceback, exactly as in [9]); a configurable implementation budget
 // simulates the paper's memory exhaustion and aborts the run when the
 // total live implementation count exceeds it.
+//
+// With OptimizerOptions::threads > 0 the engine evaluates T' on a
+// work-stealing thread pool: every internal node becomes a task that
+// fires once both children's NodeResults are ready, and the selection /
+// error-table kernels inside a node additionally split their DP layers
+// across the same workers. The parallel mode is *deterministic* — node
+// lists, provenance, selection certificates, stats counters and the
+// memory-budget abort decision are bit-identical to the serial engine
+// for every thread count (see docs/ALGORITHMS.md §7 for the scheduling
+// and budget-accounting model).
 #pragma once
 
 #include <cstddef>
@@ -53,6 +63,12 @@ struct OptimizerOptions {
   /// for the node finishes. See LPruning for the two other modes.
   LPruning l_pruning = LPruning::GlobalAtNode;
   RestructureOptions restructure;
+  /// Worker threads for the parallel engine. 0 = the serial engine
+  /// (unchanged code path); N >= 1 = dependency-counting bottom-up
+  /// schedule over T' on an N-worker work-stealing pool, with the hot
+  /// selection kernels parallelized inside each node. Results are
+  /// bit-identical for every value.
+  std::size_t threads = 0;
 };
 
 /// Computed implementation list of one T' node, with provenance.

@@ -30,6 +30,11 @@ struct OptimizerStats {
   std::size_t peak_stored = 0;      ///< the paper's M
   std::size_t final_stored = 0;     ///< retained at the end of the run
   std::size_t peak_transient = 0;   ///< largest candidate buffer
+  /// Peak of stored + transient — the quantity the impl_budget check is
+  /// applied to. In parallel mode this is the *serial schedule's* peak,
+  /// reconstructed from per-node profiles (see optimizer.cpp), so it is
+  /// identical for every thread count.
+  std::size_t peak_live = 0;
   std::size_t total_generated = 0;  ///< candidates ever emitted
   std::size_t r_selection_calls = 0;
   std::size_t l_selection_calls = 0;
@@ -52,6 +57,7 @@ class BudgetTracker {
     check(n);
     stored_ += n;
     peak_stored_ = std::max(peak_stored_, stored_);
+    peak_total_ = std::max(peak_total_, stored_ + transient_);
   }
   void sub_stored(std::size_t n) { stored_ -= n; }
 
@@ -59,12 +65,15 @@ class BudgetTracker {
     check(n);
     transient_ += n;
     peak_transient_ = std::max(peak_transient_, transient_);
+    peak_total_ = std::max(peak_total_, stored_ + transient_);
   }
   void sub_transient(std::size_t n) { transient_ -= n; }
 
   [[nodiscard]] std::size_t stored() const { return stored_; }
   [[nodiscard]] std::size_t peak_stored() const { return peak_stored_; }
   [[nodiscard]] std::size_t peak_transient() const { return peak_transient_; }
+  /// Peak of stored + transient (what check() compares to the budget).
+  [[nodiscard]] std::size_t peak_total() const { return peak_total_; }
 
  private:
   void check(std::size_t incoming) const {
@@ -78,6 +87,7 @@ class BudgetTracker {
   std::size_t peak_stored_ = 0;
   std::size_t transient_ = 0;
   std::size_t peak_transient_ = 0;
+  std::size_t peak_total_ = 0;
 };
 
 /// RAII guard for a candidate buffer's contribution to the budget.

@@ -1,0 +1,51 @@
+// Deterministic data-parallel helpers on top of ThreadPool.
+//
+// Everything here is shape-deterministic: a range is split into the same
+// chunks regardless of worker count, every chunk writes only its own
+// output slots, and any cross-chunk reduction is performed by the caller
+// in fixed (index) order. That is what lets the parallel optimizer promise
+// bit-identical results for every thread count, including 0 (serial).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "runtime/thread_pool.h"
+
+namespace fpopt {
+
+/// Default smallest amount of per-chunk work worth a task submission.
+inline constexpr std::size_t kDefaultGrain = 256;
+
+/// Invoke body(chunk_begin, chunk_end) over [begin, end) split into chunks
+/// of about `grain` elements. With a null pool (or a range at most one
+/// grain long) the body runs inline as a single chunk — the serial path.
+/// Chunk boundaries depend only on (begin, end, grain), never on the pool,
+/// so per-chunk rounding artifacts cannot vary with the worker count.
+template <typename Body>
+void parallel_for_chunks(ThreadPool* pool, std::size_t begin, std::size_t end,
+                         std::size_t grain, Body&& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  if (pool == nullptr || end - begin <= grain) {
+    body(begin, end);
+    return;
+  }
+  TaskGroup group(pool);
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    group.run([&body, lo, hi] { body(lo, hi); });
+  }
+  group.wait();
+}
+
+/// Convenience element-wise form: body(i) for i in [begin, end).
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end, std::size_t grain,
+                  Body&& body) {
+  parallel_for_chunks(pool, begin, end, grain, [&body](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace fpopt

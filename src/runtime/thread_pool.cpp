@@ -1,0 +1,194 @@
+#include "runtime/thread_pool.h"
+
+#include <cassert>
+
+namespace fpopt {
+
+namespace {
+
+/// Which pool (and which worker slot) the current thread belongs to.
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerIdentity tls_identity;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) : queues_(workers == 0 ? 1 : workers) {
+  const std::size_t n = queues_.size();
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // Drain-on-shutdown: workers only exit once every queue is empty, so
+  // tasks submitted before destruction all run. Help from this thread too
+  // in case the pool is saturated.
+  while (run_one()) {
+  }
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool* ThreadPool::current() { return tls_identity.pool; }
+
+void ThreadPool::submit(std::function<void()> fn) {
+  assert(!stop_.load(std::memory_order_relaxed) && "submit after shutdown started");
+  if (tls_identity.pool == this) {
+    WorkerQueue& q = queues_[tls_identity.index];
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.deque.push_back(std::move(fn));
+  } else {
+    std::lock_guard<std::mutex> lk(inject_mu_);
+    inject_.push_back(std::move(fn));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  notify_one_sleeper();
+}
+
+void ThreadPool::notify_one_sleeper() {
+  // Empty critical section: a sleeper is either past its predicate check
+  // (and will see pending_ > 0) or fully inside wait() by the time we
+  // notify, so the wakeup cannot be lost.
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_acquire(std::size_t home, std::function<void()>& out) {
+  const std::size_t n = queues_.size();
+  // 1. Own deque, back (LIFO).
+  if (home < n) {
+    WorkerQueue& q = queues_[home];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.deque.empty()) {
+      out = std::move(q.deque.back());
+      q.deque.pop_back();
+      return true;
+    }
+  }
+  // 2. Shared injection queue, front.
+  {
+    std::lock_guard<std::mutex> lk(inject_mu_);
+    if (!inject_.empty()) {
+      out = std::move(inject_.front());
+      inject_.pop_front();
+      return true;
+    }
+  }
+  // 3. Steal from the other workers, front (FIFO).
+  for (std::size_t step = 1; step <= n; ++step) {
+    const std::size_t victim = (home + step) % n;
+    if (victim == home) continue;
+    WorkerQueue& q = queues_[victim];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.deque.empty()) {
+      out = std::move(q.deque.front());
+      q.deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::run_one() {
+  const std::size_t home =
+      tls_identity.pool == this ? tls_identity.index : queues_.size();
+  std::function<void()> task;
+  if (!try_acquire(home, task)) return false;
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  task();
+  return true;
+}
+
+void ThreadPool::worker_main(std::size_t index) {
+  tls_identity = {this, index};
+  for (;;) {
+    if (run_one()) continue;
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    sleep_cv_.wait(lk, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+  }
+  tls_identity = {};
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    fn();  // serial degradation: inline, exceptions propagate directly
+    return;
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->submit([this, fn = std::move(fn)] {
+    if (!failed_.load(std::memory_order_acquire)) {
+      try {
+        fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!error_) error_ = std::current_exception();
+        failed_.store(true, std::memory_order_release);
+      }
+    }
+    finish_one();
+  });
+}
+
+void TaskGroup::finish_one() {
+  // The decrement to zero happens *while holding* mu_: a waiter that
+  // observes outstanding_ == 0 through the unlocked fast path must then
+  // acquire mu_ (wait() always does before returning), which blocks until
+  // we released — i.e. until after notify_all. The TaskGroup can therefore
+  // never be destroyed while this thread still touches the condvar.
+  std::lock_guard<std::mutex> lk(mu_);
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    done_cv_.notify_all();
+  }
+}
+
+void TaskGroup::wait() {
+  if (pool_ != nullptr) {
+    while (outstanding_.load(std::memory_order_acquire) > 0) {
+      if (pool_->run_one()) continue;
+      // Nothing runnable anywhere: group tasks are in flight on other
+      // threads. Sleep until the count drains; tasks they spawn go through
+      // submit() (which wakes pool workers) and finish_one() wakes us. The
+      // last finish_one() passes through mu_ before notifying, so the
+      // wakeup cannot slip between our predicate check and the wait.
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [this] {
+        return outstanding_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void TaskGroup::wait_no_throw() noexcept {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor path: the error was already observed or is intentionally
+    // dropped; tasks have all finished, which is what matters here.
+  }
+}
+
+}  // namespace fpopt

@@ -14,8 +14,11 @@
 #include "core/r_selection.h"
 #include "geometry/staircase.h"
 #include "optimize/combine.h"
+#include "optimize/optimizer.h"
+#include "runtime/thread_pool.h"
 #include "shape/r_list.h"
 #include "test_util.h"
+#include "workload/floorplans.h"
 #include "workload/rng.h"
 
 namespace fpopt {
@@ -208,6 +211,105 @@ TEST(SelectionFuzzTest, KeepEverythingContract) {
   EXPECT_EQ(sel.kept.size(), chain.size());
   EXPECT_EQ(sel.error, 0);
   EXPECT_TRUE(check_l_selection_certificate(chain, sel, 0, LpMetric::L1).ok());
+}
+
+// ---- parallel combine / selection fuzz ---------------------------------
+//
+// The pooled kernels promise results identical to the serial ones (same
+// kept indices, same error doubles, same reduced chains). Fuzz them with
+// a live pool; under FPOPT_VALIDATE the store-side validators run too.
+
+TEST(ParallelFuzzTest, PooledRSelectionMatchesSerial) {
+  Pcg32 rng(909);
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = 4 + rng.below(40);
+    const RList list = random_r_list(n, rng);
+    const std::size_t k = 2 + rng.below(static_cast<std::uint32_t>(n - 1));
+    for (const SelectionDp dp : {SelectionDp::Generic, SelectionDp::Monge}) {
+      const SelectionResult serial = r_selection(list, k, dp, nullptr);
+      const SelectionResult pooled = r_selection(list, k, dp, &pool);
+      EXPECT_EQ(pooled.kept, serial.kept);
+      EXPECT_EQ(pooled.error, serial.error);
+      const CheckResult res = check_selection_certificate(list, pooled, k);
+      EXPECT_TRUE(res.ok()) << res.report();
+    }
+  }
+}
+
+TEST(ParallelFuzzTest, PooledLSelectionMatchesSerial) {
+  Pcg32 rng(1010);
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t n = 4 + rng.below(24);
+    const LList chain = random_l_chain(n, rng);
+    const std::size_t k = 2 + rng.below(static_cast<std::uint32_t>(n - 1));
+    for (const LpMetric metric : {LpMetric::L1, LpMetric::L2, LpMetric::LInf}) {
+      LSelectionOptions opts;
+      opts.metric = metric;
+      const SelectionResult serial = l_selection(chain, k, opts, nullptr);
+      const SelectionResult pooled = l_selection(chain, k, opts, &pool);
+      EXPECT_EQ(pooled.kept, serial.kept);
+      EXPECT_EQ(pooled.error, serial.error);
+      const CheckResult res = check_l_selection_certificate(chain, pooled, k, metric);
+      EXPECT_TRUE(res.ok()) << res.report();
+    }
+  }
+}
+
+TEST(ParallelFuzzTest, PooledReduceLSetMatchesSerial) {
+  Pcg32 rng(1111);
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 15; ++iter) {
+    LListSet a;
+    const std::size_t chains = 2 + rng.below(4);
+    for (std::size_t c = 0; c < chains; ++c) a.add(random_l_chain(3 + rng.below(10), rng));
+    LListSet b = a;
+    const std::size_t k2 = 4 + rng.below(8);
+    const LSelectionOptions opts;
+    const LReductionReport rs = reduce_l_set(a, k2, 1.0, opts, nullptr);
+    const LReductionReport rp = reduce_l_set(b, k2, 1.0, opts, &pool);
+    EXPECT_EQ(rp.triggered, rs.triggered);
+    EXPECT_EQ(rp.before, rs.before);
+    EXPECT_EQ(rp.after, rs.after);
+    EXPECT_EQ(rp.total_error, rs.total_error);
+    EXPECT_EQ(a, b);  // identical reduced chains, byte for byte
+  }
+}
+
+TEST(ParallelFuzzTest, ParallelOptimizeArtifactsValidate) {
+  // End-to-end fuzz of the parallel combine/selection store paths: random
+  // small workloads through the full parallel engine. Under FPOPT_VALIDATE
+  // every stored node list is checked inside the optimizer itself; here we
+  // additionally require serial/parallel artifact equality.
+  Pcg32 rng(1212);
+  for (int iter = 0; iter < 6; ++iter) {
+    WorkloadConfig cfg;
+    cfg.seed = 3000 + static_cast<std::uint64_t>(iter);
+    cfg.impls_per_module = 3 + rng.below(4);
+    const FloorplanTree tree = iter % 2 == 0
+                                   ? make_single_pinwheel(cfg)
+                                   : make_grid(2, 2 + static_cast<std::size_t>(iter) % 3, cfg);
+    OptimizerOptions opts;
+    opts.selection.k1 = 4 + rng.below(6);
+    opts.selection.k2 = 6 + rng.below(8);
+    const OptimizeOutcome serial = optimize_floorplan(tree, opts);
+    opts.threads = 2 + rng.below(3);
+    const OptimizeOutcome parallel = optimize_floorplan(tree, opts);
+    ASSERT_FALSE(serial.out_of_memory);
+    ASSERT_FALSE(parallel.out_of_memory);
+    EXPECT_EQ(parallel.best_area, serial.best_area);
+    ASSERT_EQ(parallel.artifacts->nodes.size(), serial.artifacts->nodes.size());
+    for (std::size_t id = 0; id < serial.artifacts->nodes.size(); ++id) {
+      const NodeResult& s = serial.artifacts->nodes[id];
+      const NodeResult& p = parallel.artifacts->nodes[id];
+      EXPECT_EQ(p.is_l, s.is_l) << "node " << id;
+      EXPECT_EQ(p.rlist, s.rlist) << "node " << id;
+      EXPECT_EQ(p.rprov, s.rprov) << "node " << id;
+      EXPECT_EQ(p.lset, s.lset) << "node " << id;
+      EXPECT_EQ(p.lprov, s.lprov) << "node " << id;
+    }
+  }
 }
 
 }  // namespace

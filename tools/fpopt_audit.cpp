@@ -10,6 +10,7 @@
 //   --seed S     module-set seed for --fp (default 1)
 //   --k1 N --k2 N --theta X --scap N   selection knobs (default exact)
 //   --budget N   simulated memory budget in implementations (default 0 = unlimited)
+//   --threads N  worker threads for the parallel engine (default 0 = serial)
 //   --metric l1|l2|linf                (default l1)
 //   --pruning perchain|node|eager      L pruning mode (default node, i.e. [9])
 //   --trace N    root implementations traced to placements (default 16)
@@ -103,6 +104,8 @@ Cli parse_args(const std::vector<std::string>& args) {
       sel.heuristic_cap = static_cast<std::size_t>(parse_int(a, need_value()));
     } else if (a == "--budget") {
       cli.audit.optimizer.impl_budget = static_cast<std::size_t>(parse_int(a, need_value()));
+    } else if (a == "--threads") {
+      cli.audit.optimizer.threads = static_cast<std::size_t>(parse_int(a, need_value()));
     } else if (a == "--metric") {
       const std::string& m = need_value();
       if (m == "l1") {
