@@ -1,0 +1,176 @@
+// Incremental-engine ablation: per-move re-optimization cost with and
+// without the subtree memo cache on an annealing-style workload over
+// FP3's 120 modules.
+//
+// The workload drives a Metropolis move sequence over a *balanced* Polish
+// expression (the realistic annealing regime: a move dirties one
+// root-path of ~log n nodes, so most of T' is clean). Every move is
+// evaluated twice — scratch and incrementally against a shared memo cache
+// with commit-on-accept / rollback-on-reject epochs — and both runs must
+// agree on the best area (the byte-level contract is enforced by the test
+// suite; the bench spot-checks areas every move).
+//
+// Emits machine-readable BENCH_incremental.json next to the binary:
+//   {"workload": ..., "moves": M, "median_speedup": X, "hit_rate": H,
+//    "acceptance": {"median_speedup_target": 5.0, "hit_rate_target": 0.7,
+//                   "pass": true|false}, ...}
+// Acceptance: median per-move speedup >= 5x with a node-level cache hit
+// rate >= 70%. See EXPERIMENTS.md.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "cache/memo_cache.h"
+#include "optimize/optimizer.h"
+#include "topology/annealing.h"
+#include "topology/polish.h"
+#include "workload/floorplans.h"
+#include "workload/rng.h"
+
+namespace {
+
+using namespace fpopt;
+
+/// Balanced Polish expression over modules [lo, hi): operators alternate
+/// by level, so the token string is normalized and the encoded slicing
+/// tree has depth ~log2(n) — the shape annealing converges toward, and
+/// the one where a single move leaves most subtrees clean.
+void emit_balanced(std::size_t lo, std::size_t hi, bool vertical,
+                   std::vector<PolishToken>& out) {
+  if (hi - lo == 1) {
+    out.push_back({static_cast<std::int32_t>(lo)});
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  emit_balanced(lo, mid, !vertical, out);
+  emit_balanced(mid, hi, !vertical, out);
+  out.push_back({vertical ? PolishToken::kV : PolishToken::kH});
+}
+
+PolishExpr balanced_expr(std::size_t module_count) {
+  std::vector<PolishToken> tokens;
+  tokens.reserve(2 * module_count - 1);
+  emit_balanced(0, module_count, true, tokens);
+  return PolishExpr::from_tokens_unchecked(std::move(tokens));
+}
+
+double seconds_of(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kMoves = 200;
+  constexpr double kSpeedupTarget = 5.0;
+  constexpr double kHitRateTarget = 0.7;
+
+  WorkloadConfig cfg;
+  cfg.seed = 1;
+  cfg.impls_per_module = 60;  // rich libraries: heavy per-node combine+selection work
+  cfg.max_dim = 96;           // widen the dimension range to fit 60 distinct widths
+  const std::vector<Module> modules = make_fp3(cfg).modules();
+
+  OptimizerOptions scratch_opts;
+  scratch_opts.selection.k1 = 8;
+  scratch_opts.selection.k2 = 10;
+  scratch_opts.impl_budget = 0;
+  MemoCache cache;
+  OptimizerOptions inc_opts = scratch_opts;
+  inc_opts.incremental = true;
+  inc_opts.cache = &cache;
+
+  PolishExpr current = balanced_expr(modules.size());
+  // Prime the cache with the starting topology (the annealer pays this
+  // once for its initial cost evaluation).
+  const OptimizeOutcome initial = optimize_floorplan(current.to_tree(modules), inc_opts);
+  double current_area = static_cast<double>(initial.best_area);
+  const double temperature = 0.02 * current_area;  // accepts some uphill moves
+
+  std::cout << "incremental ablation: " << modules.size() << " modules, " << kMoves
+            << " annealing moves (balanced initial topology)\n\n";
+
+  Pcg32 rng(12345);
+  std::vector<double> speedups;
+  double scratch_total = 0;
+  double inc_total = 0;
+  std::size_t accepted = 0;
+  for (std::size_t move = 0; move < kMoves;) {
+    PolishExpr candidate = current;
+    if (!candidate.random_move(rng)) continue;
+    ++move;
+    const FloorplanTree tree = candidate.to_tree(modules);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const OptimizeOutcome scratch = optimize_floorplan(tree, scratch_opts);
+    const double scratch_secs = seconds_of(t0);
+
+    cache.begin_epoch();
+    const auto t1 = std::chrono::steady_clock::now();
+    const OptimizeOutcome inc = optimize_floorplan(tree, inc_opts);
+    const double inc_secs = seconds_of(t1);
+
+    if (scratch.out_of_memory || inc.out_of_memory || scratch.best_area != inc.best_area) {
+      std::cerr << "FATAL: incremental run diverged from scratch at move " << move << " ("
+                << inc.best_area << " vs " << scratch.best_area << ")\n";
+      return 1;
+    }
+    scratch_total += scratch_secs;
+    inc_total += inc_secs;
+    speedups.push_back(inc_secs > 0 ? scratch_secs / inc_secs : 0);
+
+    const double area = static_cast<double>(inc.best_area);
+    const double delta = area - current_area;
+    if (delta <= 0 || rng.unit() < std::exp(-delta / temperature)) {
+      cache.commit_epoch();
+      current = std::move(candidate);
+      current_area = area;
+      ++accepted;
+    } else {
+      cache.rollback_epoch();
+    }
+  }
+
+  std::vector<double> sorted = speedups;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = (sorted[sorted.size() / 2] + sorted[(sorted.size() - 1) / 2]) / 2;
+  const double mean = scratch_total / (inc_total > 0 ? inc_total : 1);
+  const MemoCacheStats stats = cache.stats();
+  const double hit_rate = stats.hit_rate();
+  const bool pass = median >= kSpeedupTarget && hit_rate >= kHitRateTarget;
+
+  std::cout << "moves:            " << kMoves << " (" << accepted << " accepted, "
+            << stats.rollback_discards << " entries rolled back)\n"
+            << "scratch total:    " << scratch_total << " s\n"
+            << "incremental total:" << inc_total << " s\n"
+            << "median speedup:   " << median << "x  (aggregate " << mean << "x)\n"
+            << "cache hit rate:   " << hit_rate << " (" << stats.hits << "/" << stats.probes()
+            << " node probes), " << stats.evictions << " evictions\n"
+            << "acceptance:       " << (pass ? "PASS" : "FAIL") << " (median >= "
+            << kSpeedupTarget << "x, hit rate >= " << kHitRateTarget << ")\n";
+
+  std::ofstream out("BENCH_incremental.json", std::ios::binary);
+  out << "{\n"
+      << "  \"workload\": \"fp3_balanced_anneal_n60_k1_8_k2_10\",\n"
+      << "  \"modules\": " << modules.size() << ",\n"
+      << "  \"moves\": " << kMoves << ",\n"
+      << "  \"accepted\": " << accepted << ",\n"
+      << "  \"scratch_total_seconds\": " << scratch_total << ",\n"
+      << "  \"incremental_total_seconds\": " << inc_total << ",\n"
+      << "  \"median_speedup\": " << median << ",\n"
+      << "  \"aggregate_speedup\": " << mean << ",\n"
+      << "  \"hit_rate\": " << hit_rate << ",\n"
+      << "  \"cache\": {\"hits\": " << stats.hits << ", \"misses\": " << stats.misses
+      << ", \"insertions\": " << stats.insertions << ", \"evictions\": " << stats.evictions
+      << ", \"rollback_discards\": " << stats.rollback_discards << "},\n"
+      << "  \"acceptance\": {\"median_speedup_target\": " << kSpeedupTarget
+      << ", \"hit_rate_target\": " << kHitRateTarget << ", \"pass\": "
+      << (pass ? "true" : "false") << "}\n"
+      << "}\n";
+  std::cout << "\nwrote BENCH_incremental.json\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+// Content-addressed memo cache for per-node optimization results.
+//
+// An entry stores one T' node's complete NodeResult (R-list / irreducible
+// L-set with provenance) together with the node's *memory and stats
+// profile* — the net stored delta it leaves behind, its intra-node peaks,
+// and its additive stats counters. Serving a hit therefore replaces the
+// combine/selection kernels with a copy, while the engine replays the
+// recorded profile through the serial-postorder budget model, so an
+// incremental run reports byte-identical stats (including peak_live) and
+// makes the identical out-of-memory decision a scratch run would
+// (docs/ALGORITHMS.md §8).
+//
+// Eviction is LRU under a byte budget. Epochs support speculative
+// workloads (the annealing loop): insertions made between begin_epoch()
+// and rollback_epoch() are removed again, so a rejected move leaves the
+// cache exactly as the accepted trajectory built it; commit_epoch() keeps
+// them. Evictions are permanent either way — losing an entry can only
+// cause a recompute, never a wrong result.
+//
+// The cache is deliberately NOT thread-safe: the engines probe it in a
+// serial pre-pass before fanning work out and publish new entries in a
+// serial post-pass (in postorder, so the cache's content and LRU order
+// are identical for every thread count).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_key.h"
+#include "optimize/node_result.h"
+#include "optimize/stats.h"
+
+namespace fpopt {
+
+/// One node's recorded evaluation profile: everything the serial-replay
+/// budget model needs to account for the node without re-running it.
+struct NodeProfileRecord {
+  OptimizerStats counters;         ///< this node's additive counters only
+  std::size_t net_stored = 0;      ///< stored delta the node leaves behind
+  std::size_t peak_stored = 0;     ///< intra-node peak, relative to entry
+  std::size_t peak_transient = 0;  ///< intra-node transient peak
+  std::size_t peak_total = 0;      ///< intra-node stored+transient peak
+  std::size_t subtree_net = 0;     ///< net_stored summed over the subtree
+};
+
+struct MemoCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;          ///< entries dropped by the byte budget
+  std::size_t rollback_discards = 0;  ///< entries removed by rollback_epoch
+
+  [[nodiscard]] std::size_t probes() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return probes() == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(probes());
+  }
+};
+
+class MemoCache {
+ public:
+  struct Entry {
+    CacheKey key;
+    NodeResult result;
+    NodeProfileRecord profile;
+    std::size_t bytes = 0;
+  };
+
+  static constexpr std::size_t kDefaultByteBudget = 256u << 20;  // 256 MiB
+
+  /// byte_budget == 0 means unlimited.
+  explicit MemoCache(std::size_t byte_budget = kDefaultByteBudget)
+      : byte_budget_(byte_budget) {}
+
+  /// Look up a key; a hit moves the entry to the front of the LRU order.
+  /// The pointer stays valid until the next insert / rollback / clear.
+  [[nodiscard]] const Entry* find(const CacheKey& key);
+
+  /// Insert (or overwrite) an entry, then evict least-recently-used
+  /// entries until the byte budget holds again (the fresh entry itself is
+  /// never evicted by its own insertion).
+  void insert(const CacheKey& key, NodeResult result, const NodeProfileRecord& profile);
+
+  /// Epochs (no nesting): insertions after begin_epoch() are provisional
+  /// until commit_epoch() keeps them or rollback_epoch() removes them.
+  void begin_epoch();
+  void commit_epoch();
+  void rollback_epoch();
+  [[nodiscard]] bool in_epoch() const { return epoch_open_; }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
+  [[nodiscard]] const MemoCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  void clear();
+
+ private:
+  using LruList = std::list<Entry>;
+
+  void erase(LruList::iterator it);
+  void evict_to_budget(LruList::iterator keep);
+
+  std::size_t byte_budget_;
+  std::size_t bytes_ = 0;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> map_;
+  std::vector<CacheKey> epoch_inserts_;
+  bool epoch_open_ = false;
+  MemoCacheStats stats_;
+};
+
+/// Approximate heap footprint of one entry (used for the byte budget).
+[[nodiscard]] std::size_t approx_entry_bytes(const NodeResult& result);
+
+}  // namespace fpopt

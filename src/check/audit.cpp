@@ -11,6 +11,7 @@
 #include "check/check_tree.h"
 #include "core/l_selection.h"
 #include "core/r_selection.h"
+#include "optimize/artifact_dump.h"
 #include "optimize/placement.h"
 
 namespace fpopt {
@@ -166,6 +167,55 @@ AuditReport audit_optimize(const FloorplanTree& tree, const AuditOptions& opts) 
                             std::to_string(impl.w) + " x " + std::to_string(impl.h));
     }
     ++report.placements_checked;
+  }
+
+  return report;
+}
+
+IncrementalAuditReport audit_incremental(const FloorplanTree& tree, const AuditOptions& opts) {
+  IncrementalAuditReport report;
+
+  for (const std::string& problem : tree.validate()) {
+    if (!report.checks.room_for_more()) break;
+    report.checks.add("audit/topology", "input tree", problem);
+  }
+  if (!report.checks.ok()) return report;
+
+  OptimizerOptions scratch_opts = opts.optimizer;
+  scratch_opts.incremental = false;
+  scratch_opts.cache = nullptr;
+  const OptimizeOutcome scratch = optimize_floorplan(tree, scratch_opts);
+  const std::string scratch_dump = dump_outcome(tree, scratch);
+  report.out_of_memory = scratch.out_of_memory;
+
+  MemoCache cache;
+  OptimizerOptions inc_opts = opts.optimizer;
+  inc_opts.incremental = true;
+  inc_opts.cache = &cache;
+
+  // Cold run: every internal node misses, gets computed and (on success)
+  // published. Warm run: every internal node must be served from cache.
+  for (const bool warm : {false, true}) {
+    const std::string where = warm ? "warm incremental run" : "cold incremental run";
+    cache.reset_stats();
+    const OptimizeOutcome outcome = optimize_floorplan(tree, inc_opts);
+    const MemoCacheStats stats = cache.stats();
+    (warm ? report.warm_stats : report.cold_stats) = stats;
+
+    if (dump_outcome(tree, outcome) != scratch_dump) {
+      report.checks.add("audit/incremental", where,
+                        "canonical artifact dump differs from the scratch run");
+    }
+    if (warm && !scratch.out_of_memory && stats.hits != stats.probes()) {
+      report.checks.add("audit/incremental", where,
+                        "expected every internal node to be served from cache, got " +
+                            std::to_string(stats.hits) + " hits over " +
+                            std::to_string(stats.probes()) + " probes");
+    }
+    if (!warm && stats.hits != 0) {
+      report.checks.add("audit/incremental", where,
+                        "fresh cache reported " + std::to_string(stats.hits) + " hits");
+    }
   }
 
   return report;

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 
+#include "cache/memo_cache.h"
 #include "check/check.h"
 #include "floorplan/tree.h"
 #include "optimize/optimizer.h"
@@ -45,5 +46,28 @@ struct AuditReport {
 
 [[nodiscard]] AuditReport audit_optimize(const FloorplanTree& tree,
                                          const AuditOptions& opts = {});
+
+struct IncrementalAuditReport {
+  CheckResult checks;
+  /// The scratch run hit the simulated memory budget. The incremental
+  /// runs must reach the same verdict (checked), but no artifact bytes
+  /// exist to compare.
+  bool out_of_memory = false;
+  MemoCacheStats cold_stats;  ///< first incremental run (every node misses)
+  MemoCacheStats warm_stats;  ///< second incremental run (every node should hit)
+
+  [[nodiscard]] bool ok() const { return checks.ok(); }
+};
+
+/// Independent proof of the incremental engine's contract on one
+/// floorplan: run the optimizer from scratch, then twice in incremental
+/// mode against one fresh memo cache (a cold run that populates it and a
+/// warm run served from it), and require the canonical artifact dumps —
+/// every node list with provenance, stats including peak_live, the traced
+/// min-area placement, or the out-of-memory verdict — to be byte-equal
+/// across all three. The warm run must also actually hit the cache on
+/// every internal node, so a silently cold cache cannot pass.
+[[nodiscard]] IncrementalAuditReport audit_incremental(const FloorplanTree& tree,
+                                                       const AuditOptions& opts = {});
 
 }  // namespace fpopt

@@ -4,6 +4,7 @@
 #include <optional>
 #include <sstream>
 
+#include "cache/memo_cache.h"
 #include "floorplan/serialize.h"
 #include "io/svg.h"
 #include "optimize/optimizer.h"
@@ -31,6 +32,7 @@ struct ParsedArgs {
   std::vector<std::string> positional;
   OptimizerOptions options;
   std::size_t impl_index = static_cast<std::size_t>(-1);  // place: -1 = min area
+  std::size_t cache_bytes = MemoCache::kDefaultByteBudget;  // --cache-mb
   // anneal:
   AnnealingOptions anneal;
   std::string netlist_path;
@@ -85,6 +87,12 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       parsed.options.impl_budget = static_cast<std::size_t>(parse_long(a, need_value()));
     } else if (a == "--threads") {
       parsed.options.threads = static_cast<std::size_t>(parse_long(a, need_value()));
+    } else if (a == "--incremental") {
+      parsed.options.incremental = true;
+      parsed.anneal.incremental = true;
+    } else if (a == "--cache-mb") {
+      parsed.cache_bytes = static_cast<std::size_t>(parse_long(a, need_value())) << 20;
+      parsed.anneal.cache_bytes = parsed.cache_bytes;
     } else if (a == "--impl") {
       parsed.impl_index = static_cast<std::size_t>(parse_long(a, need_value()));
     } else if (a == "--seed") {
@@ -131,7 +139,17 @@ FloorplanTree load_tree(const ParsedArgs& parsed) {
   return tree;
 }
 
-OptimizeOutcome optimize_or_throw(const FloorplanTree& tree, const OptimizerOptions& options) {
+OptimizeOutcome optimize_or_throw(const FloorplanTree& tree, const ParsedArgs& parsed) {
+  OptimizerOptions options = parsed.options;
+  // --incremental on a one-shot command runs against a run-local cache
+  // (cold, so every node misses and is published); it exists to exercise
+  // the incremental engine from the CLI — the flag pays off in `anneal`,
+  // where the cache persists across moves.
+  std::optional<MemoCache> cache;
+  if (options.incremental) {
+    cache.emplace(parsed.cache_bytes);
+    options.cache = &*cache;
+  }
   OptimizeOutcome out = optimize_floorplan(tree, options);
   if (out.out_of_memory) {
     throw CliError{"out of memory: exceeded the --budget of " +
@@ -155,7 +173,7 @@ int cmd_stats(const ParsedArgs& parsed, std::ostream& out) {
 
 int cmd_optimize(const ParsedArgs& parsed, std::ostream& out) {
   const FloorplanTree tree = load_tree(parsed);
-  const OptimizeOutcome result = optimize_or_throw(tree, parsed.options);
+  const OptimizeOutcome result = optimize_or_throw(tree, parsed);
   out << "best area:    " << result.best_area << '\n'
       << "shape curve:  " << result.root.size() << " implementations\n";
   for (const RectImpl& r : result.root) out << "  " << r.w << " x " << r.h << '\n';
@@ -182,7 +200,7 @@ Placement trace_chosen(const FloorplanTree& tree, const OptimizeOutcome& result,
 
 int cmd_place(const ParsedArgs& parsed, std::ostream& out) {
   const FloorplanTree tree = load_tree(parsed);
-  const OptimizeOutcome result = optimize_or_throw(tree, parsed.options);
+  const OptimizeOutcome result = optimize_or_throw(tree, parsed);
   const Placement p = trace_chosen(tree, result, parsed);
   const auto problems = validate_placement(p, tree);
   if (!problems.empty()) throw CliError{"internal error: " + problems.front()};
@@ -201,7 +219,7 @@ int cmd_svg(const ParsedArgs& parsed, std::ostream& out) {
     throw CliError{"svg needs <topology-file> <library-file> <out.svg>"};
   }
   const FloorplanTree tree = load_tree(parsed);
-  const OptimizeOutcome result = optimize_or_throw(tree, parsed.options);
+  const OptimizeOutcome result = optimize_or_throw(tree, parsed);
   const Placement p = trace_chosen(tree, result, parsed);
   std::ofstream file(parsed.positional[2], std::ios::binary);
   if (!file) throw CliError{"cannot write '" + parsed.positional[2] + "'"};
@@ -229,6 +247,10 @@ int cmd_anneal(const ParsedArgs& parsed, std::ostream& out) {
   const FloorplanTree tree = r.best.to_tree(modules);
   out << "moves:        " << r.moves << " (" << r.accepted << " accepted)" << '\n'
       << "area:         " << r.initial_area << " -> " << r.best_area << '\n';
+  if (sa.incremental) {
+    out << "memo cache:   " << r.cache_stats.hits << '/' << r.cache_stats.probes()
+        << " node hits, " << r.cache_stats.evictions << " evictions" << '\n';
+  }
   if (sa.netlist != nullptr) {
     out << "cost:         " << r.initial_cost << " -> " << r.best_cost << " (lambda "
         << sa.lambda << ")" << '\n'
@@ -249,7 +271,8 @@ constexpr const char* kUsage =
     "commands:\n"
     "  stats | optimize | place [--impl I] | svg <out.svg>   (args: <topology-file> <library-file>)\n"
     "  anneal <library-file> [--seed N --moves N --netlist F --lambda X --out F]\n"
-    "flags: --k1 N --k2 N --theta X --scap N --budget N --threads N --metric l1|l2|linf\n";
+    "flags: --k1 N --k2 N --theta X --scap N --budget N --threads N --metric l1|l2|linf\n"
+    "       --incremental [--cache-mb N]   (memo-cached re-optimization; see docs)\n";
 
 }  // namespace
 

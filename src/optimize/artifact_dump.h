@@ -1,0 +1,35 @@
+// Canonical text serialization of optimizer outputs, for byte-equality
+// comparison and golden regression files.
+//
+// The dump covers everything the engine equivalence contracts promise to
+// be bit-identical across serial / parallel / incremental runs: every T'
+// node's implementation store with provenance, the stats counters
+// (doubles rendered in hexfloat so equality means bit equality;
+// wall-clock seconds excluded), and the min-area traced placement. The
+// format is stable line-oriented text so golden diffs stay readable.
+#pragma once
+
+#include <string>
+
+#include "floorplan/tree.h"
+#include "optimize/optimizer.h"
+
+namespace fpopt {
+
+/// Root curve + every node's lists and provenance. Requires artifacts.
+[[nodiscard]] std::string dump_artifacts(const OptimizeOutcome& outcome);
+
+/// All counters and peaks; `seconds` is deliberately excluded.
+[[nodiscard]] std::string dump_stats(const OptimizerStats& stats);
+
+/// The placement traced from the min-area root implementation.
+[[nodiscard]] std::string dump_placement(const FloorplanTree& tree,
+                                         const OptimizeOutcome& outcome);
+
+/// Full canonical dump: artifacts + stats + placement, or the single line
+/// "out_of_memory" for an aborted run (abort-time partial stats are
+/// schedule-position-dependent and are not part of the contract).
+[[nodiscard]] std::string dump_outcome(const FloorplanTree& tree,
+                                       const OptimizeOutcome& outcome);
+
+}  // namespace fpopt

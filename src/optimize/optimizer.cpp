@@ -4,7 +4,10 @@
 #include <cassert>
 #include <chrono>
 #include <limits>
+#include <optional>
 
+#include "cache/cache_key.h"
+#include "cache/memo_cache.h"
 #include "core/l_selection.h"
 #include "runtime/thread_pool.h"
 
@@ -31,7 +34,7 @@ namespace {
 /// NodeResults. Shared between the serial engine and every parallel task:
 /// the two engines differ only in scheduling and in which BudgetTracker
 /// they hand in (the serial engine threads one global tracker through the
-/// whole run; the parallel engine gives every node task its own).
+/// whole run; the profiled engines give every node its own).
 class NodeEvaluator {
  public:
   NodeEvaluator(const FloorplanTree& tree, const OptimizerOptions& opts, OptimizeArtifacts& art,
@@ -217,15 +220,237 @@ class Engine {
 
 constexpr std::size_t kNoParent = std::numeric_limits<std::size_t>::max();
 
+// ---- shared plumbing of the profiled engines ---------------------------
+//
+// Both the parallel engine and the incremental engines evaluate each node
+// against a task-local BudgetTracker and record the node's memory profile
+// (net stored delta, intra-node peaks) plus its additive stats counters.
+// Because a node's combine/selection work is a pure function of its
+// children, those profiles are schedule-independent, and after all nodes
+// are accounted for the engine replays the *serial* postorder memory
+// profile from them. The budget-abort decision and the reported peaks
+// come from that replay, so they are identical to the serial scratch
+// engine's — whether a node's profile was recorded fresh or served from
+// the memo cache (a cached subtree is structurally identical to the one
+// that produced the record, so its profile is identical too).
+
+struct NodeProfile {
+  OptimizerStats stats;            ///< this node's counters only
+  std::size_t net_stored = 0;      ///< stored delta the node leaves behind
+  std::size_t peak_stored = 0;     ///< intra-node peak, relative to entry
+  std::size_t peak_transient = 0;  ///< intra-node transient peak
+  std::size_t peak_total = 0;      ///< intra-node stored+transient peak
+  std::size_t subtree_net = 0;     ///< net_stored summed over the subtree
+  bool done = false;
+};
+
+/// Flattened view of T': node pointers, parents and the serial
+/// (postorder) evaluation order, all indexed by BinaryNode::id.
+struct FlatTree {
+  std::vector<const BinaryNode*> nodes;
+  std::vector<std::size_t> parent;
+  std::vector<std::size_t> postorder;
+
+  explicit FlatTree(const BinaryTree& btree) {
+    nodes.resize(btree.node_count, nullptr);
+    parent.resize(btree.node_count, kNoParent);
+    postorder.reserve(btree.node_count);
+    flatten(*btree.root, kNoParent);
+  }
+
+ private:
+  void flatten(const BinaryNode& node, std::size_t par) {
+    nodes[node.id] = &node;
+    parent[node.id] = par;
+    if (node.left) flatten(*node.left, node.id);
+    if (node.right) flatten(*node.right, node.id);
+    postorder.push_back(node.id);  // children pushed above => postorder
+  }
+};
+
+[[nodiscard]] std::size_t children_subtree_net(const BinaryNode& node,
+                                               const std::vector<NodeProfile>& profiles) {
+  std::size_t net = 0;
+  if (node.left) net += profiles[node.left->id].subtree_net;
+  if (node.right) net += profiles[node.right->id].subtree_net;
+  return net;
+}
+
+/// Replay the serial postorder schedule's memory profile from the
+/// per-node records: stored at node entry is the prefix sum of earlier
+/// nets, transient is zero between nodes (TransientScope is node-local).
+/// Throws when the serial schedule would have exceeded the budget.
+void replay_serial_profile(const FlatTree& flat, const std::vector<NodeProfile>& profiles,
+                           OptimizerStats& stats, std::size_t impl_budget) {
+  std::size_t prefix = 0;
+  std::size_t peak_stored = 0, peak_transient = 0, peak_total = 0;
+  for (const std::size_t id : flat.postorder) {
+    const NodeProfile& prof = profiles[id];
+    assert(prof.done);
+    peak_stored = std::max(peak_stored, prefix + prof.peak_stored);
+    peak_transient = std::max(peak_transient, prof.peak_transient);
+    peak_total = std::max(peak_total, prefix + prof.peak_total);
+    prefix += prof.net_stored;
+    accumulate_counters(stats, prof.stats);
+  }
+  stats.peak_stored = peak_stored;
+  stats.peak_transient = peak_transient;
+  stats.peak_live = peak_total;
+  stats.final_stored = prefix;
+  if (impl_budget != 0 && peak_total > impl_budget) {
+    // The serial schedule would have thrown mid-run (a transient spike
+    // no early check can see); report the same outcome.
+    throw MemoryLimitExceeded{prefix, 0};
+  }
+}
+
+/// Best-effort stats for an aborted run: counters and peaks over the
+/// nodes that did complete, merged in postorder. (The serial engine's
+/// abort-time snapshot is schedule-position-dependent in the same way.)
+void snapshot_partial(const FlatTree& flat, const std::vector<NodeProfile>& profiles,
+                      OptimizerStats& stats) {
+  std::size_t prefix = 0;
+  for (const std::size_t id : flat.postorder) {
+    const NodeProfile& prof = profiles[id];
+    if (!prof.done) continue;
+    stats.peak_stored = std::max(stats.peak_stored, prefix + prof.peak_stored);
+    stats.peak_transient = std::max(stats.peak_transient, prof.peak_transient);
+    stats.peak_live = std::max(stats.peak_live, prefix + prof.peak_total);
+    prefix += prof.net_stored;
+    accumulate_counters(stats, prof.stats);
+  }
+  stats.final_stored = prefix;
+}
+
+/// The memo-cache pre- and post-pass shared by the incremental engines.
+/// Both passes run on the coordinating thread only, in postorder, so LRU
+/// touches, insertions and evictions are identical for every thread count.
+class CacheBinding {
+ public:
+  CacheBinding(MemoCache& cache, const FloorplanTree& tree, const OptimizerOptions& opts,
+               const OptimizeArtifacts& art)
+      : cache_(cache),
+        keys_(derive_node_keys(art.btree, tree, opts)),
+        served_(art.btree.node_count, 0) {}
+
+  /// Probe every internal node; copy hits into the artifacts and load
+  /// their recorded profiles (leaves are always evaluated — they are a
+  /// plain copy of the module library anyway).
+  void serve(const FlatTree& flat, OptimizeArtifacts& art, std::vector<NodeProfile>& profiles) {
+    for (const std::size_t id : flat.postorder) {
+      if (flat.nodes[id]->is_leaf()) continue;
+      const MemoCache::Entry* entry = cache_.find(keys_[id]);
+      if (entry == nullptr) continue;
+      art.nodes[id] = entry->result;
+      NodeProfile& prof = profiles[id];
+      prof.stats = entry->profile.counters;
+      prof.net_stored = entry->profile.net_stored;
+      prof.peak_stored = entry->profile.peak_stored;
+      prof.peak_transient = entry->profile.peak_transient;
+      prof.peak_total = entry->profile.peak_total;
+      prof.subtree_net = entry->profile.subtree_net;
+      prof.done = true;
+      served_[id] = 1;
+    }
+  }
+
+  [[nodiscard]] bool served(std::size_t id) const { return served_[id] != 0; }
+
+  /// Publish the freshly computed nodes of a successful run.
+  void publish(const FlatTree& flat, const OptimizeArtifacts& art,
+               const std::vector<NodeProfile>& profiles) {
+    for (const std::size_t id : flat.postorder) {
+      if (flat.nodes[id]->is_leaf() || served_[id] != 0) continue;
+      const NodeProfile& prof = profiles[id];
+      cache_.insert(keys_[id], art.nodes[id],
+                    NodeProfileRecord{prof.stats, prof.net_stored, prof.peak_stored,
+                                      prof.peak_transient, prof.peak_total,
+                                      prof.subtree_net});
+    }
+  }
+
+ private:
+  MemoCache& cache_;
+  std::vector<CacheKey> keys_;
+  std::vector<char> served_;
+};
+
+/// The serial incremental engine: one postorder sweep with per-node
+/// profiles, cache hits served up front, and the same sound early-abort
+/// checks + serial replay the parallel engine uses (the equivalence
+/// argument on ParallelEngine applies verbatim with "task" read as
+/// "postorder step"):
+///  * committed counter: net stored deltas are non-negative, so as soon
+///    as the accounted nodes' nets alone exceed the budget, the scratch
+///    run's final stored count exceeds it too — abort.
+///  * per-node local cap: when node v runs, the scratch schedule would
+///    hold at least the net stored of v's children's subtrees.
+class IncrementalSerialEngine {
+ public:
+  IncrementalSerialEngine(const FloorplanTree& tree, const OptimizerOptions& opts,
+                          OptimizeArtifacts& art, OptimizerStats& stats, CacheBinding& binding)
+      : tree_(tree),
+        opts_(opts),
+        art_(art),
+        stats_(stats),
+        binding_(binding),
+        flat_(art.btree),
+        profiles_(art.btree.node_count) {}
+
+  void run() {
+    binding_.serve(flat_, art_, profiles_);
+    std::size_t committed = 0;
+    for (const std::size_t id : flat_.postorder) {
+      NodeProfile& prof = profiles_[id];
+      if (!prof.done) {
+        const BinaryNode& node = *flat_.nodes[id];
+        const std::size_t desc_net = children_subtree_net(node, profiles_);
+        std::size_t local_budget = 0;  // 0 = unlimited
+        if (opts_.impl_budget != 0) {
+          local_budget = opts_.impl_budget > desc_net ? opts_.impl_budget - desc_net : 1;
+        }
+        BudgetTracker local(local_budget);
+        NodeEvaluator evaluator(tree_, opts_, art_, local, prof.stats, nullptr);
+        try {
+          evaluator.eval_node(node);
+        } catch (const MemoryLimitExceeded&) {
+          snapshot_partial(flat_, profiles_, stats_);
+          throw;
+        }
+        prof.net_stored = local.stored();
+        prof.peak_stored = local.peak_stored();
+        prof.peak_transient = local.peak_transient();
+        prof.peak_total = local.peak_total();
+        prof.subtree_net = prof.net_stored + desc_net;
+        prof.done = true;
+      }
+      committed += prof.net_stored;
+      if (opts_.impl_budget != 0 && committed > opts_.impl_budget) {
+        snapshot_partial(flat_, profiles_, stats_);
+        throw MemoryLimitExceeded{committed, 0};
+      }
+    }
+    replay_serial_profile(flat_, profiles_, stats_, opts_.impl_budget);
+    binding_.publish(flat_, art_, profiles_);
+  }
+
+ private:
+  const FloorplanTree& tree_;
+  const OptimizerOptions& opts_;
+  OptimizeArtifacts& art_;
+  OptimizerStats& stats_;
+  CacheBinding& binding_;
+  FlatTree flat_;
+  std::vector<NodeProfile> profiles_;
+};
+
 /// The parallel engine: a dependency-counting bottom-up schedule over T'.
 /// Every node is a task that fires when both children are done; each task
 /// evaluates its node with a task-local BudgetTracker and records the
-/// node's memory profile (net stored delta, intra-node peaks). Because a
-/// node's combine/selection work is a pure function of its children, those
-/// profiles are schedule-independent, and after the DAG drains the engine
-/// replays the *serial* postorder memory profile from them. The
-/// budget-abort decision and the reported peaks come from that replay, so
-/// they are identical to the serial engine's for every thread count.
+/// node's memory profile. After the DAG drains the engine replays the
+/// *serial* postorder memory profile (see the shared-plumbing comment
+/// above), so the budget-abort decision and the reported peaks are
+/// identical to the serial engine's for every thread count.
 ///
 /// Two sound early-abort checks avoid computing doomed runs to the end:
 ///  * committed counter: net stored deltas are non-negative, so as soon as
@@ -238,18 +463,44 @@ constexpr std::size_t kNoParent = std::numeric_limits<std::size_t>::max();
 /// Neither check can fire on a run the serial engine completes, and any
 /// abort the checks miss is caught by the exact replay, so the outcome is
 /// deterministic either way.
+///
+/// In incremental mode the cache pre-pass serves clean subtrees before
+/// the fan-out: served nodes are born `done`, never become tasks, and do
+/// not appear in any dependency count — only the dirty nodes hit the
+/// pool. Publishing back to the cache happens serially after the drain.
 class ParallelEngine {
  public:
   ParallelEngine(const FloorplanTree& tree, const OptimizerOptions& opts,
-                 OptimizeArtifacts& art, OptimizerStats& stats, ThreadPool& pool)
-      : tree_(tree), opts_(opts), art_(art), stats_(stats), pool_(pool) {
+                 OptimizeArtifacts& art, OptimizerStats& stats, ThreadPool& pool,
+                 CacheBinding* binding)
+      : tree_(tree),
+        opts_(opts),
+        art_(art),
+        stats_(stats),
+        pool_(pool),
+        binding_(binding),
+        flat_(art.btree) {
     const std::size_t n = art_.btree.node_count;
-    nodes_.resize(n, nullptr);
-    parent_.resize(n, kNoParent);
     pending_ = std::vector<std::atomic<int>>(n);
     profiles_ = std::vector<NodeProfile>(n);
-    postorder_.reserve(n);
-    flatten(*art_.btree.root, kNoParent);
+    if (binding_ != nullptr) binding_->serve(flat_, art_, profiles_);
+    std::size_t served_net = 0;
+    for (std::size_t id = 0; id < n; ++id) {
+      if (profiles_[id].done) {
+        served_net += profiles_[id].net_stored;
+        pending_[id].store(0, std::memory_order_relaxed);
+        continue;
+      }
+      const BinaryNode& node = *flat_.nodes[id];
+      int waits = 0;
+      if (node.left && !profiles_[node.left->id].done) ++waits;
+      if (node.right && !profiles_[node.right->id].done) ++waits;
+      pending_[id].store(waits, std::memory_order_relaxed);
+    }
+    committed_.store(served_net, std::memory_order_relaxed);
+    if (opts_.impl_budget != 0 && served_net > opts_.impl_budget) {
+      aborted_.store(true, std::memory_order_relaxed);
+    }
   }
 
   /// Throws MemoryLimitExceeded when the (deterministic) budget decision
@@ -257,8 +508,8 @@ class ParallelEngine {
   void run() {
     TaskGroup group(&pool_);
     group_ = &group;
-    for (std::size_t id = 0; id < nodes_.size(); ++id) {
-      if (pending_[id].load(std::memory_order_relaxed) == 0) {
+    for (std::size_t id = 0; id < flat_.nodes.size(); ++id) {
+      if (!profiles_[id].done && pending_[id].load(std::memory_order_relaxed) == 0) {
         group.run([this, id] { exec(id); });
       }
     }
@@ -266,50 +517,18 @@ class ParallelEngine {
     group_ = nullptr;
 
     if (aborted_.load(std::memory_order_acquire)) {
-      snapshot_partial();
+      snapshot_partial(flat_, profiles_, stats_);
       throw MemoryLimitExceeded{committed_.load(std::memory_order_acquire), 0};
     }
-    replay_serial_profile();
+    replay_serial_profile(flat_, profiles_, stats_, opts_.impl_budget);
+    if (binding_ != nullptr) binding_->publish(flat_, art_, profiles_);
   }
 
  private:
-  struct NodeProfile {
-    OptimizerStats stats;            ///< this node's counters only
-    std::size_t net_stored = 0;      ///< stored delta the node leaves behind
-    std::size_t peak_stored = 0;     ///< intra-node peak, relative to entry
-    std::size_t peak_transient = 0;  ///< intra-node transient peak
-    std::size_t peak_total = 0;      ///< intra-node stored+transient peak
-    std::size_t subtree_net = 0;     ///< net_stored summed over the subtree
-    bool done = false;
-  };
-
-  void flatten(const BinaryNode& node, std::size_t parent) {
-    nodes_[node.id] = &node;
-    parent_[node.id] = parent;
-    int children = 0;
-    if (node.left) {
-      ++children;
-      flatten(*node.left, node.id);
-    }
-    if (node.right) {
-      ++children;
-      flatten(*node.right, node.id);
-    }
-    pending_[node.id].store(children, std::memory_order_relaxed);
-    postorder_.push_back(node.id);  // children pushed above => postorder
-  }
-
-  [[nodiscard]] std::size_t children_subtree_net(const BinaryNode& node) const {
-    std::size_t net = 0;
-    if (node.left) net += profiles_[node.left->id].subtree_net;
-    if (node.right) net += profiles_[node.right->id].subtree_net;
-    return net;
-  }
-
   void exec(std::size_t id) {
-    const BinaryNode& node = *nodes_[id];
+    const BinaryNode& node = *flat_.nodes[id];
     if (!aborted_.load(std::memory_order_acquire)) {
-      const std::size_t desc_net = children_subtree_net(node);
+      const std::size_t desc_net = children_subtree_net(node, profiles_);
       std::size_t local_budget = 0;  // 0 = unlimited
       if (opts_.impl_budget != 0) {
         // Sound early cap (see class comment); when the children already
@@ -339,54 +558,11 @@ class ParallelEngine {
     }
     // Cascade even when aborted so every queued dependency drains and
     // TaskGroup::wait returns promptly.
-    const std::size_t parent = parent_[id];
+    const std::size_t parent = flat_.parent[id];
     if (parent != kNoParent &&
         pending_[parent].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       group_->run([this, parent] { exec(parent); });
     }
-  }
-
-  /// Replay the serial postorder schedule's memory profile from the
-  /// per-node records: stored at node entry is the prefix sum of earlier
-  /// nets, transient is zero between nodes (TransientScope is node-local).
-  void replay_serial_profile() {
-    std::size_t prefix = 0;
-    std::size_t peak_stored = 0, peak_transient = 0, peak_total = 0;
-    for (const std::size_t id : postorder_) {
-      const NodeProfile& prof = profiles_[id];
-      assert(prof.done);
-      peak_stored = std::max(peak_stored, prefix + prof.peak_stored);
-      peak_transient = std::max(peak_transient, prof.peak_transient);
-      peak_total = std::max(peak_total, prefix + prof.peak_total);
-      prefix += prof.net_stored;
-      accumulate_counters(stats_, prof.stats);
-    }
-    stats_.peak_stored = peak_stored;
-    stats_.peak_transient = peak_transient;
-    stats_.peak_live = peak_total;
-    stats_.final_stored = prefix;
-    if (opts_.impl_budget != 0 && peak_total > opts_.impl_budget) {
-      // The serial schedule would have thrown mid-run (a transient spike
-      // no early check can see); report the same outcome.
-      throw MemoryLimitExceeded{prefix, 0};
-    }
-  }
-
-  /// Best-effort stats for an aborted run: counters and peaks over the
-  /// nodes that did complete, merged in postorder. (The serial engine's
-  /// abort-time snapshot is schedule-position-dependent in the same way.)
-  void snapshot_partial() {
-    std::size_t prefix = 0;
-    for (const std::size_t id : postorder_) {
-      const NodeProfile& prof = profiles_[id];
-      if (!prof.done) continue;
-      stats_.peak_stored = std::max(stats_.peak_stored, prefix + prof.peak_stored);
-      stats_.peak_transient = std::max(stats_.peak_transient, prof.peak_transient);
-      stats_.peak_live = std::max(stats_.peak_live, prefix + prof.peak_total);
-      prefix += prof.net_stored;
-      accumulate_counters(stats_, prof.stats);
-    }
-    stats_.final_stored = prefix;
   }
 
   const FloorplanTree& tree_;
@@ -394,13 +570,12 @@ class ParallelEngine {
   OptimizeArtifacts& art_;
   OptimizerStats& stats_;
   ThreadPool& pool_;
+  CacheBinding* binding_;
   TaskGroup* group_ = nullptr;
 
-  std::vector<const BinaryNode*> nodes_;  ///< by node id
-  std::vector<std::size_t> parent_;       ///< by node id
-  std::vector<std::atomic<int>> pending_; ///< children left, by node id
-  std::vector<NodeProfile> profiles_;     ///< by node id
-  std::vector<std::size_t> postorder_;    ///< the serial evaluation order
+  FlatTree flat_;
+  std::vector<std::atomic<int>> pending_;  ///< unserved children left, by node id
+  std::vector<NodeProfile> profiles_;      ///< by node id
 
   std::atomic<std::size_t> committed_{0};  ///< nets of completed nodes
   std::atomic<bool> aborted_{false};
@@ -417,19 +592,28 @@ OptimizeOutcome optimize_floorplan(const FloorplanTree& tree, const OptimizerOpt
   artifacts->nodes.resize(artifacts->btree.node_count);
   assert(!artifacts->btree.root->is_l_block() && "T' roots are rectangular blocks");
 
+  const bool incremental = opts.incremental && opts.cache != nullptr;
   OptimizeOutcome outcome;
   try {
+    std::optional<CacheBinding> binding;
+    if (incremental) binding.emplace(*opts.cache, tree, opts, *artifacts);
     if (opts.threads == 0) {
-      Engine engine(tree, opts, *artifacts, outcome.stats);
-      try {
+      if (incremental) {
+        IncrementalSerialEngine engine(tree, opts, *artifacts, outcome.stats, *binding);
         engine.run();
-      } catch (const MemoryLimitExceeded&) {
-        engine.snapshot_peaks();
-        throw;
+      } else {
+        Engine engine(tree, opts, *artifacts, outcome.stats);
+        try {
+          engine.run();
+        } catch (const MemoryLimitExceeded&) {
+          engine.snapshot_peaks();
+          throw;
+        }
       }
     } else {
       ThreadPool pool(static_cast<unsigned>(opts.threads));
-      ParallelEngine engine(tree, opts, *artifacts, outcome.stats, pool);
+      ParallelEngine engine(tree, opts, *artifacts, outcome.stats, pool,
+                            binding ? &*binding : nullptr);
       engine.run();
     }
     const NodeResult& root = artifacts->nodes[artifacts->btree.root->id];

@@ -21,6 +21,12 @@
 // memory-budget abort decision are bit-identical to the serial engine
 // for every thread count (see docs/ALGORITHMS.md §7 for the scheduling
 // and budget-accounting model).
+//
+// With OptimizerOptions::incremental and a MemoCache, the engine serves
+// every T' node whose content-addressed subtree key is already cached —
+// after a topology move only the dirty root-path is recomputed — while
+// served nodes replay their recorded memory/stats profiles, preserving
+// the same bit-identical contract (docs/ALGORITHMS.md §8).
 #pragma once
 
 #include <cstddef>
@@ -32,11 +38,14 @@
 #include "floorplan/restructure.h"
 #include "floorplan/tree.h"
 #include "optimize/combine.h"
+#include "optimize/node_result.h"
 #include "optimize/stats.h"
 #include "shape/l_list_set.h"
 #include "shape/r_list.h"
 
 namespace fpopt {
+
+class MemoCache;  // src/cache/memo_cache.h
 
 /// The paper's knobs (Sections 3 and 5).
 struct SelectionConfig {
@@ -69,27 +78,23 @@ struct OptimizerOptions {
   /// selection kernels parallelized inside each node. Results are
   /// bit-identical for every value.
   std::size_t threads = 0;
+  /// Incremental mode: serve every T' node whose content-addressed
+  /// subtree key is present in `cache` from the cache (only the dirty
+  /// root-path of a move is recomputed) and publish the recomputed nodes
+  /// back after a successful run. Served nodes replay their recorded
+  /// memory/stats profiles through the serial-postorder budget model, so
+  /// artifacts, stats (including peak_live) and the out-of-memory
+  /// decision are byte-identical to a scratch run at any thread count.
+  /// No effect unless `cache` is also set.
+  bool incremental = false;
+  /// The memo cache for incremental mode. Not owned; not thread-safe —
+  /// the engine touches it only from the coordinating thread, and a
+  /// cache must not be shared by concurrent optimize_floorplan calls.
+  MemoCache* cache = nullptr;
 };
 
-/// Computed implementation list of one T' node, with provenance.
-struct NodeResult {
-  bool is_l = false;
-  // Rectangular blocks:
-  RList rlist;
-  std::vector<Prov> rprov;  ///< parallel to rlist
-  // L-shaped blocks:
-  LListSet lset;
-  std::vector<Prov> lprov;  ///< indexed by LEntry::id
-
-  /// Locate an L entry by id (nullptr if it was pruned/selected away).
-  [[nodiscard]] const LImpl* find_l(std::uint32_t id) const;
-};
-
-/// Everything needed to trace an optimal implementation back to rooms.
-struct OptimizeArtifacts {
-  BinaryTree btree;
-  std::vector<NodeResult> nodes;  ///< by BinaryNode::id
-};
+// NodeResult and OptimizeArtifacts live in optimize/node_result.h (the
+// memo cache stores NodeResults and must not depend on the engine).
 
 struct OptimizeOutcome {
   /// True when the simulated memory budget was exceeded — the run aborted

@@ -3,19 +3,53 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <optional>
+
+#include "optimize/optimizer.h"
 
 namespace fpopt {
+
+namespace {
+
+// Distinct PCG32 stream namespaces for the calibration probes and the
+// main-loop move attempts. PCG streams are selected by the 63 low bits of
+// the sequence constant, so base + index never collides across the two
+// namespaces for any realistic attempt count.
+constexpr std::uint64_t kCalibrationStreamBase = 0x4341'4C49'0000'0000ULL;  // "CALI"
+constexpr std::uint64_t kMoveStreamBase = 0x4D4F'5645'0000'0000ULL;         // "MOVE"
+
+}  // namespace
+
+Pcg32 annealing_move_rng(std::uint64_t seed, std::uint64_t attempt) {
+  return Pcg32(seed, kMoveStreamBase + attempt);
+}
 
 AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
                                         const AnnealingOptions& opts) {
   assert(modules.size() >= 2);
   assert(opts.netlist == nullptr || opts.netlist->module_count() == modules.size());
   const auto start = std::chrono::steady_clock::now();
-  Pcg32 rng(opts.seed);
+
+  // Run-local memo cache for the incremental cost path. Costs are
+  // identical to the Stockmeyer path (the engine with no selection limits
+  // is the exact algorithm), so the trajectory does not depend on
+  // opts.incremental.
+  std::optional<MemoCache> cache;
+  OptimizerOptions eopts;
+  if (opts.incremental) {
+    cache.emplace(opts.cache_bytes);
+    eopts.impl_budget = 0;  // a cost evaluation must never abort
+    eopts.incremental = true;
+    eopts.cache = &*cache;
+  }
 
   const bool wired = opts.netlist != nullptr && opts.lambda > 0;
+  const auto area_of = [&](const PolishExpr& e) -> Area {
+    if (!opts.incremental) return e.min_area(modules);
+    return optimize_floorplan(e.to_tree(modules), eopts).best_area;
+  };
   const auto cost_of = [&](const PolishExpr& e) -> double {
-    if (!wired) return static_cast<double>(e.min_area(modules));
+    if (!wired) return static_cast<double>(area_of(e));
     const Placement p = e.place(modules);
     return static_cast<double>(p.chip_area()) +
            opts.lambda * static_cast<double>(hpwl2(*opts.netlist, p));
@@ -32,14 +66,17 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
   result.best_area = result.initial_area;
 
   // Calibrate T0 so an average uphill move is accepted with p ~ 0.85.
+  // Each probe draws from its own stream so the calibration consumes no
+  // randomness from the move-attempt namespace.
   double t0 = opts.initial_temperature;
   if (t0 <= 0) {
     PolishExpr probe = current;
     double probe_cost = current_cost;
     double uphill_sum = 0;
     std::size_t uphill_count = 0;
-    for (int i = 0; i < 64; ++i) {
-      if (!probe.random_move(rng)) continue;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      Pcg32 probe_rng(opts.seed, kCalibrationStreamBase + i);
+      if (!probe.random_move(probe_rng)) continue;
       const double cost = cost_of(probe);
       if (cost > probe_cost) {
         uphill_sum += cost - probe_cost;
@@ -56,15 +93,26 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
   const std::size_t moves_per_temp =
       opts.moves_per_temperature > 0 ? opts.moves_per_temperature : 10 * modules.size();
 
+  // Every attempt — including ones whose sampled move kind had no
+  // applicable instance — advances the attempt counter, so the stream an
+  // attempt draws from depends only on (seed, attempt index), never on
+  // the accept/reject history before it.
+  std::uint64_t attempt = 0;
   double temperature = t0;
   while (temperature > opts.freeze_ratio * t0 && result.moves < opts.max_total_moves) {
     for (std::size_t m = 0; m < moves_per_temp && result.moves < opts.max_total_moves; ++m) {
+      Pcg32 move_rng = annealing_move_rng(opts.seed, attempt++);
       PolishExpr candidate = current;
-      if (!candidate.random_move(rng)) continue;
+      if (!candidate.random_move(move_rng)) continue;
       ++result.moves;
+      // The candidate's freshly computed nodes enter the cache inside an
+      // epoch: kept on accept, removed on reject, so the cache always
+      // reflects exactly the accepted trajectory.
+      if (cache) cache->begin_epoch();
       const double candidate_cost = cost_of(candidate);
       const double delta = candidate_cost - current_cost;
-      if (delta <= 0 || rng.unit() < std::exp(-delta / temperature)) {
+      if (delta <= 0 || move_rng.unit() < std::exp(-delta / temperature)) {
+        if (cache) cache->commit_epoch();
         current = std::move(candidate);
         current_cost = candidate_cost;
         ++result.accepted;
@@ -73,11 +121,14 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
           result.best_cost = current_cost;
           result.best_area = current.min_area(modules);
         }
+      } else {
+        if (cache) cache->rollback_epoch();
       }
     }
     temperature *= opts.cooling;
   }
 
+  if (cache) result.cache_stats = cache->stats();
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return result;

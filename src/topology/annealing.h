@@ -4,10 +4,26 @@
 // expression is the exact minimum floorplan area of the slicing tree it
 // encodes (Stockmeyer evaluation of the shape curves), so the search
 // optimizes the same objective the downstream flow reports.
+//
+// Randomness: every move attempt draws from its own PCG32 stream derived
+// from (seed, attempt index), so the mutation and acceptance randomness
+// of attempt i never depends on how many draws earlier attempts consumed.
+// This keeps reject-heavy stretches (cold temperatures) from correlating
+// move choices across the schedule and makes trajectories replayable
+// attempt by attempt (see annealing_move_rng).
+//
+// With AnnealingOptions::incremental the cost is evaluated by the area
+// optimizer in incremental mode against a run-local memo cache
+// (src/cache/): after a move only the dirty root-path of T' is
+// recomputed, clean subtrees are served from cache, and the cache is
+// epoch-rolled-back on reject so its contents always reflect the accepted
+// trajectory. Costs are identical to the Stockmeyer path, so the search
+// trajectory is unchanged — only the per-move work shrinks.
 #pragma once
 
 #include <cstdint>
 
+#include "cache/memo_cache.h"
 #include "net/netlist.h"
 #include "topology/polish.h"
 
@@ -25,6 +41,13 @@ struct AnnealingOptions {
   /// the expression's min-area placement. nullptr = area only.
   const Netlist* netlist = nullptr;
   double lambda = 0;
+  /// Evaluate costs through the incremental optimizer engine backed by a
+  /// run-local memo cache (accept commits the cache epoch, reject rolls
+  /// it back). Same costs, same trajectory, less work per move.
+  bool incremental = false;
+  /// Byte budget of the run-local memo cache (0 = unlimited); only used
+  /// when `incremental` is set.
+  std::size_t cache_bytes = MemoCache::kDefaultByteBudget;
 };
 
 struct AnnealingResult {
@@ -36,7 +59,15 @@ struct AnnealingResult {
   std::size_t moves = 0;
   std::size_t accepted = 0;
   double seconds = 0;
+  MemoCacheStats cache_stats;  ///< all zero unless opts.incremental
 };
+
+/// The PCG32 stream move attempt `attempt` draws from (first the mutation
+/// draws, then the acceptance draw). Exposed so tests can replay a
+/// trajectory attempt by attempt; attempts are counted from 0 across the
+/// whole run, including attempts whose sampled move kind had no
+/// applicable instance.
+[[nodiscard]] Pcg32 annealing_move_rng(std::uint64_t seed, std::uint64_t attempt);
 
 /// Search for a low-area slicing topology over the given modules.
 /// Deterministic for a fixed seed. Preconditions: >= 2 modules, none with

@@ -1,6 +1,8 @@
 // Tests for the Wong-Liu style topology annealer.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "optimize/optimizer.h"
 #include "optimize/placement.h"
 #include "topology/annealing.h"
@@ -76,6 +78,113 @@ TEST(AnnealingTest, ResultFeedsTheDownstreamOptimizer) {
   // And the whole flow ends in a valid tiling.
   const Placement p = trace_placement(tree, out, out.root.min_area_index());
   EXPECT_TRUE(validate_placement(p, tree).empty());
+}
+
+// ---- per-move RNG streams ----------------------------------------------
+
+// Every move attempt draws from Pcg32(seed, move-stream-base + attempt),
+// so a trajectory can be replayed attempt by attempt with nothing but the
+// seed: this replica re-runs the whole annealing loop by hand through
+// annealing_move_rng() and must land on the identical result. It pins
+// both the acceptance rule and the stream derivation — under a single
+// shared RNG (the old scheme), the draws of attempt i would shift with
+// the accept/reject history before it and this replay would diverge
+// within a few moves.
+TEST(AnnealingTest, TrajectoryReplaysAttemptByAttemptFromTheSeed) {
+  const auto modules = some_modules(9, 55);
+  AnnealingOptions o = quick(77);
+  o.initial_temperature = 50.0;  // explicit: the replica skips calibration
+  o.max_total_moves = 600;
+
+  const AnnealingResult r = anneal_slicing_topology(modules, o);
+
+  PolishExpr current = PolishExpr::initial(modules.size());
+  double current_cost = static_cast<double>(current.min_area(modules));
+  PolishExpr best = current;
+  double best_cost = current_cost;
+  std::size_t moves = 0;
+  std::size_t accepted = 0;
+  std::uint64_t attempt = 0;
+  const std::size_t moves_per_temp = 10 * modules.size();
+  double temperature = o.initial_temperature;
+  while (temperature > o.freeze_ratio * o.initial_temperature && moves < o.max_total_moves) {
+    for (std::size_t m = 0; m < moves_per_temp && moves < o.max_total_moves; ++m) {
+      Pcg32 rng = annealing_move_rng(o.seed, attempt++);
+      PolishExpr candidate = current;
+      if (!candidate.random_move(rng)) continue;
+      ++moves;
+      const double cost = static_cast<double>(candidate.min_area(modules));
+      const double delta = cost - current_cost;
+      if (delta <= 0 || rng.unit() < std::exp(-delta / temperature)) {
+        current = std::move(candidate);
+        current_cost = cost;
+        ++accepted;
+        if (cost < best_cost) {
+          best = current;
+          best_cost = cost;
+        }
+      }
+    }
+    temperature *= o.cooling;
+  }
+
+  EXPECT_EQ(r.best, best);
+  EXPECT_EQ(r.best_cost, best_cost);
+  EXPECT_EQ(r.moves, moves);
+  EXPECT_EQ(r.accepted, accepted);
+}
+
+TEST(AnnealingTest, MoveStreamsAreDistinctAcrossAttempts) {
+  // Adjacent attempts must not replay each other's randomness.
+  Pcg32 a = annealing_move_rng(1, 0);
+  Pcg32 b = annealing_move_rng(1, 1);
+  Pcg32 c = annealing_move_rng(2, 0);
+  const std::uint32_t a0 = a.next();
+  EXPECT_NE(a0, b.next());
+  EXPECT_NE(a0, c.next());
+}
+
+// ---- incremental (memo-cached) cost evaluation ---------------------------
+
+TEST(AnnealingTest, IncrementalCostingKeepsTheExactTrajectory) {
+  // The engine with no selection limits computes the same exact min area
+  // as the Stockmeyer cost, so switching on incremental mode must change
+  // nothing about the search — same moves, same accepts, same best — while
+  // the memo cache absorbs most of the per-move work.
+  const auto modules = some_modules(10, 63);
+  AnnealingOptions plain = quick(63);
+  plain.max_total_moves = 800;
+  AnnealingOptions inc = plain;
+  inc.incremental = true;
+
+  const AnnealingResult a = anneal_slicing_topology(modules, plain);
+  const AnnealingResult b = anneal_slicing_topology(modules, inc);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_area, b.best_area);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.accepted, b.accepted);
+
+  EXPECT_EQ(a.cache_stats.probes(), 0u) << "plain runs must not touch a cache";
+  EXPECT_GT(b.cache_stats.hits, 0u);
+  EXPECT_GT(b.cache_stats.rollback_discards, 0u) << "schedule this long must reject moves";
+}
+
+TEST(AnnealingTest, IncrementalSurvivesATinyCache) {
+  // Constant evictions may cost recomputes but never change the search.
+  const auto modules = some_modules(8, 29);
+  AnnealingOptions plain = quick(29);
+  plain.max_total_moves = 300;
+  AnnealingOptions inc = plain;
+  inc.incremental = true;
+  inc.cache_bytes = 8u << 10;  // 8 KiB
+
+  const AnnealingResult a = anneal_slicing_topology(modules, plain);
+  const AnnealingResult b = anneal_slicing_topology(modules, inc);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_GT(b.cache_stats.evictions, 0u) << "cache_bytes too large to exercise evictions";
 }
 
 TEST(AnnealingTest, MoreMovesNeverHurtTheSeededSearch) {

@@ -56,6 +56,62 @@ TEST(SmallestSquareSideTest, MatchesBruteForce) {
   }
 }
 
+// ---- degenerate curves and tie-breaking (coverage gaps) -----------------
+
+TEST(BestInOutlineTest, EmptyCurveHasNoAnswer) {
+  const RList empty;
+  EXPECT_FALSE(best_in_outline(empty, 100, 100).has_value());
+  EXPECT_FALSE(best_with_aspect(empty, 0.5, 2.0).has_value());
+}
+
+TEST(BestInOutlineTest, SingleImplementationCurve) {
+  const RList one = RList::from_candidates({{7, 5}});
+  const auto fits = best_in_outline(one, 7, 5);
+  ASSERT_TRUE(fits.has_value());
+  EXPECT_EQ(*fits, 0u);
+  EXPECT_FALSE(best_in_outline(one, 6, 5).has_value());
+  EXPECT_FALSE(best_in_outline(one, 7, 4).has_value());
+  const auto aspect = best_with_aspect(one, 5.0 / 7.0, 5.0 / 7.0);
+  ASSERT_TRUE(aspect.has_value());
+  EXPECT_EQ(*aspect, 0u);
+  EXPECT_EQ(smallest_square_side(one), 7);
+}
+
+TEST(BestInOutlineTest, EqualAreaTieKeepsTheFirstThatIsTheWidest) {
+  // 12x6, 9x8 and 6x12 all have area 72; an R-list orders by strictly
+  // decreasing width, so index 0 is the widest. The query compares with
+  // strict '<', so the first (widest) equal-area implementation wins —
+  // ties must not depend on traversal accidents.
+  const RList ties = RList::from_candidates({{12, 6}, {9, 8}, {6, 12}});
+  ASSERT_EQ(ties.size(), 3u);
+  const auto idx = best_in_outline(ties, 12, 12);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 0u);
+  EXPECT_EQ(ties[*idx], (RectImpl{12, 6}));
+  // Restricting the outline so the widest no longer fits moves the tie to
+  // the next equal-area implementation, not to a larger-area one.
+  const auto narrower = best_in_outline(ties, 9, 12);
+  ASSERT_TRUE(narrower.has_value());
+  EXPECT_EQ(ties[*narrower], (RectImpl{9, 8}));
+}
+
+TEST(BestWithAspectTest, EqualAreaTieKeepsTheFirstAdmissible) {
+  const RList ties = RList::from_candidates({{12, 6}, {9, 8}, {6, 12}});
+  // A band admitting all three (h/w from 0.5 to 2) keeps the first.
+  const auto idx = best_with_aspect(ties, 0.5, 2.0);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 0u);
+  // A band excluding the first picks the next equal-area one.
+  const auto taller = best_with_aspect(ties, 0.6, 2.0);
+  ASSERT_TRUE(taller.has_value());
+  EXPECT_EQ(ties[*taller], (RectImpl{9, 8}));
+}
+
+TEST(SmallestSquareSideTest, SingleImplementationIsItsLongerSide) {
+  EXPECT_EQ(smallest_square_side(RList::from_candidates({{3, 11}})), 11);
+  EXPECT_EQ(smallest_square_side(RList::from_candidates({{11, 3}})), 11);
+}
+
 TEST(CurveQueriesIntegrationTest, RootCurveAnswersOutlineQueries) {
   WorkloadConfig cfg;
   cfg.impls_per_module = 6;

@@ -1,0 +1,221 @@
+// Unit tests for the content-addressed memo cache (src/cache/): LRU
+// ordering, byte-budget eviction, epoch commit/rollback semantics, and
+// the cache-key derivation rules the incremental engine relies on.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cache/cache_key.h"
+#include "cache/memo_cache.h"
+#include "topology/polish.h"
+#include "workload/module_gen.h"
+
+namespace fpopt {
+namespace {
+
+CacheKey key_of(std::uint64_t n) { return CacheKey{n, ~n}; }
+
+/// An entry whose R-list has `impls` implementations (so entries have a
+/// predictable relative byte footprint).
+MemoCache::Entry make_payload(std::size_t impls) {
+  MemoCache::Entry e;
+  e.result.is_l = false;
+  std::vector<RectImpl> candidates;
+  for (std::size_t i = 0; i < impls; ++i) {
+    candidates.push_back({static_cast<Dim>(i + 1), static_cast<Dim>(impls - i + 1)});
+  }
+  e.result.rlist = RList::from_candidates(candidates);
+  e.result.rprov.resize(e.result.rlist.size());
+  e.profile.net_stored = impls;
+  return e;
+}
+
+void insert(MemoCache& cache, std::uint64_t n, std::size_t impls = 4) {
+  const MemoCache::Entry payload = make_payload(impls);
+  cache.insert(key_of(n), payload.result, payload.profile);
+}
+
+TEST(MemoCacheTest, FindReturnsInsertedEntry) {
+  MemoCache cache;
+  insert(cache, 1, 7);
+  const MemoCache::Entry* e = cache.find(key_of(1));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->result.rlist.size(), 7u);
+  EXPECT_EQ(e->profile.net_stored, 7u);
+  EXPECT_EQ(cache.find(key_of(2)), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(MemoCacheTest, InsertOverwritesExistingKey) {
+  MemoCache cache;
+  insert(cache, 1, 3);
+  insert(cache, 1, 9);
+  EXPECT_EQ(cache.size(), 1u);
+  const MemoCache::Entry* e = cache.find(key_of(1));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->result.rlist.size(), 9u);
+}
+
+TEST(MemoCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Budget fits roughly three entries; inserting a fourth must evict the
+  // least recently *used* (not least recently inserted) one.
+  MemoCache probe(0);
+  insert(probe, 0, 6);
+  const std::size_t per_entry = probe.bytes();
+  ASSERT_GT(per_entry, 0u);
+
+  MemoCache cache(3 * per_entry + per_entry / 2);
+  insert(cache, 1, 6);
+  insert(cache, 2, 6);
+  insert(cache, 3, 6);
+  ASSERT_EQ(cache.size(), 3u);
+  ASSERT_NE(cache.find(key_of(1)), nullptr);  // touch 1: now 2 is the LRU
+  insert(cache, 4, 6);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+  EXPECT_EQ(cache.find(key_of(2)), nullptr) << "the LRU entry must go first";
+  EXPECT_NE(cache.find(key_of(3)), nullptr);
+  EXPECT_NE(cache.find(key_of(4)), nullptr);
+  EXPECT_LE(cache.bytes(), cache.byte_budget());
+}
+
+TEST(MemoCacheTest, FreshInsertIsNeverEvictedByItsOwnInsertion) {
+  MemoCache probe(0);
+  insert(probe, 0, 12);
+  // Budget smaller than one entry: the entry still lands (evicting
+  // everything else), because evicting the fresh result would make the
+  // cache useless for oversized nodes.
+  MemoCache cache(probe.bytes() / 2);
+  insert(cache, 1, 12);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+}
+
+TEST(MemoCacheTest, ZeroBudgetMeansUnlimited) {
+  MemoCache cache(0);
+  for (std::uint64_t n = 0; n < 200; ++n) insert(cache, n, 8);
+  EXPECT_EQ(cache.size(), 200u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(MemoCacheTest, RollbackRemovesEpochInsertions) {
+  MemoCache cache;
+  insert(cache, 1);
+  cache.begin_epoch();
+  insert(cache, 2);
+  insert(cache, 3);
+  EXPECT_EQ(cache.size(), 3u);
+  cache.rollback_epoch();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find(key_of(1)), nullptr);
+  EXPECT_EQ(cache.find(key_of(2)), nullptr);
+  EXPECT_EQ(cache.find(key_of(3)), nullptr);
+  EXPECT_EQ(cache.stats().rollback_discards, 2u);
+}
+
+TEST(MemoCacheTest, CommitKeepsEpochInsertions) {
+  MemoCache cache;
+  cache.begin_epoch();
+  insert(cache, 2);
+  cache.commit_epoch();
+  EXPECT_FALSE(cache.in_epoch());
+  EXPECT_NE(cache.find(key_of(2)), nullptr);
+  // A later rollback of a new, empty epoch must not touch it.
+  cache.begin_epoch();
+  cache.rollback_epoch();
+  EXPECT_NE(cache.find(key_of(2)), nullptr);
+}
+
+TEST(MemoCacheTest, EvictionsInsideAnEpochArePermanent) {
+  MemoCache probe(0);
+  insert(probe, 0, 6);
+  const std::size_t per_entry = probe.bytes();
+
+  MemoCache cache(2 * per_entry + per_entry / 2);
+  insert(cache, 1, 6);
+  insert(cache, 2, 6);
+  cache.begin_epoch();
+  insert(cache, 3, 6);  // evicts 1 (LRU)
+  ASSERT_EQ(cache.stats().evictions, 1u);
+  cache.rollback_epoch();
+  // 3 (epoch insertion) is gone, and the evicted 1 does NOT come back —
+  // losing an entry can only cause a recompute, never a wrong result.
+  EXPECT_EQ(cache.find(key_of(3)), nullptr);
+  EXPECT_EQ(cache.find(key_of(1)), nullptr);
+  EXPECT_NE(cache.find(key_of(2)), nullptr);
+}
+
+TEST(MemoCacheTest, BytesTrackInsertionsAndClear) {
+  MemoCache cache;
+  EXPECT_EQ(cache.bytes(), 0u);
+  insert(cache, 1, 10);
+  const std::size_t one = cache.bytes();
+  EXPECT_GT(one, 0u);
+  insert(cache, 2, 10);
+  EXPECT_GT(cache.bytes(), one);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(MemoCacheTest, ApproxEntryBytesGrowsWithPayload) {
+  EXPECT_LT(approx_entry_bytes(make_payload(2).result),
+            approx_entry_bytes(make_payload(40).result));
+}
+
+// ---- cache keys ---------------------------------------------------------
+
+TEST(CacheKeyTest, DeterministicAndConfigSensitive) {
+  const std::vector<Module> modules =
+      generate_modules(6, ModuleGenConfig{.impl_count = 4}, 11);
+  const FloorplanTree tree = PolishExpr::initial(modules.size()).to_tree(modules);
+  OptimizerOptions opts;
+  opts.selection.k1 = 6;
+
+  const BinaryTree bt = restructure(tree, opts.restructure);
+  const std::vector<CacheKey> a = derive_node_keys(bt, tree, opts);
+  const std::vector<CacheKey> b = derive_node_keys(bt, tree, opts);
+  EXPECT_EQ(a, b);
+
+  OptimizerOptions changed = opts;
+  changed.selection.theta = 0.5;
+  const std::vector<CacheKey> c = derive_node_keys(bt, tree, changed);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NE(a[i], c[i]) << "node " << i << ": theta must be part of every key";
+  }
+}
+
+TEST(CacheKeyTest, BudgetAndThreadsDoNotChangeKeys) {
+  const std::vector<Module> modules =
+      generate_modules(5, ModuleGenConfig{.impl_count = 3}, 13);
+  const FloorplanTree tree = PolishExpr::initial(modules.size()).to_tree(modules);
+  OptimizerOptions opts;
+  const BinaryTree bt = restructure(tree, opts.restructure);
+  const std::vector<CacheKey> base = derive_node_keys(bt, tree, opts);
+
+  OptimizerOptions other = opts;
+  other.impl_budget = 123;
+  other.threads = 8;
+  other.incremental = true;
+  EXPECT_EQ(base, derive_node_keys(bt, tree, other))
+      << "budget/threads never change a completed node's bytes";
+}
+
+TEST(CacheKeyTest, ConfigFingerprintSeparatesKnobs) {
+  OptimizerOptions a;
+  OptimizerOptions b;
+  b.selection.k2 = 5;
+  OptimizerOptions c;
+  c.l_pruning = LPruning::PerChain;
+  EXPECT_EQ(config_fingerprint(a), config_fingerprint(a));
+  EXPECT_NE(config_fingerprint(a), config_fingerprint(b));
+  EXPECT_NE(config_fingerprint(a), config_fingerprint(c));
+  EXPECT_NE(config_fingerprint(b), config_fingerprint(c));
+}
+
+}  // namespace
+}  // namespace fpopt

@@ -221,6 +221,104 @@ TEST(RestructureTest, ChiralityIsRecordedOnTheCloseNode) {
   EXPECT_EQ(bt.root->chirality, WheelChirality::CounterClockwise);
 }
 
+// ---- degenerate chains (coverage gaps) ----------------------------------
+
+TEST(RestructureTest, SingleLeafTreeIsItsOwnBinaryTree) {
+  FloorplanTree tree(parse_module_library("only 2x3 3x2\n"), FloorplanNode::leaf(0));
+  ASSERT_TRUE(tree.validate().empty());
+  const BinaryTree bt = restructure(tree);
+  EXPECT_EQ(bt.node_count, 1u);
+  ASSERT_NE(bt.root, nullptr);
+  EXPECT_TRUE(bt.root->is_leaf());
+  EXPECT_EQ(bt.root->module_id, 0u);
+  EXPECT_EQ(bt.root->id, 0u);
+  // The engine handles the trivial tree: the curve is the module library.
+  const OptimizeOutcome out = optimize_floorplan(tree, {});
+  ASSERT_FALSE(out.out_of_memory);
+  EXPECT_EQ(out.best_area, 6);
+  EXPECT_EQ(out.root.size(), 2u);
+}
+
+TEST(RestructureTest, NestedBinaryChainRestructuresToItself) {
+  // (V m0 (H m1 (V m2 (H m3 m4)))) is already binary: restructuring must
+  // neither add nodes nor reassociate, whatever the fold mode.
+  const std::string topo = "(V a (H b (V c (H d e))))";
+  FloorplanTree tree = parse_floorplan(topo, five_modules());
+  for (const bool balanced : {false, true}) {
+    RestructureOptions opts;
+    opts.balanced_slices = balanced;
+    const BinaryTree bt = restructure(tree, opts);
+    EXPECT_EQ(bt.node_count, 9u) << "balanced=" << balanced;  // 5 leaves + 4 slices
+    const BinaryNode* n = bt.root.get();
+    ASSERT_EQ(n->op, BinaryOp::SliceV);
+    EXPECT_EQ(n->left->module_id, 0u);
+    n = n->right.get();
+    ASSERT_EQ(n->op, BinaryOp::SliceH);
+    EXPECT_EQ(n->left->module_id, 1u);
+    n = n->right.get();
+    ASSERT_EQ(n->op, BinaryOp::SliceV);
+    n = n->right.get();
+    ASSERT_EQ(n->op, BinaryOp::SliceH);
+    EXPECT_EQ(n->left->module_id, 3u);
+    EXPECT_EQ(n->right->module_id, 4u);
+  }
+}
+
+TEST(RestructureTest, HighFanoutSpineKeepsChildOrderAndArea) {
+  // One slice with 16 children: the left-deep spine has 15 slice nodes in
+  // child order; the balanced fold has the same leaves and the same
+  // optimal area (slicing is associative in area).
+  std::vector<std::unique_ptr<FloorplanNode>> ch;
+  std::string lib;
+  for (std::size_t i = 0; i < 16; ++i) {
+    ch.push_back(FloorplanNode::leaf(i));
+    lib += "m" + std::to_string(i) + " 2x3 3x2\n";
+  }
+  FloorplanTree tree(parse_module_library(lib),
+                     FloorplanNode::slice(SliceDir::Horizontal, std::move(ch)));
+  ASSERT_TRUE(tree.validate().empty());
+
+  const BinaryTree deep = restructure(tree);
+  EXPECT_EQ(deep.node_count, 31u);
+  std::size_t spine = 0;
+  const BinaryNode* n = deep.root.get();
+  std::vector<std::size_t> right_leaves;
+  while (!n->is_leaf()) {
+    EXPECT_EQ(n->op, BinaryOp::SliceH);
+    if (n->right->is_leaf()) right_leaves.push_back(n->right->module_id);
+    ++spine;
+    n = n->left.get();
+  }
+  EXPECT_EQ(spine, 15u);
+  EXPECT_EQ(n->module_id, 0u) << "left-most leaf is the first child";
+  // Right leaves appear in reverse child order down the spine.
+  for (std::size_t i = 0; i < right_leaves.size(); ++i) {
+    EXPECT_EQ(right_leaves[i], 15u - i);
+  }
+
+  RestructureOptions balanced;
+  balanced.balanced_slices = true;
+  const BinaryTree flat = restructure(tree, balanced);
+  EXPECT_EQ(flat.node_count, 31u);
+  OptimizerOptions bopts;
+  bopts.restructure = balanced;
+  EXPECT_EQ(optimize_floorplan(tree, {}).best_area, optimize_floorplan(tree, bopts).best_area);
+}
+
+TEST(RestructureTest, TwoChildSliceIsTheSameInBothFoldModes) {
+  FloorplanTree tree = parse_floorplan("(H a b)", parse_module_library("a 2x3\nb 4x4\n"));
+  RestructureOptions balanced;
+  balanced.balanced_slices = true;
+  const BinaryTree a = restructure(tree);
+  const BinaryTree b = restructure(tree, balanced);
+  EXPECT_EQ(a.node_count, 3u);
+  EXPECT_EQ(b.node_count, 3u);
+  EXPECT_EQ(a.root->op, BinaryOp::SliceH);
+  EXPECT_EQ(b.root->op, BinaryOp::SliceH);
+  EXPECT_EQ(a.root->left->module_id, b.root->left->module_id);
+  EXPECT_EQ(a.root->right->module_id, b.root->right->module_id);
+}
+
 TEST(RestructureTest, PreorderIdsAreDense) {
   WorkloadConfig cfg;
   cfg.impls_per_module = 2;

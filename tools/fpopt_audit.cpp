@@ -15,6 +15,8 @@
 //   --pruning perchain|node|eager      L pruning mode (default node, i.e. [9])
 //   --trace N    root implementations traced to placements (default 16)
 //   --certs N    selection certificates re-derived per kind (default 4)
+//   --incremental  audit the incremental engine instead: scratch vs cold-
+//                  vs warm-cache runs must produce byte-equal artifacts
 //
 // Exit codes: 0 all checks passed, 1 violations found, 2 usage/input error,
 // 3 the run exceeded the memory budget (no verdict).
@@ -61,6 +63,7 @@ struct Cli {
   std::string library_path;
   fpopt::WorkloadConfig workload{.impls_per_module = 8};
   fpopt::AuditOptions audit;
+  bool incremental = false;
 };
 
 Cli parse_args(const std::vector<std::string>& args) {
@@ -132,6 +135,8 @@ Cli parse_args(const std::vector<std::string>& args) {
       cli.audit.max_traced_placements = static_cast<std::size_t>(parse_int(a, need_value()));
     } else if (a == "--certs") {
       cli.audit.certificate_samples = static_cast<std::size_t>(parse_int(a, need_value()));
+    } else if (a == "--incremental") {
+      cli.incremental = true;
     } else {
       throw UsageError("unknown flag " + a);
     }
@@ -178,6 +183,25 @@ int main(int argc, char** argv) {
   } catch (const fpopt::ParseError& e) {
     std::cerr << "fpopt_audit: parse error: " << e.what() << '\n';
     return 2;
+  }
+
+  if (cli.incremental) {
+    const fpopt::IncrementalAuditReport report = fpopt::audit_incremental(tree, cli.audit);
+    std::cout << "modules:            " << tree.module_count() << '\n'
+              << "scratch verdict:    " << (report.out_of_memory ? "out-of-memory" : "ok")
+              << '\n'
+              << "cold cache:         " << report.cold_stats.hits << '/'
+              << report.cold_stats.probes() << " hits, " << report.cold_stats.insertions
+              << " inserted\n"
+              << "warm cache:         " << report.warm_stats.hits << '/'
+              << report.warm_stats.probes() << " hits\n";
+    if (!report.ok()) {
+      std::cout << '\n' << report.checks.report() << "\nFAIL: " << report.checks.size()
+                << " violation(s)\n";
+      return 1;
+    }
+    std::cout << "\nPASS: incremental runs byte-equal the scratch run\n";
+    return 0;
   }
 
   const fpopt::AuditReport report = fpopt::audit_optimize(tree, cli.audit);
