@@ -13,7 +13,11 @@
 // Emits machine-readable BENCH_incremental.json next to the binary:
 //   {"workload": ..., "moves": M, "median_speedup": X, "hit_rate": H,
 //    "acceptance": {"median_speedup_target": 5.0, "hit_rate_target": 0.7,
-//                   "pass": true|false}, ...}
+//                   "pass": true|false},
+//    "run_report": {"fpopt_run_report": ...}, ...}
+// The embedded run_report carries the last incremental move's optimizer
+// counters plus the shared cache's lifetime stats (schema v1, validated
+// in CI by fpopt_report_check).
 // Acceptance: median per-move speedup >= 5x with a node-level cache hit
 // rate >= 70%. See EXPERIMENTS.md.
 #include <algorithm>
@@ -25,7 +29,9 @@
 #include <vector>
 
 #include "cache/memo_cache.h"
+#include "io/run_report_build.h"
 #include "optimize/optimizer.h"
+#include "telemetry/run_report.h"
 #include "topology/annealing.h"
 #include "topology/polish.h"
 #include "workload/floorplans.h"
@@ -99,6 +105,7 @@ int main() {
   double scratch_total = 0;
   double inc_total = 0;
   std::size_t accepted = 0;
+  OptimizeOutcome last_inc;
   for (std::size_t move = 0; move < kMoves;) {
     PolishExpr candidate = current;
     if (!candidate.random_move(rng)) continue;
@@ -133,6 +140,7 @@ int main() {
     } else {
       cache.rollback_epoch();
     }
+    last_inc = inc;
   }
 
   std::vector<double> sorted = speedups;
@@ -169,8 +177,14 @@ int main() {
       << ", \"rollback_discards\": " << stats.rollback_discards << "},\n"
       << "  \"acceptance\": {\"median_speedup_target\": " << kSpeedupTarget
       << ", \"hit_rate_target\": " << kHitRateTarget << ", \"pass\": "
-      << (pass ? "true" : "false") << "}\n"
-      << "}\n";
+      << (pass ? "true" : "false") << "},\n";
+  telemetry::RunReport report("ablation_incremental", "fp3_balanced_anneal");
+  report.add_config("k1", "8");
+  report.add_config("k2", "10");
+  report.add_config("incremental", "true");
+  report_optimizer(report, last_inc);
+  report_cache(report, stats);
+  out << "  \"run_report\": " << report.to_json(false) << "\n}\n";
   std::cout << "\nwrote BENCH_incremental.json\n";
   return pass ? 0 : 1;
 }

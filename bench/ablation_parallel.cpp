@@ -6,7 +6,10 @@
 //   {"hardware_concurrency": C,
 //    "workloads": [{"name": ..., "serial_seconds": S,
 //                   "runs": [{"threads": T, "seconds": W, "speedup": S/W}],
-//                   "best_speedup": ...}]}
+//                   "best_speedup": ...,
+//                   "run_report": {"fpopt_run_report": ...}}]}
+// The embedded run_report is the serial run's full telemetry document
+// (schema v1, validated in CI by fpopt_report_check).
 // Speedups depend on the runner; the acceptance target (>= 2x on a
 // Table-3/4-scale workload) assumes a 4+-core machine. See EXPERIMENTS.md.
 #include <algorithm>
@@ -19,7 +22,9 @@
 #include <vector>
 
 #include "table_common.h"
+#include "io/run_report_build.h"
 #include "optimize/optimizer.h"
+#include "telemetry/run_report.h"
 #include "workload/floorplans.h"
 
 namespace {
@@ -38,14 +43,17 @@ struct Run {
   double seconds = 0;
 };
 
-/// Best of three runs (damps cold-start and scheduler noise).
-double time_run(const Workload& w, std::size_t threads, Area& area_out, std::size_t& curve_out) {
+/// Best of three runs (damps cold-start and scheduler noise). When
+/// `last_out` is non-null it receives the final rep's full outcome (for
+/// the embedded run report).
+double time_run(const Workload& w, std::size_t threads, Area& area_out, std::size_t& curve_out,
+                OptimizeOutcome* last_out = nullptr) {
   OptimizerOptions opts = w.opts;
   opts.threads = threads;
   double best = 0;
   for (int rep = 0; rep < 3; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    const OptimizeOutcome out = optimize_floorplan(w.tree, opts);
+    OptimizeOutcome out = optimize_floorplan(w.tree, opts);
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     if (out.out_of_memory) {
@@ -55,6 +63,7 @@ double time_run(const Workload& w, std::size_t threads, Area& area_out, std::siz
     area_out = out.best_area;
     curve_out = out.root.size();
     if (rep == 0 || secs < best) best = secs;
+    if (last_out != nullptr) *last_out = std::move(out);
   }
   return best;
 }
@@ -88,7 +97,8 @@ int main() {
   for (const Workload& w : workloads) {
     Area serial_area = 0;
     std::size_t serial_curve = 0;
-    const double serial_secs = time_run(w, 0, serial_area, serial_curve);
+    OptimizeOutcome serial_out;
+    const double serial_secs = time_run(w, 0, serial_area, serial_curve, &serial_out);
     std::cout << w.name << ": serial " << serial_secs << " s (area " << serial_area << ", "
               << serial_curve << " root impls)\n";
 
@@ -115,7 +125,11 @@ int main() {
            << ", \"seconds\": " << secs << ", \"speedup\": " << speedup << "}";
       first_run = false;
     }
-    json << "], \"best_speedup\": " << best_speedup << "}";
+    telemetry::RunReport report("ablation_parallel", w.name);
+    report.add_config("threads", "0");
+    report_optimizer(report, serial_out);
+    json << "], \"best_speedup\": " << best_speedup
+         << ", \"run_report\": " << report.to_json(false) << "}";
   }
   json << "\n  ]\n}\n";
 

@@ -1,5 +1,6 @@
 #include "cache/memo_cache.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace fpopt {
@@ -33,6 +34,7 @@ void MemoCache::insert(const CacheKey& key, NodeResult result,
   lru_.push_front(Entry{key, std::move(result), profile, entry_bytes});
   map_.emplace(key, lru_.begin());
   bytes_ += entry_bytes;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, bytes_);
   ++stats_.insertions;
   if (epoch_open_) epoch_inserts_.push_back(key);
   evict_to_budget(lru_.begin());

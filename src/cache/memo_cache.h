@@ -51,6 +51,7 @@ struct MemoCacheStats {
   std::size_t insertions = 0;
   std::size_t evictions = 0;          ///< entries dropped by the byte budget
   std::size_t rollback_discards = 0;  ///< entries removed by rollback_epoch
+  std::size_t peak_bytes = 0;         ///< largest footprint ever held
 
   [[nodiscard]] std::size_t probes() const { return hits + misses; }
   [[nodiscard]] double hit_rate() const {

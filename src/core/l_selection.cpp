@@ -216,6 +216,21 @@ LReductionReport reduce_l_set(LListSet& set, std::size_t k2, double theta,
     reduced[i] = std::move(copy);
   });
   for (const Weight e : errors) report.total_error += e;
+  // Counters are derived from the same deterministic per-chain conditions
+  // reduce_l_list applies, so the report does not depend on scheduling.
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    const std::size_t budget = std::max<std::size_t>(2, k2 * lists[i].size() / n_total);
+    if (lists[i].size() <= budget) continue;
+    ++report.chains_reduced;
+    ++report.cspp_calls;
+    if (opts.metric == LpMetric::L1 && opts.dp != SelectionDp::Generic) {
+      ++report.cspp_monge_calls;
+    }
+    if (opts.heuristic_cap > 0 && lists[i].size() > opts.heuristic_cap &&
+        opts.heuristic_cap > std::max<std::size_t>(budget, 2)) {
+      ++report.heuristic_prereductions;
+    }
+  }
   set.replace_lists(std::move(reduced));
   report.after = set.total_size();
   return report;

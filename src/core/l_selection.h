@@ -77,6 +77,10 @@ struct LReductionReport {
   std::size_t before = 0;      ///< implementations before reduction
   std::size_t after = 0;       ///< implementations after reduction
   Weight total_error = 0;      ///< sum of per-list selection errors
+  std::size_t chains_reduced = 0;  ///< lists the optimal selector ran on
+  std::size_t cspp_calls = 0;      ///< interval-CSPP invocations
+  std::size_t cspp_monge_calls = 0;  ///< of those, through the Monge DP
+  std::size_t heuristic_prereductions = 0;  ///< Section-5 S-cap pre-passes
 };
 
 /// Reduce an L-block's whole implementation store from N = set.total_size()

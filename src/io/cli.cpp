@@ -1,15 +1,18 @@
 #include "io/cli.h"
 
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 
 #include "cache/memo_cache.h"
 #include "floorplan/serialize.h"
+#include "io/run_report_build.h"
 #include "io/svg.h"
 #include "optimize/optimizer.h"
 #include "net/netlist.h"
 #include "optimize/placement.h"
+#include "telemetry/json.h"
 #include "topology/annealing.h"
 
 namespace fpopt {
@@ -31,8 +34,10 @@ struct ParsedArgs {
   std::string command;
   std::vector<std::string> positional;
   OptimizerOptions options;
-  std::size_t impl_index = static_cast<std::size_t>(-1);  // place: -1 = min area
+  std::optional<std::size_t> impl_index;  // place: unset = min area
   std::size_t cache_bytes = MemoCache::kDefaultByteBudget;  // --cache-mb
+  bool show_stats = false;      // --stats: human-readable run report
+  std::string stats_json_path;  // --stats-json: write the JSON run report
   // anneal:
   AnnealingOptions anneal;
   std::string netlist_path;
@@ -44,6 +49,36 @@ long parse_long(const std::string& flag, const std::string& value) {
     std::size_t pos = 0;
     const long v = std::stol(value, &pos);
     if (pos != value.size() || v < 0) throw CliError{""};
+    return v;
+  } catch (...) {
+    throw CliError{"bad value '" + value + "' for " + flag};
+  }
+}
+
+/// Full-range unsigned index (e.g. --impl). Parsed with stoull so every
+/// representable std::size_t — including the maximal one, which the old
+/// code reserved as an "unset" sentinel — is a legitimate value that gets
+/// a proper range check downstream instead of a parse failure.
+std::size_t parse_index(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    // stoull silently wraps "-1"; reject any sign explicitly.
+    if (value.empty() || value[0] == '-' || value[0] == '+') throw CliError{""};
+    const unsigned long long v = std::stoull(value, &pos);
+    if (pos != value.size() || v > std::numeric_limits<std::size_t>::max()) throw CliError{""};
+    return static_cast<std::size_t>(v);
+  } catch (...) {
+    throw CliError{"bad value '" + value + "' for " + flag};
+  }
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    // stod parses the longest valid prefix; trailing garbage ("0.5xyz")
+    // must be a hard error, exactly like parse_long.
+    if (pos != value.size()) throw CliError{""};
     return v;
   } catch (...) {
     throw CliError{"bad value '" + value + "' for " + flag};
@@ -71,12 +106,7 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
     } else if (a == "--k2") {
       parsed.options.selection.k2 = static_cast<std::size_t>(parse_long(a, need_value()));
     } else if (a == "--theta") {
-      const std::string& v = need_value();
-      try {
-        parsed.options.selection.theta = std::stod(v);
-      } catch (...) {
-        throw CliError{"bad value '" + v + "' for --theta"};
-      }
+      parsed.options.selection.theta = parse_double(a, need_value());
       if (parsed.options.selection.theta <= 0 || parsed.options.selection.theta > 1) {
         throw CliError{"--theta must be in (0, 1]"};
       }
@@ -91,21 +121,27 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       parsed.options.incremental = true;
       parsed.anneal.incremental = true;
     } else if (a == "--cache-mb") {
-      parsed.cache_bytes = static_cast<std::size_t>(parse_long(a, need_value())) << 20;
+      const std::size_t mb = static_cast<std::size_t>(parse_long(a, need_value()));
+      if (mb == 0) throw CliError{"--cache-mb must be at least 1 (MiB)"};
+      if (mb > (std::numeric_limits<std::size_t>::max() >> 20)) {
+        throw CliError{"--cache-mb " + std::to_string(mb) +
+                       " overflows the byte budget (max " +
+                       std::to_string(std::numeric_limits<std::size_t>::max() >> 20) + ")"};
+      }
+      parsed.cache_bytes = mb << 20;
       parsed.anneal.cache_bytes = parsed.cache_bytes;
     } else if (a == "--impl") {
-      parsed.impl_index = static_cast<std::size_t>(parse_long(a, need_value()));
+      parsed.impl_index = parse_index(a, need_value());
+    } else if (a == "--stats") {
+      parsed.show_stats = true;
+    } else if (a == "--stats-json") {
+      parsed.stats_json_path = need_value();
     } else if (a == "--seed") {
       parsed.anneal.seed = static_cast<std::uint64_t>(parse_long(a, need_value()));
     } else if (a == "--moves") {
       parsed.anneal.max_total_moves = static_cast<std::size_t>(parse_long(a, need_value()));
     } else if (a == "--lambda") {
-      const std::string& v = need_value();
-      try {
-        parsed.anneal.lambda = std::stod(v);
-      } catch (...) {
-        throw CliError{"bad value '" + v + "' for --lambda"};
-      }
+      parsed.anneal.lambda = parse_double(a, need_value());
     } else if (a == "--netlist") {
       parsed.netlist_path = need_value();
     } else if (a == "--out") {
@@ -139,7 +175,38 @@ FloorplanTree load_tree(const ParsedArgs& parsed) {
   return tree;
 }
 
-OptimizeOutcome optimize_or_throw(const FloorplanTree& tree, const ParsedArgs& parsed) {
+bool wants_report(const ParsedArgs& parsed) {
+  return parsed.show_stats || !parsed.stats_json_path.empty();
+}
+
+/// The run's knobs as report config (strings; telemetry::json_number keeps
+/// the double formatting deterministic).
+void add_common_config(telemetry::RunReport& report, const ParsedArgs& parsed) {
+  const SelectionConfig& sel = parsed.options.selection;
+  report.add_config("k1", std::to_string(sel.k1));
+  report.add_config("k2", std::to_string(sel.k2));
+  report.add_config("theta", telemetry::json_number(sel.theta));
+  report.add_config("scap", std::to_string(sel.heuristic_cap));
+  report.add_config("metric", sel.metric == LpMetric::L1    ? "l1"
+                              : sel.metric == LpMetric::L2 ? "l2"
+                                                           : "linf");
+  report.add_config("budget", std::to_string(parsed.options.impl_budget));
+  report.add_config("threads", std::to_string(parsed.options.threads));
+  report.add_config("incremental", parsed.options.incremental ? "true" : "false");
+}
+
+void emit_report(const telemetry::RunReport& report, const ParsedArgs& parsed,
+                 std::ostream& out) {
+  if (!parsed.stats_json_path.empty()) {
+    std::ofstream file(parsed.stats_json_path, std::ios::binary);
+    if (!file) throw CliError{"cannot write '" + parsed.stats_json_path + "'"};
+    file << report.to_json(true);
+  }
+  if (parsed.show_stats) out << report.to_table();
+}
+
+OptimizeOutcome optimize_or_throw(const FloorplanTree& tree, const ParsedArgs& parsed,
+                                  std::ostream& out) {
   OptimizerOptions options = parsed.options;
   // --incremental on a one-shot command runs against a run-local cache
   // (cold, so every node misses and is published); it exists to exercise
@@ -150,12 +217,21 @@ OptimizeOutcome optimize_or_throw(const FloorplanTree& tree, const ParsedArgs& p
     cache.emplace(parsed.cache_bytes);
     options.cache = &*cache;
   }
-  OptimizeOutcome out = optimize_floorplan(tree, options);
-  if (out.out_of_memory) {
+  OptimizeOutcome result = optimize_floorplan(tree, options);
+  // The report is written even for an aborted run (flagged aborted=true)
+  // so a budget sweep can post-process every outcome uniformly.
+  if (wants_report(parsed)) {
+    telemetry::RunReport report("fpopt", parsed.command);
+    add_common_config(report, parsed);
+    report_optimizer(report, result);
+    if (cache) report_cache(report, cache->stats());
+    emit_report(report, parsed, out);
+  }
+  if (result.out_of_memory) {
     throw CliError{"out of memory: exceeded the --budget of " +
                    std::to_string(options.impl_budget) + " implementations"};
   }
-  return out;
+  return result;
 }
 
 int cmd_stats(const ParsedArgs& parsed, std::ostream& out) {
@@ -173,7 +249,7 @@ int cmd_stats(const ParsedArgs& parsed, std::ostream& out) {
 
 int cmd_optimize(const ParsedArgs& parsed, std::ostream& out) {
   const FloorplanTree tree = load_tree(parsed);
-  const OptimizeOutcome result = optimize_or_throw(tree, parsed);
+  const OptimizeOutcome result = optimize_or_throw(tree, parsed, out);
   out << "best area:    " << result.best_area << '\n'
       << "shape curve:  " << result.root.size() << " implementations\n";
   for (const RectImpl& r : result.root) out << "  " << r.w << " x " << r.h << '\n';
@@ -188,19 +264,22 @@ int cmd_optimize(const ParsedArgs& parsed, std::ostream& out) {
 
 Placement trace_chosen(const FloorplanTree& tree, const OptimizeOutcome& result,
                        const ParsedArgs& parsed) {
-  std::size_t pick = parsed.impl_index;
-  if (pick == static_cast<std::size_t>(-1)) {
+  std::size_t pick;
+  if (!parsed.impl_index.has_value()) {
     pick = result.root.min_area_index();
-  } else if (pick >= result.root.size()) {
-    throw CliError{"--impl " + std::to_string(pick) + " out of range (curve has " +
-                   std::to_string(result.root.size()) + " implementations)"};
+  } else if (*parsed.impl_index >= result.root.size()) {
+    throw CliError{"--impl " + std::to_string(*parsed.impl_index) +
+                   " out of range (curve has " + std::to_string(result.root.size()) +
+                   " implementations)"};
+  } else {
+    pick = *parsed.impl_index;
   }
   return trace_placement(tree, result, pick);
 }
 
 int cmd_place(const ParsedArgs& parsed, std::ostream& out) {
   const FloorplanTree tree = load_tree(parsed);
-  const OptimizeOutcome result = optimize_or_throw(tree, parsed);
+  const OptimizeOutcome result = optimize_or_throw(tree, parsed, out);
   const Placement p = trace_chosen(tree, result, parsed);
   const auto problems = validate_placement(p, tree);
   if (!problems.empty()) throw CliError{"internal error: " + problems.front()};
@@ -219,7 +298,7 @@ int cmd_svg(const ParsedArgs& parsed, std::ostream& out) {
     throw CliError{"svg needs <topology-file> <library-file> <out.svg>"};
   }
   const FloorplanTree tree = load_tree(parsed);
-  const OptimizeOutcome result = optimize_or_throw(tree, parsed);
+  const OptimizeOutcome result = optimize_or_throw(tree, parsed, out);
   const Placement p = trace_chosen(tree, result, parsed);
   std::ofstream file(parsed.positional[2], std::ios::binary);
   if (!file) throw CliError{"cannot write '" + parsed.positional[2] + "'"};
@@ -263,6 +342,16 @@ int cmd_anneal(const ParsedArgs& parsed, std::ostream& out) {
     file << to_topology_string(tree) << '\n';
     out << "wrote " << parsed.out_path << '\n';
   }
+  if (wants_report(parsed)) {
+    telemetry::RunReport report("fpopt", "anneal");
+    report.add_config("seed", std::to_string(sa.seed));
+    report.add_config("max_moves", std::to_string(sa.max_total_moves));
+    report.add_config("lambda", telemetry::json_number(sa.lambda));
+    report.add_config("incremental", sa.incremental ? "true" : "false");
+    report_annealing(report, r);
+    if (sa.incremental) report_cache(report, r.cache_stats);
+    emit_report(report, parsed, out);
+  }
   return 0;
 }
 
@@ -272,7 +361,8 @@ constexpr const char* kUsage =
     "  stats | optimize | place [--impl I] | svg <out.svg>   (args: <topology-file> <library-file>)\n"
     "  anneal <library-file> [--seed N --moves N --netlist F --lambda X --out F]\n"
     "flags: --k1 N --k2 N --theta X --scap N --budget N --threads N --metric l1|l2|linf\n"
-    "       --incremental [--cache-mb N]   (memo-cached re-optimization; see docs)\n";
+    "       --incremental [--cache-mb N]   (memo-cached re-optimization; see docs)\n"
+    "       --stats (run-report table) --stats-json F (JSON run report; see docs §9)\n";
 
 }  // namespace
 

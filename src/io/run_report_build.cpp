@@ -1,0 +1,65 @@
+#include "io/run_report_build.h"
+
+namespace fpopt {
+
+namespace {
+
+std::uint64_t u64(std::size_t v) { return static_cast<std::uint64_t>(v); }
+
+}  // namespace
+
+void report_optimizer(telemetry::RunReport& report, const OptimizeOutcome& outcome) {
+  const OptimizerStats& s = outcome.stats;
+  report.set_aborted(outcome.out_of_memory);
+  report.add_counter("optimizer.nodes_evaluated", u64(s.nodes_evaluated));
+  report.add_counter("optimizer.total_generated", u64(s.total_generated));
+  report.add_counter("optimizer.peak_stored", u64(s.peak_stored));
+  report.add_counter("optimizer.final_stored", u64(s.final_stored));
+  report.add_counter("optimizer.peak_transient", u64(s.peak_transient));
+  report.add_counter("optimizer.peak_live", u64(s.peak_live));
+  report.add_counter("optimizer.max_rlist_len", u64(s.max_rlist_len));
+  report.add_counter("optimizer.max_llist_len", u64(s.max_llist_len));
+  report.add_counter("optimizer.r_selection_calls", u64(s.r_selection_calls));
+  report.add_counter("optimizer.l_selection_calls", u64(s.l_selection_calls));
+  report.add_counter("optimizer.r_selected_away", u64(s.r_selected_away));
+  report.add_counter("optimizer.l_selected_away", u64(s.l_selected_away));
+  report.add_counter("optimizer.cspp_calls", u64(s.cspp_calls));
+  report.add_counter("optimizer.cspp_monge_calls", u64(s.cspp_monge_calls));
+  report.add_counter("optimizer.l_heuristic_prereductions", u64(s.l_heuristic_prereductions));
+  report.add_gauge("optimizer.r_selection_error", s.r_selection_error);
+  report.add_gauge("optimizer.l_selection_error", s.l_selection_error);
+  const std::size_t pruned = s.r_selected_away + s.l_selected_away;
+  report.add_gauge("optimizer.prune_ratio",
+                   s.total_generated == 0
+                       ? 0.0
+                       : static_cast<double>(pruned) / static_cast<double>(s.total_generated));
+  report.add_phases(outcome.phases);
+  if (!outcome.pool_stats.workers.empty()) report.set_pool(outcome.pool_stats);
+  report.set_seconds(s.seconds);
+}
+
+void report_cache(telemetry::RunReport& report, const MemoCacheStats& stats) {
+  report.add_counter("cache.hits", u64(stats.hits));
+  report.add_counter("cache.misses", u64(stats.misses));
+  report.add_counter("cache.insertions", u64(stats.insertions));
+  report.add_counter("cache.evictions", u64(stats.evictions));
+  report.add_counter("cache.rollback_discards", u64(stats.rollback_discards));
+  report.add_counter("cache.peak_bytes", u64(stats.peak_bytes));
+  report.add_gauge("cache.hit_rate", stats.hit_rate());
+}
+
+void report_annealing(telemetry::RunReport& report, const AnnealingResult& result) {
+  report.add_counter("anneal.attempts", u64(result.attempts));
+  report.add_counter("anneal.moves", u64(result.moves));
+  report.add_counter("anneal.accepted", u64(result.accepted));
+  report.add_counter("anneal.epoch_commits", u64(result.epoch_commits));
+  report.add_counter("anneal.epoch_rollbacks", u64(result.epoch_rollbacks));
+  report.add_gauge("anneal.accept_ratio",
+                   result.moves == 0 ? 0.0
+                                     : static_cast<double>(result.accepted) /
+                                           static_cast<double>(result.moves));
+  report.add_phases(result.phases);
+  report.set_seconds(result.seconds);
+}
+
+}  // namespace fpopt

@@ -1,0 +1,25 @@
+// Builders that translate the subsystems' stats structs into RunReport
+// sections, keeping the counter naming scheme ("<subsystem>.<name>", see
+// docs/ALGORITHMS.md §9) in exactly one place. Used by the fpopt CLI, the
+// fpopt_audit tool and the bench harnesses.
+#pragma once
+
+#include "cache/memo_cache.h"
+#include "optimize/optimizer.h"
+#include "telemetry/run_report.h"
+#include "topology/annealing.h"
+
+namespace fpopt {
+
+/// Append the optimizer sections: "optimizer.*" counters, the derived
+/// gauges (selection errors, prune ratio), the run phases, the pool stats
+/// (parallel runs only), the abort flag and the wall time.
+void report_optimizer(telemetry::RunReport& report, const OptimizeOutcome& outcome);
+
+/// Append "cache.*" memo-cache counters plus the hit-rate gauge.
+void report_cache(telemetry::RunReport& report, const MemoCacheStats& stats);
+
+/// Append "anneal.*" counters/gauges, the annealing phases and wall time.
+void report_annealing(telemetry::RunReport& report, const AnnealingResult& result);
+
+}  // namespace fpopt

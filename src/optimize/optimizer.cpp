@@ -43,6 +43,7 @@ class NodeEvaluator {
 
   /// Both children of `node` (if any) must already have their NodeResult.
   void eval_node(const BinaryNode& node) {
+    ++stats_.nodes_evaluated;
     NodeResult& res = art_.nodes[node.id];
     switch (node.op) {
       case BinaryOp::LeafModule: {
@@ -95,9 +96,12 @@ class NodeEvaluator {
   /// Store a rectangular block's list; apply R_Selection when it exceeds K1.
   void store_rect(NodeResult& res, RCombineResult&& combined) {
     budget_.add_stored(combined.list.size());  // the full non-redundant list is stored first
+    stats_.max_rlist_len = std::max(stats_.max_rlist_len, combined.list.size());
     const SelectionConfig& sel = opts_.selection;
     if (sel.k1 != 0 && combined.list.size() > sel.k1) {
       const SelectionResult picked = r_selection(combined.list, sel.k1, sel.dp, pool_);
+      ++stats_.cspp_calls;
+      if (sel.dp != SelectionDp::Generic) ++stats_.cspp_monge_calls;
       const std::size_t removed = combined.list.size() - picked.kept.size();
       std::vector<Prov> prov;
       prov.reserve(picked.kept.size());
@@ -129,6 +133,7 @@ class NodeEvaluator {
     if (opts_.l_pruning != LPruning::PerChain) {
       budget_.sub_stored(combined.set.canonicalize());
     }
+    stats_.max_llist_len = std::max(stats_.max_llist_len, combined.set.total_size());
     const SelectionConfig& sel = opts_.selection;
     if (sel.k2 != 0) {
       const LSelectionOptions lopts{sel.metric, sel.dp, sel.heuristic_cap,
@@ -140,6 +145,9 @@ class NodeEvaluator {
         ++stats_.l_selection_calls;
         stats_.l_selected_away += report.before - report.after;
         stats_.l_selection_error += report.total_error;
+        stats_.cspp_calls += report.cspp_calls;
+        stats_.cspp_monge_calls += report.cspp_monge_calls;
+        stats_.l_heuristic_prereductions += report.heuristic_prereductions;
       }
     }
     res.is_l = true;
@@ -169,14 +177,21 @@ class NodeEvaluator {
   ThreadPool* pool_;
 };
 
-/// Fold `from`'s additive counters into `into`. The peak fields are *not*
-/// additive and are handled by the schedule-profile reconstruction.
+/// Fold `from`'s additive counters (and the order-independent max-folds)
+/// into `into`. The peak fields are *not* additive and are handled by the
+/// schedule-profile reconstruction.
 void accumulate_counters(OptimizerStats& into, const OptimizerStats& from) {
   into.total_generated += from.total_generated;
+  into.nodes_evaluated += from.nodes_evaluated;
   into.r_selection_calls += from.r_selection_calls;
   into.l_selection_calls += from.l_selection_calls;
   into.r_selected_away += from.r_selected_away;
   into.l_selected_away += from.l_selected_away;
+  into.cspp_calls += from.cspp_calls;
+  into.cspp_monge_calls += from.cspp_monge_calls;
+  into.l_heuristic_prereductions += from.l_heuristic_prereductions;
+  into.max_rlist_len = std::max(into.max_rlist_len, from.max_rlist_len);
+  into.max_llist_len = std::max(into.max_llist_len, from.max_llist_len);
   into.r_selection_error += from.r_selection_error;
   into.l_selection_error += from.l_selection_error;
 }
@@ -586,15 +601,20 @@ class ParallelEngine {
 OptimizeOutcome optimize_floorplan(const FloorplanTree& tree, const OptimizerOptions& opts) {
   assert(tree.validate().empty() && "optimize_floorplan requires a well-formed tree");
   const auto start = std::chrono::steady_clock::now();
+  telemetry::PhaseProfile phases;
 
   auto artifacts = std::make_shared<OptimizeArtifacts>();
-  artifacts->btree = restructure(tree, opts.restructure);
-  artifacts->nodes.resize(artifacts->btree.node_count);
+  {
+    const auto scope = phases.scope("restructure");
+    artifacts->btree = restructure(tree, opts.restructure);
+    artifacts->nodes.resize(artifacts->btree.node_count);
+  }
   assert(!artifacts->btree.root->is_l_block() && "T' roots are rectangular blocks");
 
   const bool incremental = opts.incremental && opts.cache != nullptr;
   OptimizeOutcome outcome;
   try {
+    const auto scope = phases.scope("evaluate");
     std::optional<CacheBinding> binding;
     if (incremental) binding.emplace(*opts.cache, tree, opts, *artifacts);
     if (opts.threads == 0) {
@@ -614,7 +634,14 @@ OptimizeOutcome optimize_floorplan(const FloorplanTree& tree, const OptimizerOpt
       ThreadPool pool(static_cast<unsigned>(opts.threads));
       ParallelEngine engine(tree, opts, *artifacts, outcome.stats, pool,
                             binding ? &*binding : nullptr);
-      engine.run();
+      try {
+        engine.run();
+      } catch (const MemoryLimitExceeded&) {
+        // The pool dies with this scope; keep its counters for the report.
+        outcome.pool_stats = pool.stats();
+        throw;
+      }
+      outcome.pool_stats = pool.stats();
     }
     const NodeResult& root = artifacts->nodes[artifacts->btree.root->id];
     outcome.root = root.rlist;
@@ -624,6 +651,7 @@ OptimizeOutcome optimize_floorplan(const FloorplanTree& tree, const OptimizerOpt
     outcome.out_of_memory = true;
   }
 
+  outcome.phases = phases.samples();
   outcome.stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return outcome;

@@ -42,6 +42,7 @@
 #include "optimize/stats.h"
 #include "shape/l_list_set.h"
 #include "shape/r_list.h"
+#include "telemetry/telemetry.h"
 
 namespace fpopt {
 
@@ -103,6 +104,12 @@ struct OptimizeOutcome {
   RList root;          ///< non-redundant implementations of the whole floorplan
   Area best_area = 0;  ///< min w*h over root (0 when out_of_memory)
   OptimizerStats stats;
+  /// Wall-clock per phase ("restructure", "evaluate"); timing only, never
+  /// part of any determinism comparison. Empty under FPOPT_TELEMETRY=OFF.
+  std::vector<telemetry::PhaseSample> phases;
+  /// Scheduling counters of the run's thread pool (captured even when the
+  /// run aborted). Empty for serial runs and under FPOPT_TELEMETRY=OFF.
+  telemetry::PoolStats pool_stats;
   std::shared_ptr<const OptimizeArtifacts> artifacts;  ///< null when out_of_memory
 };
 

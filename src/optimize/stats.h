@@ -36,10 +36,21 @@ struct OptimizerStats {
   /// identical for every thread count.
   std::size_t peak_live = 0;
   std::size_t total_generated = 0;  ///< candidates ever emitted
+  std::size_t nodes_evaluated = 0;  ///< tree nodes combined this run
   std::size_t r_selection_calls = 0;
   std::size_t l_selection_calls = 0;
   std::size_t r_selected_away = 0;  ///< implementations removed by R_Selection
   std::size_t l_selected_away = 0;  ///< implementations removed by L_Selection
+  /// Interval-CSPP invocations across R- and L-selection, and how many of
+  /// them ran through the Monge divide-and-conquer evaluator.
+  std::size_t cspp_calls = 0;
+  std::size_t cspp_monge_calls = 0;
+  /// Section-5 heuristic pre-reductions applied ahead of L_Selection.
+  std::size_t l_heuristic_prereductions = 0;
+  /// Longest R-list / L-list-set seen entering a selection step (max-folded
+  /// across nodes, identical for every thread count).
+  std::size_t max_rlist_len = 0;
+  std::size_t max_llist_len = 0;
   Weight r_selection_error = 0;     ///< total staircase area discarded
   Weight l_selection_error = 0;     ///< total Lp cost discarded
   double seconds = 0;               ///< wall-clock of the run

@@ -1,6 +1,8 @@
 #include "runtime/thread_pool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace fpopt {
 
@@ -15,7 +17,8 @@ thread_local WorkerIdentity tls_identity;
 
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned workers) : queues_(workers == 0 ? 1 : workers) {
+ThreadPool::ThreadPool(unsigned workers)
+    : queues_(workers == 0 ? 1 : workers), counters_(queues_.size() + 1) {
   const std::size_t n = queues_.size();
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -81,6 +84,7 @@ bool ThreadPool::try_acquire(std::size_t home, std::function<void()>& out) {
     if (!inject_.empty()) {
       out = std::move(inject_.front());
       inject_.pop_front();
+      counters_[std::min(home, n)].shared_pops.inc();
       return true;
     }
   }
@@ -93,6 +97,7 @@ bool ThreadPool::try_acquire(std::size_t home, std::function<void()>& out) {
     if (!q.deque.empty()) {
       out = std::move(q.deque.front());
       q.deque.pop_front();
+      counters_[std::min(home, n)].steals.inc();
       return true;
     }
   }
@@ -105,6 +110,7 @@ bool ThreadPool::run_one() {
   std::function<void()> task;
   if (!try_acquire(home, task)) return false;
   pending_.fetch_sub(1, std::memory_order_acq_rel);
+  counters_[std::min(home, queues_.size())].tasks_run.inc();
   task();
   return true;
 }
@@ -113,17 +119,41 @@ void ThreadPool::worker_main(std::size_t index) {
   tls_identity = {this, index};
   for (;;) {
     if (run_one()) continue;
-    std::unique_lock<std::mutex> lk(sleep_mu_);
-    sleep_cv_.wait(lk, [this] {
-      return stop_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+    std::chrono::steady_clock::time_point idle_start{};
+    if constexpr (telemetry::kEnabled) idle_start = std::chrono::steady_clock::now();
+    {
+      std::unique_lock<std::mutex> lk(sleep_mu_);
+      sleep_cv_.wait(lk, [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               pending_.load(std::memory_order_acquire) > 0;
+      });
+    }
+    if constexpr (telemetry::kEnabled) {
+      counters_[index].idle_ns.add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - idle_start)
+              .count()));
+    }
     if (stop_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0) {
       break;
     }
   }
   tls_identity = {};
+}
+
+telemetry::PoolStats ThreadPool::stats() const {
+  telemetry::PoolStats out;
+  out.workers.reserve(counters_.size());
+  for (const SlotCounters& c : counters_) {
+    telemetry::WorkerStats w;
+    w.tasks_run = c.tasks_run.get();
+    w.steals = c.steals.get();
+    w.shared_pops = c.shared_pops.get();
+    w.idle_seconds = static_cast<double>(c.idle_ns.get()) * 1e-9;
+    out.workers.push_back(w);
+  }
+  return out;
 }
 
 void TaskGroup::run(std::function<void()> fn) {

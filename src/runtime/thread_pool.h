@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.h"
+
 namespace fpopt {
 
 class ThreadPool {
@@ -59,10 +61,24 @@ class ThreadPool {
   /// The pool the calling thread is a worker of, or nullptr.
   [[nodiscard]] static ThreadPool* current();
 
+  /// Lifetime scheduling counters: one slot per worker plus a final
+  /// synthetic slot for external threads that execute tasks through
+  /// run_one (TaskGroup::wait helping from the coordinator). The values
+  /// are scheduling-dependent by nature — report them, never compare
+  /// them. All-zero when built with FPOPT_TELEMETRY=OFF.
+  [[nodiscard]] telemetry::PoolStats stats() const;
+
  private:
   struct WorkerQueue {
     std::mutex mu;
     std::deque<std::function<void()>> deque;
+  };
+
+  struct SlotCounters {
+    telemetry::Counter tasks_run;
+    telemetry::Counter steals;
+    telemetry::Counter shared_pops;
+    telemetry::Counter idle_ns;
   };
 
   void worker_main(std::size_t index);
@@ -70,6 +86,7 @@ class ThreadPool {
   void notify_one_sleeper();
 
   std::vector<WorkerQueue> queues_;  ///< one per worker
+  std::vector<SlotCounters> counters_;  ///< queues_.size() + 1 (external slot last)
   std::mutex inject_mu_;
   std::deque<std::function<void()>> inject_;  ///< external submissions
 

@@ -1,0 +1,65 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// Exists so the repo can *validate* its own machine-readable outputs
+// (--stats-json reports, the BENCH_*.json run-report blocks) without an
+// external JSON dependency. Scope is deliberately small: UTF-8 passthrough
+// (no \u escapes beyond ASCII), numbers as double with an exact-integer
+// side channel, objects preserving insertion order (so a re-dump of a
+// deterministic document is itself deterministic).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fpopt::telemetry {
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  /// True when the token was an integer literal that fits std::int64_t;
+  /// `integer` then holds the exact value.
+  bool is_integer = false;
+  std::int64_t integer = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< insertion order
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::Array; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::String; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::Number; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::Bool; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Compact deterministic re-serialization (keys in stored order).
+  [[nodiscard]] std::string dump() const;
+};
+
+struct JsonParseResult {
+  std::optional<JsonValue> value;  ///< empty on error
+  std::string error;               ///< human-readable position + reason
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+[[nodiscard]] JsonParseResult parse_json(const std::string& text);
+
+/// Escape a string for embedding in a JSON document (adds the quotes).
+[[nodiscard]] std::string json_quote(const std::string& s);
+
+/// Format a double as a JSON-legal number token: shortest round-trip
+/// representation, never nan/inf (clamped to 0 with no digits lost in
+/// practice — report gauges are always finite).
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace fpopt::telemetry

@@ -1,0 +1,158 @@
+#include "telemetry/report_schema.h"
+
+#include "telemetry/run_report.h"
+
+namespace fpopt::telemetry {
+
+namespace {
+
+class Checker {
+ public:
+  std::vector<std::string> errors;
+
+  void require(bool ok, const std::string& what) {
+    if (!ok) errors.push_back(what);
+  }
+
+  /// Fetch a required member; records an error and returns nullptr when
+  /// absent.
+  const JsonValue* member(const JsonValue& obj, const char* key) {
+    const JsonValue* v = obj.find(key);
+    require(v != nullptr, std::string("missing required key \"") + key + '"');
+    return v;
+  }
+
+  void check_uint(const JsonValue* v, const std::string& what) {
+    if (v == nullptr) return;
+    require(v->is_number() && v->is_integer && v->integer >= 0,
+            what + " must be a non-negative integer");
+  }
+
+  void check_number(const JsonValue* v, const std::string& what) {
+    if (v == nullptr) return;
+    require(v->is_number(), what + " must be a number");
+  }
+
+  void check_report(const JsonValue& report) {
+    if (!report.is_object()) {
+      errors.push_back("fpopt_run_report must be an object");
+      return;
+    }
+    if (const JsonValue* v = member(report, "schema_version")) {
+      require(v->is_number() && v->is_integer && v->integer == kRunReportSchemaVersion,
+              "schema_version must be " + std::to_string(kRunReportSchemaVersion));
+    }
+    if (const JsonValue* v = member(report, "tool")) {
+      require(v->is_string() && !v->string.empty(), "tool must be a non-empty string");
+    }
+    if (const JsonValue* v = member(report, "command")) {
+      require(v->is_string() && !v->string.empty(), "command must be a non-empty string");
+    }
+    if (const JsonValue* v = member(report, "aborted")) {
+      require(v->is_bool(), "aborted must be a bool");
+    }
+    if (const JsonValue* v = member(report, "telemetry")) {
+      require(v->is_bool(), "telemetry must be a bool");
+    }
+    if (const JsonValue* v = member(report, "config")) {
+      require(v->is_object(), "config must be an object");
+      if (v->is_object()) {
+        for (const auto& [k, val] : v->object) {
+          require(val.is_string(), "config." + k + " must be a string");
+        }
+      }
+    }
+    if (const JsonValue* v = member(report, "counters")) {
+      require(v->is_object(), "counters must be an object");
+      if (v->is_object()) {
+        for (const auto& [k, val] : v->object) {
+          check_uint(&val, "counters." + k);
+          require(k.find('.') != std::string::npos,
+                  "counter \"" + k + "\" must use the <subsystem>.<name> naming scheme");
+        }
+      }
+    }
+    if (const JsonValue* v = member(report, "gauges")) {
+      require(v->is_object(), "gauges must be an object");
+      if (v->is_object()) {
+        for (const auto& [k, val] : v->object) check_number(&val, "gauges." + k);
+      }
+    }
+    if (const JsonValue* v = member(report, "phases")) {
+      require(v->is_array(), "phases must be an array");
+      if (v->is_array()) {
+        for (const JsonValue& p : v->array) {
+          if (!p.is_object()) {
+            errors.push_back("phases entries must be objects");
+            continue;
+          }
+          if (const JsonValue* n = member(p, "name")) {
+            require(n->is_string(), "phase name must be a string");
+          }
+          check_uint(member(p, "count"), "phase count");
+          check_number(member(p, "seconds"), "phase seconds");
+        }
+      }
+    }
+    if (const JsonValue* v = member(report, "pool")) {
+      require(v->is_object(), "pool must be an object");
+      const JsonValue* workers = v->is_object() ? member(*v, "workers") : nullptr;
+      if (workers != nullptr) {
+        require(workers->is_array(), "pool.workers must be an array");
+        if (workers->is_array()) {
+          for (const JsonValue& w : workers->array) {
+            if (!w.is_object()) {
+              errors.push_back("pool.workers entries must be objects");
+              continue;
+            }
+            check_uint(member(w, "tasks_run"), "worker tasks_run");
+            check_uint(member(w, "steals"), "worker steals");
+            check_uint(member(w, "shared_pops"), "worker shared_pops");
+            check_number(member(w, "idle_seconds"), "worker idle_seconds");
+          }
+        }
+      }
+    }
+    check_number(member(report, "seconds"), "seconds");
+  }
+};
+
+void find_reports(const JsonValue& node, std::vector<const JsonValue*>& out) {
+  if (node.is_object()) {
+    if (const JsonValue* r = node.find("fpopt_run_report")) out.push_back(r);
+    for (const auto& [_, v] : node.object) find_reports(v, out);
+  } else if (node.is_array()) {
+    for (const JsonValue& v : node.array) find_reports(v, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_run_report(const JsonValue& report) {
+  Checker c;
+  const JsonValue* inner = report.find("fpopt_run_report");
+  if (inner == nullptr) {
+    // Allow being handed the inner object directly.
+    c.check_report(report);
+  } else {
+    c.check_report(*inner);
+  }
+  return c.errors;
+}
+
+std::vector<std::string> validate_embedded_run_reports(const JsonValue& doc) {
+  std::vector<const JsonValue*> reports;
+  find_reports(doc, reports);
+  if (reports.empty()) return {"no fpopt_run_report block found in the document"};
+  std::vector<std::string> errors;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    Checker c;
+    c.check_report(*reports[i]);
+    for (std::string& e : c.errors) {
+      errors.push_back("report #" + std::to_string(i) + ": " + std::move(e));
+    }
+  }
+  return errors;
+}
+
+}  // namespace fpopt::telemetry

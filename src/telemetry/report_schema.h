@@ -1,0 +1,23 @@
+// Structural schema validation for run-report JSON (run_report.h,
+// schema_version 1). Used by the tests, and by tools/fpopt_report_check
+// (the CI gate over --stats-json outputs and the run-report blocks that
+// the benches embed in BENCH_*.json).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace fpopt::telemetry {
+
+/// Validate one run-report wrapper object (the {"fpopt_run_report": ...}
+/// value). Returns human-readable violations; empty = valid.
+[[nodiscard]] std::vector<std::string> validate_run_report(const JsonValue& report);
+
+/// Recursively find every run-report block embedded anywhere in `doc`
+/// (objects holding an "fpopt_run_report" key) and validate each.
+/// Reports a violation when no block exists at all.
+[[nodiscard]] std::vector<std::string> validate_embedded_run_reports(const JsonValue& doc);
+
+}  // namespace fpopt::telemetry

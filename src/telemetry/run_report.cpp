@@ -1,0 +1,138 @@
+#include "telemetry/run_report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace fpopt::telemetry {
+
+namespace {
+
+/// Indentation helper: pretty mode gets newline + spaces, compact gets
+/// nothing (and no space after ':').
+struct Layout {
+  bool pretty;
+  [[nodiscard]] std::string nl(int depth) const {
+    if (!pretty) return "";
+    return "\n" + std::string(static_cast<std::size_t>(depth) * 2, ' ');
+  }
+  [[nodiscard]] const char* colon() const { return pretty ? ": " : ":"; }
+};
+
+}  // namespace
+
+std::string RunReport::to_json(bool pretty) const {
+  const Layout fmt{pretty};
+  std::ostringstream s;
+  s << '{' << fmt.nl(1) << "\"fpopt_run_report\"" << fmt.colon() << '{';
+  const auto field = [&](const char* key, bool first = false) -> std::ostringstream& {
+    if (!first) s << ',';
+    s << fmt.nl(2) << '"' << key << '"' << fmt.colon();
+    return s;
+  };
+  field("schema_version", true) << kRunReportSchemaVersion;
+  field("tool") << json_quote(tool_);
+  field("command") << json_quote(command_);
+  field("aborted") << (aborted_ ? "true" : "false");
+  field("telemetry") << (kEnabled ? "true" : "false");
+
+  field("config") << '{';
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i != 0) s << ',';
+    s << fmt.nl(3) << json_quote(config_[i].first) << fmt.colon()
+      << json_quote(config_[i].second);
+  }
+  s << (config_.empty() ? "" : fmt.nl(2)) << '}';
+
+  field("counters") << '{';
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i != 0) s << ',';
+    s << fmt.nl(3) << json_quote(counters_[i].first) << fmt.colon() << counters_[i].second;
+  }
+  s << (counters_.empty() ? "" : fmt.nl(2)) << '}';
+
+  field("gauges") << '{';
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i != 0) s << ',';
+    s << fmt.nl(3) << json_quote(gauges_[i].first) << fmt.colon()
+      << json_number(gauges_[i].second);
+  }
+  s << (gauges_.empty() ? "" : fmt.nl(2)) << '}';
+
+  field("phases") << '[';
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (i != 0) s << ',';
+    s << fmt.nl(3) << "{\"name\"" << fmt.colon() << json_quote(phases_[i].name)
+      << ",\"count\"" << fmt.colon() << phases_[i].count << ",\"seconds\"" << fmt.colon()
+      << json_number(phases_[i].seconds) << '}';
+  }
+  s << (phases_.empty() ? "" : fmt.nl(2)) << ']';
+
+  field("pool") << "{\"workers\"" << fmt.colon() << '[';
+  for (std::size_t i = 0; i < pool_.workers.size(); ++i) {
+    const WorkerStats& w = pool_.workers[i];
+    if (i != 0) s << ',';
+    s << fmt.nl(3) << "{\"tasks_run\"" << fmt.colon() << w.tasks_run << ",\"steals\""
+      << fmt.colon() << w.steals << ",\"shared_pops\"" << fmt.colon() << w.shared_pops
+      << ",\"idle_seconds\"" << fmt.colon() << json_number(w.idle_seconds) << '}';
+  }
+  s << (pool_.workers.empty() ? "" : fmt.nl(2)) << "]}";
+
+  field("seconds") << json_number(seconds_);
+  s << fmt.nl(1) << '}' << fmt.nl(0) << '}';
+  if (pretty) s << '\n';
+  return s.str();
+}
+
+std::string RunReport::to_table() const {
+  std::ostringstream s;
+  s << "run report (" << tool_ << ' ' << command_ << ")"
+    << (aborted_ ? "  ** ABORTED **" : "") << '\n';
+  if (!kEnabled) s << "  [built with FPOPT_TELEMETRY=OFF: timers and pool stats are off]\n";
+
+  std::size_t width = 12;
+  for (const auto& [k, _] : counters_) width = std::max(width, k.size());
+  for (const auto& [k, _] : gauges_) width = std::max(width, k.size());
+
+  if (!config_.empty()) {
+    s << "  config:\n";
+    for (const auto& [k, v] : config_) {
+      s << "    " << k << std::string(width > k.size() ? width - k.size() : 0, ' ') << "  "
+        << v << '\n';
+    }
+  }
+  s << "  counters:\n";
+  for (const auto& [k, v] : counters_) {
+    s << "    " << k << std::string(width > k.size() ? width - k.size() : 0, ' ') << "  " << v
+      << '\n';
+  }
+  if (!gauges_.empty()) {
+    s << "  gauges:\n";
+    for (const auto& [k, v] : gauges_) {
+      s << "    " << k << std::string(width > k.size() ? width - k.size() : 0, ' ') << "  "
+        << json_number(v) << '\n';
+    }
+  }
+  if (!phases_.empty()) {
+    s << "  phases:\n";
+    for (const PhaseSample& p : phases_) {
+      s << "    " << p.name << std::string(width > p.name.size() ? width - p.name.size() : 0, ' ')
+        << "  " << json_number(p.seconds) << " s (" << p.count
+        << (p.count == 1 ? " scope)" : " scopes)") << '\n';
+    }
+  }
+  if (!pool_.workers.empty()) {
+    s << "  pool:\n";
+    for (std::size_t i = 0; i < pool_.workers.size(); ++i) {
+      const WorkerStats& w = pool_.workers[i];
+      s << "    " << (i + 1 == pool_.workers.size() ? "external" : "worker " + std::to_string(i))
+        << ": " << w.tasks_run << " tasks, " << w.steals << " steals, " << w.shared_pops
+        << " shared pops, idle " << json_number(w.idle_seconds) << " s\n";
+    }
+  }
+  s << "  seconds: " << json_number(seconds_) << '\n';
+  return s.str();
+}
+
+}  // namespace fpopt::telemetry

@@ -1,0 +1,27 @@
+#include "telemetry/telemetry.h"
+
+namespace fpopt::telemetry {
+
+void PhaseProfile::record(const char* name, double seconds) {
+  if constexpr (!kEnabled) {
+    (void)name;
+    (void)seconds;
+    return;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (PhaseSample& e : entries_) {
+    if (e.name == name) {
+      ++e.count;
+      e.seconds += seconds;
+      return;
+    }
+  }
+  entries_.push_back({name, 1, seconds});
+}
+
+std::vector<PhaseSample> PhaseProfile::samples() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_;
+}
+
+}  // namespace fpopt::telemetry

@@ -1,0 +1,166 @@
+// Low-overhead, thread-safe run instrumentation: monotonic counters,
+// gauges, and nestable scoped phase timers.
+//
+// Everything here is *measurement*, never control flow: the optimizer's
+// algorithmic counters (OptimizerStats) stay plain struct fields that ride
+// the deterministic per-node profile plumbing, while this layer adds the
+// pieces that need concurrency-safety or wall-clock access — thread-pool
+// counters, per-phase timings — plus the RunReport document they all end
+// up in (run_report.h).
+//
+// Determinism contract (docs/ALGORITHMS.md §9):
+//  * Counter is a relaxed std::atomic<u64>: increments commute, so sums
+//    are order-independent — a parallel run's counter totals equal the
+//    serial run's regardless of schedule ("aggregated-deterministic").
+//  * Timings (PhaseProfile, idle times) are wall-clock measurements and
+//    are *excluded* from every byte-identical comparison; RunReport keeps
+//    them in separate sections from the counters for exactly that reason.
+//
+// Compile-time switch: configuring with -DFPOPT_TELEMETRY=OFF defines
+// FPOPT_TELEMETRY_DISABLED, which turns every mutation and every timer
+// scope in this header into a no-op (kEnabled == false). Instrumentation
+// statements still *compile* in both modes — the disabled bodies are real
+// (empty) functions, not macros that swallow their arguments — so a
+// telemetry-off build cannot silently rot.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fpopt::telemetry {
+
+#if defined(FPOPT_TELEMETRY_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Monotonic named-by-its-owner counter. Relaxed atomic: increments from
+/// any thread, order-independent totals, no synchronization edges.
+class Counter {
+ public:
+  void add(std::uint64_t n) {
+    if constexpr (kEnabled) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  [[nodiscard]] std::uint64_t get() const {
+    if constexpr (kEnabled) return value_.load(std::memory_order_relaxed);
+    return 0;
+  }
+  void reset() {
+    if constexpr (kEnabled) value_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. bytes currently cached).
+/// Also supports a monotonic max-fold for peak tracking.
+class Gauge {
+ public:
+  void set(double v) {
+    if constexpr (kEnabled) value_.store(v, std::memory_order_relaxed);
+  }
+  void fold_max(double v) {
+    if constexpr (kEnabled) {
+      double cur = value_.load(std::memory_order_relaxed);
+      while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+      }
+    }
+  }
+  [[nodiscard]] double get() const {
+    if constexpr (kEnabled) return value_.load(std::memory_order_relaxed);
+    return 0;
+  }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// One named phase's accumulated timing.
+struct PhaseSample {
+  std::string name;
+  std::uint64_t count = 0;  ///< scopes entered
+  double seconds = 0;       ///< total wall time inside the phase
+};
+
+/// Accumulates scoped wall-time per named phase. Scopes nest freely (a
+/// nested scope's time counts toward both phases) and may run on any
+/// thread; entries keep first-use order, so the emitted phase list is
+/// deterministic for a deterministic call sequence. The per-scope cost is
+/// two steady_clock reads plus one small mutex acquisition — phases are
+/// coarse (a handful per run), never per-node.
+class PhaseProfile {
+ public:
+  class Scope {
+   public:
+    Scope(PhaseProfile* profile, const char* name) : profile_(profile), name_(name) {
+      if constexpr (kEnabled) start_ = std::chrono::steady_clock::now();
+    }
+    ~Scope() {
+      if constexpr (kEnabled) {
+        if (profile_ != nullptr) {
+          profile_->record(name_, std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() - start_)
+                                      .count());
+        }
+      }
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseProfile* profile_;
+    const char* name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// RAII scope; `name` must outlive the scope (string literals do).
+  [[nodiscard]] Scope scope(const char* name) { return Scope(this, name); }
+
+  void record(const char* name, double seconds);
+
+  /// Snapshot in first-use order (empty when telemetry is disabled).
+  [[nodiscard]] std::vector<PhaseSample> samples() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PhaseSample> entries_;
+};
+
+/// One pool worker's lifetime counters. The last entry of
+/// PoolStats::workers is a synthetic slot for non-worker threads that
+/// execute pool tasks (TaskGroup::wait helping from the coordinator).
+struct WorkerStats {
+  std::uint64_t tasks_run = 0;    ///< tasks executed by this thread
+  std::uint64_t steals = 0;       ///< tasks taken from another worker's deque
+  std::uint64_t shared_pops = 0;  ///< tasks taken from the injection queue
+  double idle_seconds = 0;        ///< wall time asleep waiting for work
+};
+
+struct PoolStats {
+  std::vector<WorkerStats> workers;
+
+  [[nodiscard]] std::uint64_t total_tasks() const {
+    std::uint64_t n = 0;
+    for (const WorkerStats& w : workers) n += w.tasks_run;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_steals() const {
+    std::uint64_t n = 0;
+    for (const WorkerStats& w : workers) n += w.steals;
+    return n;
+  }
+  [[nodiscard]] double total_idle_seconds() const {
+    double s = 0;
+    for (const WorkerStats& w : workers) s += w.idle_seconds;
+    return s;
+  }
+};
+
+}  // namespace fpopt::telemetry

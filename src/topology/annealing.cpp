@@ -68,8 +68,10 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
   // Calibrate T0 so an average uphill move is accepted with p ~ 0.85.
   // Each probe draws from its own stream so the calibration consumes no
   // randomness from the move-attempt namespace.
+  telemetry::PhaseProfile phases;
   double t0 = opts.initial_temperature;
   if (t0 <= 0) {
+    const auto scope = phases.scope("calibrate");
     PolishExpr probe = current;
     double probe_cost = current_cost;
     double uphill_sum = 0;
@@ -99,6 +101,7 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
   // the accept/reject history before it.
   std::uint64_t attempt = 0;
   double temperature = t0;
+  const auto search_start = std::chrono::steady_clock::now();
   while (temperature > opts.freeze_ratio * t0 && result.moves < opts.max_total_moves) {
     for (std::size_t m = 0; m < moves_per_temp && result.moves < opts.max_total_moves; ++m) {
       Pcg32 move_rng = annealing_move_rng(opts.seed, attempt++);
@@ -112,7 +115,10 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
       const double candidate_cost = cost_of(candidate);
       const double delta = candidate_cost - current_cost;
       if (delta <= 0 || move_rng.unit() < std::exp(-delta / temperature)) {
-        if (cache) cache->commit_epoch();
+        if (cache) {
+          cache->commit_epoch();
+          ++result.epoch_commits;
+        }
         current = std::move(candidate);
         current_cost = candidate_cost;
         ++result.accepted;
@@ -122,13 +128,21 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
           result.best_area = current.min_area(modules);
         }
       } else {
-        if (cache) cache->rollback_epoch();
+        if (cache) {
+          cache->rollback_epoch();
+          ++result.epoch_rollbacks;
+        }
       }
     }
     temperature *= opts.cooling;
   }
+  phases.record("search", std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                        search_start)
+                              .count());
 
+  result.attempts = attempt;
   if (cache) result.cache_stats = cache->stats();
+  result.phases = phases.samples();
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return result;

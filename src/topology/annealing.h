@@ -25,6 +25,7 @@
 
 #include "cache/memo_cache.h"
 #include "net/netlist.h"
+#include "telemetry/telemetry.h"
 #include "topology/polish.h"
 
 namespace fpopt {
@@ -58,8 +59,18 @@ struct AnnealingResult {
   double initial_cost = 0;
   std::size_t moves = 0;
   std::size_t accepted = 0;
+  /// Attempts drawn from the move-RNG namespace, including ones whose
+  /// sampled move kind had no applicable instance (moves <= attempts).
+  std::size_t attempts = 0;
+  /// Cache-epoch outcomes (incremental mode): commits == accepted moves,
+  /// rollbacks == rejected moves. Both zero unless opts.incremental.
+  std::size_t epoch_commits = 0;
+  std::size_t epoch_rollbacks = 0;
   double seconds = 0;
   MemoCacheStats cache_stats;  ///< all zero unless opts.incremental
+  /// Wall-clock of the "calibrate" and "search" phases; timing only.
+  /// Empty under FPOPT_TELEMETRY=OFF.
+  std::vector<telemetry::PhaseSample> phases;
 };
 
 /// The PCG32 stream move attempt `attempt` draws from (first the mutation

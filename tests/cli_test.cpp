@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "io/cli.h"
+#include "telemetry/json.h"
+#include "telemetry/report_schema.h"
 
 namespace fpopt {
 namespace {
@@ -30,6 +32,14 @@ class CliTest : public ::testing::Test {
   static void write(const std::string& path, const std::string& text) {
     std::ofstream out(path, std::ios::binary);
     out << text;
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
   }
 
   int run(std::vector<std::string> args) {
@@ -85,6 +95,47 @@ TEST_F(CliTest, PlaceWithExplicitImplementationIndex) {
   EXPECT_NE(err_.str().find("out of range"), std::string::npos);
 }
 
+// Regression: --impl used to signal "unset" with the all-ones sentinel
+// static_cast<size_t>(-1), so a user-passed maximal index silently meant
+// "pick the min-area implementation" instead of failing. It now must be
+// rejected (huge values at parse, in-range-of-type values as out of range).
+TEST_F(CliTest, ImplIndexMaxValueIsNotASentinel) {
+  // The maximal size_t is an ordinary (out-of-range) index, not a parse
+  // failure and never a silent fall-back to the min-area implementation.
+  EXPECT_NE(run({"place", topo_path_, lib_path_, "--impl", "18446744073709551615"}), 0);
+  EXPECT_NE(err_.str().find("out of range"), std::string::npos) << err_.str();
+  EXPECT_EQ(out_.str().find("chip "), std::string::npos)
+      << "a maximal --impl must never place anything: " << out_.str();
+  EXPECT_NE(run({"place", topo_path_, lib_path_, "--impl", "2147483647"}), 0);
+  EXPECT_NE(err_.str().find("out of range"), std::string::npos) << err_.str();
+  EXPECT_NE(run({"place", topo_path_, lib_path_, "--impl", "-1"}), 0);
+  EXPECT_NE(err_.str().find("bad value"), std::string::npos) << err_.str();
+}
+
+// Regression: --theta was parsed with std::stod without an end-position
+// check, so trailing garbage ("0.5xyz") was silently accepted.
+TEST_F(CliTest, ThetaRejectsTrailingGarbage) {
+  EXPECT_NE(run({"optimize", topo_path_, lib_path_, "--theta", "0.5xyz"}), 0);
+  EXPECT_NE(err_.str().find("bad value '0.5xyz'"), std::string::npos) << err_.str();
+  EXPECT_NE(run({"optimize", topo_path_, lib_path_, "--lambda", "1.0q"}), 0);
+  EXPECT_EQ(run({"optimize", topo_path_, lib_path_, "--theta", "0.5"}), 0) << err_.str();
+}
+
+// Regression: the --cache-mb MB-to-bytes shift had no overflow guard and
+// accepted 0 (a budget that evicts everything immediately).
+TEST_F(CliTest, CacheMbRejectsZeroAndOverflow) {
+  EXPECT_NE(run({"optimize", topo_path_, lib_path_, "--incremental", "--cache-mb", "0"}), 0);
+  EXPECT_NE(err_.str().find("--cache-mb must be at least 1"), std::string::npos)
+      << err_.str();
+  // (size_t max >> 20) + 1 MiB overflows the byte budget on 64-bit.
+  EXPECT_NE(run({"optimize", topo_path_, lib_path_, "--incremental", "--cache-mb",
+                 "17592186044416"}),
+            0);
+  EXPECT_NE(err_.str().find("overflows the byte budget"), std::string::npos) << err_.str();
+  EXPECT_EQ(run({"optimize", topo_path_, lib_path_, "--incremental", "--cache-mb", "4"}), 0)
+      << err_.str();
+}
+
 TEST_F(CliTest, SvgWritesAFile) {
   const std::string svg_path = unique_path("cli_test.svg");
   std::remove(svg_path.c_str());
@@ -100,6 +151,68 @@ TEST_F(CliTest, BudgetAbortIsReported) {
   const int rc = run({"optimize", topo_path_, lib_path_, "--budget", "5"});
   EXPECT_NE(rc, 0);
   EXPECT_NE(err_.str().find("out of memory"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsJsonIsSchemaValidAndRepeatRunsAreByteIdentical) {
+  const std::string json_path = unique_path("cli_report.json");
+  ASSERT_EQ(run({"optimize", topo_path_, lib_path_, "--k1", "2", "--k2", "4", "--stats-json",
+                 json_path}),
+            0)
+      << err_.str();
+  const std::string first = slurp(json_path);
+  const telemetry::JsonParseResult parsed = telemetry::parse_json(first);
+  ASSERT_TRUE(parsed.value.has_value()) << parsed.error;
+  const std::vector<std::string> errors = telemetry::validate_run_report(*parsed.value);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  // Counters and config are deterministic and seconds/phases measure a
+  // serial run of the same work — but wall-clock digits differ between
+  // runs, so byte-compare everything up to the timing sections only.
+  ASSERT_EQ(run({"optimize", topo_path_, lib_path_, "--k1", "2", "--k2", "4", "--stats-json",
+                 json_path}),
+            0)
+      << err_.str();
+  const std::string second = slurp(json_path);
+  const auto timing_free = [](const std::string& doc) {
+    return doc.substr(0, doc.find("\"phases\""));
+  };
+  ASSERT_NE(timing_free(first).size(), 0u);
+  EXPECT_EQ(timing_free(first), timing_free(second))
+      << "serial counters must be byte-identical across repeat runs";
+}
+
+TEST_F(CliTest, StatsTablePrintsCounters) {
+  ASSERT_EQ(run({"optimize", topo_path_, lib_path_, "--stats"}), 0) << err_.str();
+  const std::string s = out_.str();
+  EXPECT_NE(s.find("run report (fpopt optimize)"), std::string::npos) << s;
+  EXPECT_NE(s.find("optimizer.nodes_evaluated"), std::string::npos) << s;
+}
+
+TEST_F(CliTest, AbortedRunStillEmitsAReportFlaggedAborted) {
+  const std::string json_path = unique_path("cli_aborted.json");
+  EXPECT_NE(run({"optimize", topo_path_, lib_path_, "--budget", "5", "--stats-json",
+                 json_path}),
+            0);
+  const telemetry::JsonParseResult parsed = telemetry::parse_json(slurp(json_path));
+  ASSERT_TRUE(parsed.value.has_value()) << parsed.error;
+  EXPECT_TRUE(telemetry::validate_run_report(*parsed.value).empty());
+  const telemetry::JsonValue* aborted =
+      parsed.value->find("fpopt_run_report")->find("aborted");
+  ASSERT_NE(aborted, nullptr);
+  EXPECT_TRUE(aborted->boolean);
+}
+
+TEST_F(CliTest, AnnealEmitsItsOwnReport) {
+  const std::string json_path = unique_path("cli_anneal.json");
+  ASSERT_EQ(run({"anneal", lib_path_, "--moves", "200", "--seed", "2", "--incremental",
+                 "--stats-json", json_path}),
+            0)
+      << err_.str();
+  const telemetry::JsonParseResult parsed = telemetry::parse_json(slurp(json_path));
+  ASSERT_TRUE(parsed.value.has_value()) << parsed.error;
+  EXPECT_TRUE(telemetry::validate_run_report(*parsed.value).empty());
+  const std::string doc = slurp(json_path);
+  EXPECT_NE(doc.find("\"anneal.moves\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cache.hits\""), std::string::npos) << "--incremental adds cache stats";
 }
 
 TEST_F(CliTest, ErrorHandling) {

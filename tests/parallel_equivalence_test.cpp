@@ -9,19 +9,32 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <ios>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "io/run_report_build.h"
 #include "optimize/optimizer.h"
 #include "optimize/placement.h"
+#include "telemetry/json.h"
+#include "telemetry/report_schema.h"
+#include "telemetry/run_report.h"
 #include "workload/floorplans.h"
 
 namespace fpopt {
 namespace {
 
 constexpr std::size_t kThreadCounts[] = {0, 1, 2, 8};
+
+/// A built run report, both as the raw counter list (exact u64 compare)
+/// and as the parsed JSON document (schema checks).
+struct RunReportDoc {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  telemetry::JsonValue doc;
+};
 
 std::string serialize_artifacts(const OptimizeOutcome& out) {
   std::ostringstream s;
@@ -58,9 +71,12 @@ std::string serialize_stats(const OptimizerStats& st) {
   s << std::hexfloat;
   s << "peak_stored=" << st.peak_stored << " final_stored=" << st.final_stored
     << " peak_transient=" << st.peak_transient << " peak_live=" << st.peak_live
-    << " generated=" << st.total_generated << " rsel=" << st.r_selection_calls << '/'
-    << st.r_selected_away << '/' << st.r_selection_error << " lsel=" << st.l_selection_calls
-    << '/' << st.l_selected_away << '/' << st.l_selection_error;
+    << " generated=" << st.total_generated << " nodes=" << st.nodes_evaluated
+    << " rsel=" << st.r_selection_calls << '/' << st.r_selected_away << '/'
+    << st.r_selection_error << " lsel=" << st.l_selection_calls << '/'
+    << st.l_selected_away << '/' << st.l_selection_error << " cspp=" << st.cspp_calls << '/'
+    << st.cspp_monge_calls << " heur=" << st.l_heuristic_prereductions
+    << " maxlists=" << st.max_rlist_len << '/' << st.max_llist_len;
   return s.str();
 }
 
@@ -214,6 +230,56 @@ TEST(ParallelEquivalence, BudgetAbortAgreesAcrossWorkloads) {
         }
       }
     }
+  }
+}
+
+// ---- run-report telemetry under the parallel engine --------------------
+
+RunReportDoc report_of(const OptimizeOutcome& out) {
+  telemetry::RunReport report("fpopt_tests", "parallel-equivalence");
+  report_optimizer(report, out);
+  const telemetry::JsonParseResult parsed = telemetry::parse_json(report.to_json(true));
+  EXPECT_TRUE(parsed.value.has_value()) << parsed.error;
+  return {report.counters(), parsed.value ? *parsed.value : telemetry::JsonValue{}};
+}
+
+TEST(ParallelEquivalence, RunReportCountersMatchSerialAtEveryThreadCount) {
+  const FloorplanTree tree = make_fp1(small_config(3, 5));
+  OptimizerOptions opts;
+  opts.selection.k1 = 8;
+  opts.selection.k2 = 12;
+  opts.threads = 0;
+  const RunReportDoc want = report_of(optimize_floorplan(tree, opts));
+  EXPECT_TRUE(telemetry::validate_run_report(want.doc).empty());
+  for (const std::size_t threads : kThreadCounts) {
+    opts.threads = threads;
+    const RunReportDoc got = report_of(optimize_floorplan(tree, opts));
+    EXPECT_EQ(got.counters, want.counters)
+        << "threads=" << threads
+        << ": parallel counter sums must equal the serial run's counters";
+    EXPECT_TRUE(telemetry::validate_run_report(got.doc).empty()) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEquivalence, AbortedRunReportIsWellFormedAtEveryThreadCount) {
+  const FloorplanTree tree = make_single_pinwheel(small_config(13, 8));
+  OptimizerOptions opts;
+  const OptimizeOutcome probe = optimize_floorplan(tree, opts);
+  ASSERT_FALSE(probe.out_of_memory);
+  opts.impl_budget = probe.stats.peak_live - 1;
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{8}}) {
+    opts.threads = threads;
+    const OptimizeOutcome aborted = optimize_floorplan(tree, opts);
+    ASSERT_TRUE(aborted.out_of_memory) << "threads=" << threads;
+    const RunReportDoc doc = report_of(aborted);
+    // Partial counters are schedule-dependent by design; the report must
+    // still be schema-valid and carry the aborted flag.
+    const std::vector<std::string> errors = telemetry::validate_run_report(doc.doc);
+    EXPECT_TRUE(errors.empty())
+        << "threads=" << threads << ": " << (errors.empty() ? "" : errors.front());
+    const telemetry::JsonValue* flag = doc.doc.find("fpopt_run_report")->find("aborted");
+    ASSERT_NE(flag, nullptr) << "threads=" << threads;
+    EXPECT_TRUE(flag->boolean) << "threads=" << threads;
   }
 }
 

@@ -35,6 +35,33 @@ TEST(BudgetTrackerTest, StoredPlusTransientTriggersTheLimit) {
   EXPECT_THROW(t.add_transient(1), MemoryLimitExceeded);
 }
 
+TEST(BudgetTrackerTest, PeakTotalTracksStoredPlusTransient) {
+  // peak_total is the budget-check quantity (stats.peak_live): it must
+  // capture the joint high-water mark, not the sum of component peaks.
+  BudgetTracker t(0);
+  t.add_stored(40);
+  t.add_transient(30);  // joint peak 70
+  EXPECT_EQ(t.peak_total(), 70u);
+  t.sub_transient(30);
+  t.add_stored(20);  // stored peak 60, joint still 70
+  EXPECT_EQ(t.peak_stored(), 60u);
+  EXPECT_EQ(t.peak_transient(), 30u);
+  EXPECT_EQ(t.peak_total(), 70u) << "joint peak is sticky";
+  t.add_transient(15);  // 75: new joint peak
+  EXPECT_EQ(t.peak_total(), 75u);
+  EXPECT_GE(t.peak_total(), t.peak_stored());
+  EXPECT_GE(t.peak_total(), t.peak_transient());
+}
+
+TEST(BudgetTrackerTest, RejectedAddLeavesPeaksUntouched) {
+  BudgetTracker t(50);
+  t.add_stored(30);
+  t.add_transient(20);
+  EXPECT_THROW(t.add_transient(1), MemoryLimitExceeded);
+  EXPECT_EQ(t.peak_total(), 50u) << "the rejected add must not inflate the peak";
+  EXPECT_EQ(t.peak_transient(), 20u);
+}
+
 TEST(BudgetTrackerTest, ZeroBudgetMeansUnlimited) {
   BudgetTracker t(0);
   t.add_stored(1'000'000);

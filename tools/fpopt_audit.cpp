@@ -17,6 +17,8 @@
 //   --certs N    selection certificates re-derived per kind (default 4)
 //   --incremental  audit the incremental engine instead: scratch vs cold-
 //                  vs warm-cache runs must produce byte-equal artifacts
+//   --stats        print the run-report table after the audit
+//   --stats-json F write the JSON run report to F (docs/ALGORITHMS.md §9)
 //
 // Exit codes: 0 all checks passed, 1 violations found, 2 usage/input error,
 // 3 the run exceeded the memory budget (no verdict).
@@ -29,6 +31,8 @@
 
 #include "check/audit.h"
 #include "floorplan/serialize.h"
+#include "io/run_report_build.h"
+#include "telemetry/run_report.h"
 #include "workload/floorplans.h"
 
 namespace {
@@ -64,6 +68,8 @@ struct Cli {
   fpopt::WorkloadConfig workload{.impls_per_module = 8};
   fpopt::AuditOptions audit;
   bool incremental = false;
+  bool show_stats = false;
+  std::string stats_json_path;
 };
 
 Cli parse_args(const std::vector<std::string>& args) {
@@ -97,10 +103,14 @@ Cli parse_args(const std::vector<std::string>& args) {
     } else if (a == "--k2") {
       sel.k2 = static_cast<std::size_t>(parse_int(a, need_value()));
     } else if (a == "--theta") {
+      const std::string& v = need_value();
       try {
-        sel.theta = std::stod(need_value());
+        std::size_t used = 0;
+        sel.theta = std::stod(v, &used);
+        // Reject trailing garbage ("0.5xyz"), like parse_int does.
+        if (used != v.size()) throw std::invalid_argument(v);
       } catch (const std::exception&) {
-        throw UsageError("--theta needs a number");
+        throw UsageError("--theta needs a number, got '" + v + "'");
       }
       if (sel.theta <= 0 || sel.theta > 1) throw UsageError("--theta must be in (0, 1]");
     } else if (a == "--scap") {
@@ -137,6 +147,10 @@ Cli parse_args(const std::vector<std::string>& args) {
       cli.audit.certificate_samples = static_cast<std::size_t>(parse_int(a, need_value()));
     } else if (a == "--incremental") {
       cli.incremental = true;
+    } else if (a == "--stats") {
+      cli.show_stats = true;
+    } else if (a == "--stats-json") {
+      cli.stats_json_path = need_value();
     } else {
       throw UsageError("unknown flag " + a);
     }
@@ -152,6 +166,23 @@ Cli parse_args(const std::vector<std::string>& args) {
     throw UsageError("--fp and positional files are mutually exclusive");
   }
   return cli;
+}
+
+void emit_report(const fpopt::telemetry::RunReport& report, const Cli& cli) {
+  if (!cli.stats_json_path.empty()) {
+    std::ofstream file(cli.stats_json_path, std::ios::binary);
+    if (!file) throw UsageError("cannot write " + cli.stats_json_path);
+    file << report.to_json(true);
+  }
+  if (cli.show_stats) std::cout << report.to_table();
+}
+
+void report_config(fpopt::telemetry::RunReport& report, const Cli& cli) {
+  const fpopt::SelectionConfig& sel = cli.audit.optimizer.selection;
+  report.add_config("k1", std::to_string(sel.k1));
+  report.add_config("k2", std::to_string(sel.k2));
+  report.add_config("budget", std::to_string(cli.audit.optimizer.impl_budget));
+  report.add_config("threads", std::to_string(cli.audit.optimizer.threads));
 }
 
 fpopt::FloorplanTree build_tree(const Cli& cli) {
@@ -187,6 +218,15 @@ int main(int argc, char** argv) {
 
   if (cli.incremental) {
     const fpopt::IncrementalAuditReport report = fpopt::audit_incremental(tree, cli.audit);
+    if (cli.show_stats || !cli.stats_json_path.empty()) {
+      fpopt::telemetry::RunReport run_report("fpopt_audit", "audit-incremental");
+      report_config(run_report, cli);
+      run_report.set_aborted(report.out_of_memory);
+      // The warm run is the one the incremental contract is about: every
+      // internal node should be served from cache.
+      fpopt::report_cache(run_report, report.warm_stats);
+      emit_report(run_report, cli);
+    }
     std::cout << "modules:            " << tree.module_count() << '\n'
               << "scratch verdict:    " << (report.out_of_memory ? "out-of-memory" : "ok")
               << '\n'
@@ -205,6 +245,15 @@ int main(int argc, char** argv) {
   }
 
   const fpopt::AuditReport report = fpopt::audit_optimize(tree, cli.audit);
+  if (cli.show_stats || !cli.stats_json_path.empty()) {
+    fpopt::telemetry::RunReport run_report("fpopt_audit", "audit");
+    report_config(run_report, cli);
+    fpopt::OptimizeOutcome shim;
+    shim.out_of_memory = report.out_of_memory;
+    shim.stats = report.stats;
+    fpopt::report_optimizer(run_report, shim);
+    emit_report(run_report, cli);
+  }
   if (report.out_of_memory) {
     std::cout << "OUT-OF-MEMORY: the run exceeded the budget of "
               << cli.audit.optimizer.impl_budget

@@ -1,0 +1,54 @@
+// fpopt_report_check: schema-validate fpopt run reports.
+//
+// Usage: fpopt_report_check <file.json> [more.json ...]
+//
+// Each file must parse as JSON and contain at least one embedded
+// "fpopt_run_report" block (at any nesting depth — --stats-json output has
+// it at the top level, BENCH_*.json embeds one per workload entry); every
+// block must satisfy run-report schema v1 (src/telemetry/run_report.h).
+//
+// Exit codes: 0 all files valid, 1 violations found, 2 usage/IO error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "telemetry/report_schema.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: fpopt_report_check <file.json> [more.json ...]\n";
+    return 2;
+  }
+
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "fpopt_report_check: cannot open " << path << '\n';
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    const fpopt::telemetry::JsonParseResult parsed =
+        fpopt::telemetry::parse_json(buf.str());
+    if (!parsed.value.has_value()) {
+      std::cerr << path << ": " << parsed.error << '\n';
+      ok = false;
+      continue;
+    }
+    const std::vector<std::string> errors =
+        fpopt::telemetry::validate_embedded_run_reports(*parsed.value);
+    for (const std::string& e : errors) std::cerr << path << ": " << e << '\n';
+    if (errors.empty()) {
+      std::cout << path << ": ok\n";
+    } else {
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
