@@ -25,6 +25,7 @@
 #include "io/run_report_build.h"
 #include "optimize/optimizer.h"
 #include "telemetry/run_report.h"
+#include "telemetry/trace.h"
 #include "workload/floorplans.h"
 
 namespace {
@@ -66,6 +67,27 @@ double time_run(const Workload& w, std::size_t threads, Area& area_out, std::siz
     if (last_out != nullptr) *last_out = std::move(out);
   }
   return best;
+}
+
+/// One extra (untimed) run with the event tracer armed; the schedule
+/// timeline lands in `path` for fpopt_trace / Perfetto. Kept out of the
+/// timed reps so tracing overhead never skews the speedup table.
+void write_trace(const Workload& w, std::size_t threads, const std::string& path) {
+  telemetry::TraceSession session;
+  session.set_meta("tool", "ablation_parallel");
+  session.set_meta("command", w.name);
+  session.set_meta("threads", std::to_string(threads));
+  telemetry::trace_thread_name("main");
+  OptimizerOptions opts = w.opts;
+  opts.threads = threads;
+  const OptimizeOutcome out = optimize_floorplan(w.tree, opts);
+  if (out.out_of_memory) {
+    std::cerr << "FATAL: traced run of " << w.name << " exceeded its memory budget\n";
+    std::exit(1);
+  }
+  std::ofstream file(path, std::ios::binary);
+  session.write_json(file);
+  std::cout << "  wrote " << path << '\n';
 }
 
 }  // namespace
@@ -130,6 +152,13 @@ int main() {
     report_optimizer(report, serial_out);
     json << "], \"best_speedup\": " << best_speedup
          << ", \"run_report\": " << report.to_json(false) << "}";
+
+    // Schedule timelines for the acceptance workload, serial and at full
+    // width (validated + archived by the CI trace leg).
+    if (w.name == "fp3_case1_exact") {
+      write_trace(w, 0, "TRACE_fp3_serial.json");
+      write_trace(w, hw, "TRACE_fp3_parallel.json");
+    }
   }
   json << "\n  ]\n}\n";
 

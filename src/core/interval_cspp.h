@@ -37,6 +37,7 @@
 #include "geometry/types.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
+#include "telemetry/trace.h"
 
 namespace fpopt {
 
@@ -76,6 +77,11 @@ template <typename WeightFn>
                                                                     WeightFn&& weight,
                                                                     ThreadPool* pool = nullptr) {
   assert(n >= 2 && k >= 2 && k <= n);
+  // Kernel spans are identified by problem size, never by which node (or
+  // which reduce_l_set chain) called them: the caller's identity is
+  // thread-local context that parallel_for would smear across workers,
+  // while (n, k) is a pure function of the input.
+  telemetry::TraceSpan span(telemetry::TraceCat::kKernel, "cspp", n, k);
 
   std::vector<Weight> prev(n, kInfiniteWeight);
   std::vector<Weight> cur(n, kInfiniteWeight);
@@ -197,6 +203,7 @@ template <typename WeightFn>
 [[nodiscard]] IntervalCsppResult interval_constrained_shortest_path_monge(
     std::size_t n, std::size_t k, WeightFn&& weight, ThreadPool* pool = nullptr) {
   assert(n >= 2 && k >= 2 && k <= n);
+  telemetry::TraceSpan span(telemetry::TraceCat::kKernel, "cspp_monge", n, k);
 
   std::vector<Weight> prev(n, kInfiniteWeight);
   std::vector<Weight> cur(n, kInfiniteWeight);

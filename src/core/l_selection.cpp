@@ -8,6 +8,7 @@
 #include "core/interval_cspp.h"
 #include "core/r_error.h"  // triangular_index
 #include "runtime/parallel.h"
+#include "telemetry/trace.h"
 
 #if defined(FPOPT_VALIDATE)
 #include "check/check_certificate.h"
@@ -191,6 +192,10 @@ Weight reduce_l_list(LList& chain, std::size_t k, const LSelectionOptions& opts,
 
 LReductionReport reduce_l_set(LListSet& set, std::size_t k2, double theta,
                               const LSelectionOptions& opts, ThreadPool* pool) {
+  // id = set size before reduction (deterministic); untriggered calls
+  // still record a (cheap) span so trace diffs see every invocation.
+  telemetry::TraceSpan span(telemetry::TraceCat::kKernel, "reduce_l_set", set.total_size(),
+                            k2);
   LReductionReport report;
   report.before = set.total_size();
   report.after = set.total_size();

@@ -13,6 +13,7 @@
 #include "net/netlist.h"
 #include "optimize/placement.h"
 #include "telemetry/json.h"
+#include "telemetry/trace.h"
 #include "topology/annealing.h"
 
 namespace fpopt {
@@ -38,6 +39,7 @@ struct ParsedArgs {
   std::size_t cache_bytes = MemoCache::kDefaultByteBudget;  // --cache-mb
   bool show_stats = false;      // --stats: human-readable run report
   std::string stats_json_path;  // --stats-json: write the JSON run report
+  std::string trace_path;       // --trace: write a Chrome trace-event JSON
   // anneal:
   AnnealingOptions anneal;
   std::string netlist_path;
@@ -136,6 +138,13 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       parsed.show_stats = true;
     } else if (a == "--stats-json") {
       parsed.stats_json_path = need_value();
+    } else if (a == "--trace") {
+      parsed.trace_path = need_value();
+    } else if (a.rfind("--trace=", 0) == 0) {
+      // Equals form too, for symmetry with fpopt_audit (where plain
+      // --trace N means something else).
+      parsed.trace_path = a.substr(8);
+      if (parsed.trace_path.empty()) throw CliError{"flag --trace= needs a file name"};
     } else if (a == "--seed") {
       parsed.anneal.seed = static_cast<std::uint64_t>(parse_long(a, need_value()));
     } else if (a == "--moves") {
@@ -362,23 +371,52 @@ constexpr const char* kUsage =
     "  anneal <library-file> [--seed N --moves N --netlist F --lambda X --out F]\n"
     "flags: --k1 N --k2 N --theta X --scap N --budget N --threads N --metric l1|l2|linf\n"
     "       --incremental [--cache-mb N]   (memo-cached re-optimization; see docs)\n"
-    "       --stats (run-report table) --stats-json F (JSON run report; see docs §9)\n";
+    "       --stats (run-report table) --stats-json F (JSON run report; see docs §9)\n"
+    "       --trace F (Chrome trace-event JSON of the run; see docs §10)\n";
+
+int dispatch(const ParsedArgs& parsed, std::ostream& out) {
+  if (parsed.command == "stats") return cmd_stats(parsed, out);
+  if (parsed.command == "optimize") return cmd_optimize(parsed, out);
+  if (parsed.command == "place") return cmd_place(parsed, out);
+  if (parsed.command == "svg") return cmd_svg(parsed, out);
+  if (parsed.command == "anneal") return cmd_anneal(parsed, out);
+  if (parsed.command == "help" || parsed.command == "--help") {
+    out << kUsage;
+    return 0;
+  }
+  throw CliError{"unknown command '" + parsed.command + "'"};
+}
 
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   try {
     const ParsedArgs parsed = parse_args(args);
-    if (parsed.command == "stats") return cmd_stats(parsed, out);
-    if (parsed.command == "optimize") return cmd_optimize(parsed, out);
-    if (parsed.command == "place") return cmd_place(parsed, out);
-    if (parsed.command == "svg") return cmd_svg(parsed, out);
-    if (parsed.command == "anneal") return cmd_anneal(parsed, out);
-    if (parsed.command == "help" || parsed.command == "--help") {
-      out << kUsage;
-      return 0;
+    if (parsed.trace_path.empty()) return dispatch(parsed, out);
+
+    // Arm the trace for the whole command; the session must outlive every
+    // instrumented scope (pools are created and joined inside the
+    // commands, so this bracket satisfies the lifecycle rule). The file
+    // is written even when the command fails (e.g. a budget abort) — a
+    // partial schedule is exactly what one wants to look at then.
+    telemetry::TraceSession session;
+    session.set_meta("tool", "fpopt");
+    session.set_meta("command", parsed.command);
+    session.set_meta("threads", std::to_string(parsed.options.threads));
+    telemetry::trace_thread_name("main");
+    const auto write_trace = [&] {
+      std::ofstream file(parsed.trace_path, std::ios::binary);
+      if (!file) throw CliError{"cannot write '" + parsed.trace_path + "'"};
+      session.write_json(file);
+    };
+    try {
+      const int code = dispatch(parsed, out);
+      write_trace();
+      return code;
+    } catch (...) {
+      write_trace();
+      throw;
     }
-    throw CliError{"unknown command '" + parsed.command + "'"};
   } catch (const CliError& e) {
     err << "fpopt: " << e.message << '\n' << kUsage;
     return 2;

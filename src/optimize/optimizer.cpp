@@ -10,6 +10,7 @@
 #include "cache/memo_cache.h"
 #include "core/l_selection.h"
 #include "runtime/thread_pool.h"
+#include "telemetry/trace.h"
 
 #if defined(FPOPT_VALIDATE)
 #include <string>
@@ -43,6 +44,13 @@ class NodeEvaluator {
 
   /// Both children of `node` (if any) must already have their NodeResult.
   void eval_node(const BinaryNode& node) {
+    // Trace identity is the node id; the child links let fpopt_trace
+    // rebuild the T' dependency DAG for critical-path extraction. The
+    // arg (result list size) is deterministic — bit-identical results at
+    // every thread count — so it participates in trace diffs.
+    telemetry::TraceSpan span(telemetry::TraceCat::kNode, "eval_node", node.id);
+    span.set_children(node.left ? static_cast<std::int64_t>(node.left->id) : -1,
+                      node.right ? static_cast<std::int64_t>(node.right->id) : -1);
     ++stats_.nodes_evaluated;
     NodeResult& res = art_.nodes[node.id];
     switch (node.op) {
@@ -54,30 +62,31 @@ class NodeEvaluator {
           res.rprov[i] = {static_cast<std::uint32_t>(i), 0};
         }
         budget_.add_stored(impls.size());
-        return;
+        break;
       }
       case BinaryOp::SliceH:
       case BinaryOp::SliceV:
         store_rect(res, combine_slice(rect_of(*node.left), rect_of(*node.right),
                                       node.op == BinaryOp::SliceH, budget_, stats_));
-        return;
+        break;
       case BinaryOp::WheelStack:
         store_l(res, combine_wheel_stack(rect_of(*node.left), rect_of(*node.right),
                                          opts_.l_pruning, budget_, stats_));
-        return;
+        break;
       case BinaryOp::WheelFillNotch:
         store_l(res, combine_wheel_fill_notch(lset_of(*node.left), rect_of(*node.right),
                                               opts_.l_pruning, budget_, stats_));
-        return;
+        break;
       case BinaryOp::WheelExtend:
         store_l(res, combine_wheel_extend(lset_of(*node.left), rect_of(*node.right),
                                           opts_.l_pruning, budget_, stats_));
-        return;
+        break;
       case BinaryOp::WheelClose:
         store_rect(res, combine_wheel_close(lset_of(*node.left), rect_of(*node.right), budget_,
                                             stats_));
-        return;
+        break;
     }
+    span.set_arg(res.is_l ? res.lset.total_size() : res.rlist.size());
   }
 
  private:
@@ -352,10 +361,15 @@ class CacheBinding {
   /// their recorded profiles (leaves are always evaluated — they are a
   /// plain copy of the module library anyway).
   void serve(const FlatTree& flat, OptimizeArtifacts& art, std::vector<NodeProfile>& profiles) {
+    telemetry::TraceSpan span(telemetry::TraceCat::kCache, "serve_pass");
+    std::uint64_t hits = 0;
     for (const std::size_t id : flat.postorder) {
       if (flat.nodes[id]->is_leaf()) continue;
       const MemoCache::Entry* entry = cache_.find(keys_[id]);
       if (entry == nullptr) continue;
+      telemetry::trace_instant(telemetry::TraceCat::kCache, "memo_serve", id,
+                               entry->profile.net_stored);
+      ++hits;
       art.nodes[id] = entry->result;
       NodeProfile& prof = profiles[id];
       prof.stats = entry->profile.counters;
@@ -367,6 +381,7 @@ class CacheBinding {
       prof.done = true;
       served_[id] = 1;
     }
+    span.set_arg(hits);
   }
 
   [[nodiscard]] bool served(std::size_t id) const { return served_[id] != 0; }
@@ -374,14 +389,19 @@ class CacheBinding {
   /// Publish the freshly computed nodes of a successful run.
   void publish(const FlatTree& flat, const OptimizeArtifacts& art,
                const std::vector<NodeProfile>& profiles) {
+    telemetry::TraceSpan span(telemetry::TraceCat::kCache, "publish_pass");
+    std::uint64_t published = 0;
     for (const std::size_t id : flat.postorder) {
       if (flat.nodes[id]->is_leaf() || served_[id] != 0) continue;
+      telemetry::trace_instant(telemetry::TraceCat::kCache, "memo_publish", id);
+      ++published;
       const NodeProfile& prof = profiles[id];
       cache_.insert(keys_[id], art.nodes[id],
                     NodeProfileRecord{prof.stats, prof.net_stored, prof.peak_stored,
                                       prof.peak_transient, prof.peak_total,
                                       prof.subtree_net});
     }
+    span.set_arg(published);
   }
 
  private:
@@ -606,6 +626,7 @@ OptimizeOutcome optimize_floorplan(const FloorplanTree& tree, const OptimizerOpt
   auto artifacts = std::make_shared<OptimizeArtifacts>();
   {
     const auto scope = phases.scope("restructure");
+    const telemetry::TraceSpan span(telemetry::TraceCat::kPhase, "restructure");
     artifacts->btree = restructure(tree, opts.restructure);
     artifacts->nodes.resize(artifacts->btree.node_count);
   }
@@ -615,6 +636,7 @@ OptimizeOutcome optimize_floorplan(const FloorplanTree& tree, const OptimizerOpt
   OptimizeOutcome outcome;
   try {
     const auto scope = phases.scope("evaluate");
+    const telemetry::TraceSpan span(telemetry::TraceCat::kPhase, "evaluate");
     std::optional<CacheBinding> binding;
     if (incremental) binding.emplace(*opts.cache, tree, opts, *artifacts);
     if (opts.threads == 0) {

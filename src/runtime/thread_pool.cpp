@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <string>
+
+#include "telemetry/trace.h"
 
 namespace fpopt {
 
@@ -85,6 +88,9 @@ bool ThreadPool::try_acquire(std::size_t home, std::function<void()>& out) {
       out = std::move(inject_.front());
       inject_.pop_front();
       counters_[std::min(home, n)].shared_pops.inc();
+      // Pool events are scheduling, not structure: fpopt_trace reports
+      // them as aggregates and never includes them in determinism diffs.
+      telemetry::trace_instant(telemetry::TraceCat::kPool, "shared_pop", home);
       return true;
     }
   }
@@ -98,6 +104,7 @@ bool ThreadPool::try_acquire(std::size_t home, std::function<void()>& out) {
       out = std::move(q.deque.front());
       q.deque.pop_front();
       counters_[std::min(home, n)].steals.inc();
+      telemetry::trace_instant(telemetry::TraceCat::kPool, "steal", home, victim);
       return true;
     }
   }
@@ -117,6 +124,7 @@ bool ThreadPool::run_one() {
 
 void ThreadPool::worker_main(std::size_t index) {
   tls_identity = {this, index};
+  telemetry::trace_thread_name("worker " + std::to_string(index));
   for (;;) {
     if (run_one()) continue;
     std::chrono::steady_clock::time_point idle_start{};

@@ -10,6 +10,25 @@ namespace fpopt::telemetry {
 
 namespace {
 
+/// Appends `code` (a Unicode scalar value) to `out` as UTF-8.
+void append_utf8(std::string& out, unsigned code) {
+  if (code <= 0x7F) {
+    out += static_cast<char>(code);
+  } else if (code <= 0x7FF) {
+    out += static_cast<char>(0xC0 | (code >> 6));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else if (code <= 0xFFFF) {
+    out += static_cast<char>(0xE0 | (code >> 12));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (code >> 18));
+    out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  }
+}
+
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
@@ -86,6 +105,20 @@ class Parser {
     return ok;
   }
 
+  bool parse_hex4(unsigned& code) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return fail("bad \\u escape");
+    }
+    return true;
+  }
+
   bool parse_string(std::string& out) {
     ++pos_;  // opening quote
     out.clear();
@@ -105,18 +138,26 @@ class Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return fail("bad \\u escape");
+            if (!parse_hex4(code)) return false;
+            // Surrogate pairs: a high surrogate must be followed by a
+            // \uXXXX low surrogate; the pair decodes to one supplementary
+            // code point. Lone surrogates are malformed.
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+                return fail("high surrogate without a low surrogate");
+              }
+              pos_ += 2;
+              unsigned low = 0;
+              if (!parse_hex4(low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return fail("high surrogate without a low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              return fail("lone low surrogate");
             }
-            if (code > 0x7F) return fail("non-ASCII \\u escape unsupported");
-            out += static_cast<char>(code);
+            append_utf8(out, code);
             break;
           }
           default: return fail("unknown escape");
@@ -263,23 +304,79 @@ std::string JsonValue::dump() const {
 
 JsonParseResult parse_json(const std::string& text) { return Parser(text).run(); }
 
+namespace {
+
+void append_u_escape(std::string& out, unsigned code) {
+  char buf[8];
+  if (code > 0xFFFF) {
+    // Supplementary plane: JSON \u escapes are UTF-16, so emit the
+    // surrogate pair.
+    code -= 0x10000;
+    std::snprintf(buf, sizeof buf, "\\u%04x", 0xD800 + (code >> 10));
+    out += buf;
+    std::snprintf(buf, sizeof buf, "\\u%04x", 0xDC00 + (code & 0x3FF));
+    out += buf;
+    return;
+  }
+  std::snprintf(buf, sizeof buf, "\\u%04x", code);
+  out += buf;
+}
+
+/// Decodes one UTF-8 sequence at s[i]; advances i past it and returns the
+/// code point, or returns 0xFFFD (advancing one byte) on malformed input.
+unsigned decode_utf8(const std::string& s, std::size_t& i) {
+  const auto byte = [&](std::size_t j) { return static_cast<unsigned char>(s[j]); };
+  const unsigned lead = byte(i);
+  std::size_t len = 0;
+  unsigned code = 0;
+  if (lead < 0xC0) {
+    ++i;  // stray continuation byte (ASCII is handled by the caller)
+    return 0xFFFD;
+  }
+  if (lead < 0xE0) { len = 2; code = lead & 0x1F; }
+  else if (lead < 0xF0) { len = 3; code = lead & 0x0F; }
+  else if (lead < 0xF8) { len = 4; code = lead & 0x07; }
+  else { ++i; return 0xFFFD; }
+  if (i + len > s.size()) { ++i; return 0xFFFD; }
+  for (std::size_t j = 1; j < len; ++j) {
+    if ((byte(i + j) & 0xC0) != 0x80) { ++i; return 0xFFFD; }
+    code = (code << 6) | (byte(i + j) & 0x3F);
+  }
+  // Reject overlong encodings, surrogates and out-of-range values.
+  static constexpr unsigned kMin[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (code < kMin[len] || code > 0x10FFFF || (code >= 0xD800 && code <= 0xDFFF)) {
+    ++i;
+    return 0xFFFD;
+  }
+  i += len;
+  return code;
+}
+
+}  // namespace
+
 std::string json_quote(const std::string& s) {
   std::string out = "\"";
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 0x20) {
+      append_u_escape(out, u);
+      ++i;
+    } else if (u < 0x80) {
+      out += c;
+      ++i;
+    } else {
+      // Non-ASCII: escape as \uXXXX so the emitted document is pure
+      // ASCII regardless of the consumer's encoding handling.
+      append_u_escape(out, decode_utf8(s, i));
     }
   }
   return out + "\"";

@@ -1,0 +1,213 @@
+#include "telemetry/trace.h"
+
+#include <cassert>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace fpopt::telemetry {
+namespace {
+
+// The armed session. Hooks take the relaxed fast path (load, compare to
+// the thread-local cache); registration synchronizes under the session
+// mutex, and the arm/disarm edges happen while no instrumented work runs
+// (the session lifecycle rule), so acquire/release ordering on this
+// pointer is only needed at those quiet edges.
+std::atomic<TraceSession*> g_session{nullptr};
+
+// Bumped on every arm. The thread-local cache below is validated against
+// (session pointer, arm epoch): pointer equality alone is not enough,
+// because a later session constructed at the address of a destroyed one
+// (same stack slot across sequential runs) would revive a cache entry
+// whose ring was freed with the old session.
+std::atomic<std::uint64_t> g_arm_epoch{0};
+
+// Per-thread cache of the resolved ring so the hot path never locks.
+struct ThreadSlot {
+  TraceSession* session = nullptr;
+  std::uint64_t epoch = 0;
+  TraceRing* ring = nullptr;
+};
+thread_local ThreadSlot t_slot;
+
+TraceRing* acquire_ring() {
+  TraceSession* session = g_session.load(std::memory_order_acquire);
+  if (session == nullptr) return nullptr;
+  // Relaxed is enough: the epoch only changes at arm/disarm edges, which
+  // the lifecycle rule places outside any instrumented work.
+  const std::uint64_t epoch = g_arm_epoch.load(std::memory_order_relaxed);
+  if (t_slot.session == session && t_slot.epoch == epoch) return t_slot.ring;
+  TraceRing* ring = session->ring_for_this_thread();
+  t_slot = {session, epoch, ring};
+  return ring;
+}
+
+}  // namespace
+
+const char* trace_cat_name(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kPhase: return "phase";
+    case TraceCat::kNode: return "node";
+    case TraceCat::kKernel: return "kernel";
+    case TraceCat::kCache: return "cache";
+    case TraceCat::kPool: return "pool";
+    case TraceCat::kAnneal: return "anneal";
+  }
+  return "unknown";
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceSession::TraceSession(TraceOptions opts) : opts_(opts), start_ns_(trace_now_ns()) {
+  if constexpr (kEnabled) {
+    TraceSession* expected = nullptr;
+    const bool armed =
+        g_session.compare_exchange_strong(expected, this, std::memory_order_release,
+                                          std::memory_order_relaxed);
+    assert(armed && "only one TraceSession may be armed at a time");
+    (void)armed;
+    g_arm_epoch.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+TraceSession::~TraceSession() {
+  if constexpr (kEnabled) {
+    TraceSession* expected = this;
+    g_session.compare_exchange_strong(expected, nullptr, std::memory_order_release,
+                                      std::memory_order_relaxed);
+  }
+}
+
+TraceSession* TraceSession::current() {
+  if constexpr (!kEnabled) return nullptr;
+  return g_session.load(std::memory_order_relaxed);
+}
+
+void TraceSession::set_meta(std::string key, std::string value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : meta_) {
+    if (kv.first == key) {
+      kv.second = std::move(value);
+      return;
+    }
+  }
+  meta_.emplace_back(std::move(key), std::move(value));
+}
+
+TraceRing* TraceSession::ring_for_this_thread() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<TraceRing>(opts_.ring_capacity));
+  return rings_.back().get();
+}
+
+std::uint64_t TraceSession::dropped_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+void TraceSession::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings_) dropped += ring->dropped();
+
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {";
+  bool first_meta = true;
+  for (const auto& [key, value] : meta_) {
+    out << (first_meta ? "\n    " : ",\n    ") << json_quote(key) << ": "
+        << json_quote(value);
+    first_meta = false;
+  }
+  out << (first_meta ? "\n    " : ",\n    ") << "\"telemetry\": "
+      << json_quote(kEnabled ? "on" : "off");
+  out << ",\n    \"dropped_events\": " << json_quote(std::to_string(dropped));
+  out << "\n  },\n  \"traceEvents\": [";
+
+  bool first_event = true;
+  auto sep = [&] {
+    out << (first_event ? "\n    " : ",\n    ");
+    first_event = false;
+  };
+
+  for (std::size_t tid = 0; tid < rings_.size(); ++tid) {
+    const TraceRing& ring = *rings_[tid];
+    if (!ring.name.empty()) {
+      sep();
+      out << R"({"name": "thread_name", "ph": "M", "pid": 1, "tid": )" << tid
+          << R"(, "args": {"name": )" << json_quote(ring.name) << "}}";
+    }
+    for (const TraceEvent& e : ring.events()) {
+      sep();
+      // Rebase onto the session start; an event stamped before arming
+      // (impossible under the lifecycle rule, but cheap to guard) clamps
+      // to zero rather than wrapping.
+      const std::uint64_t rel_ns = e.start_ns >= start_ns_ ? e.start_ns - start_ns_ : 0;
+      out << "{\"name\": " << json_quote(e.name != nullptr ? e.name : "")
+          << ", \"cat\": " << json_quote(trace_cat_name(e.cat))
+          << (e.instant ? R"(, "ph": "i", "s": "t")" : R"(, "ph": "X")")
+          << ", \"pid\": 1, \"tid\": " << tid
+          << ", \"ts\": " << json_number(static_cast<double>(rel_ns) / 1000.0);
+      if (!e.instant) {
+        out << ", \"dur\": " << json_number(static_cast<double>(e.dur_ns) / 1000.0);
+      }
+      out << ", \"args\": {\"id\": " << e.id << ", \"arg\": " << e.arg;
+      if (e.left >= 0) out << ", \"left\": " << e.left;
+      if (e.right >= 0) out << ", \"right\": " << e.right;
+      out << "}}";
+    }
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string TraceSession::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+void TraceSpan::begin(TraceCat cat, const char* name, std::uint64_t id,
+                      std::uint64_t arg) {
+  ring_ = acquire_ring();
+  if (ring_ == nullptr) return;
+  event_.name = name;
+  event_.cat = cat;
+  event_.id = id;
+  event_.arg = arg;
+  event_.start_ns = trace_now_ns();
+}
+
+void TraceSpan::end() {
+  event_.dur_ns = trace_now_ns() - event_.start_ns;
+  ring_->push(event_);
+}
+
+void trace_instant(TraceCat cat, const char* name, std::uint64_t id, std::uint64_t arg) {
+  if constexpr (!kEnabled) return;
+  TraceRing* ring = acquire_ring();
+  if (ring == nullptr) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.id = id;
+  e.arg = arg;
+  e.start_ns = trace_now_ns();
+  e.instant = true;
+  ring->push(e);
+}
+
+void trace_thread_name(const std::string& name) {
+  if constexpr (!kEnabled) return;
+  TraceRing* ring = acquire_ring();
+  if (ring == nullptr) return;
+  if (ring->name.empty()) ring->name = name;
+}
+
+}  // namespace fpopt::telemetry

@@ -1,0 +1,90 @@
+// Offline analysis of Chrome trace-event JSON produced by TraceSession
+// (src/telemetry/trace.h): structural validation, per-category flame
+// aggregation, critical-path extraction over the T' dependency schedule,
+// and deterministic-identity diffing of two traces. Shared between
+// tools/fpopt_trace and the test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace fpopt::telemetry {
+
+/// One trace event lifted out of the JSON document. `dur_us` is 0 for
+/// instants; `left`/`right` are -1 when absent.
+struct LoadedEvent {
+  std::string name;
+  std::string cat;
+  bool instant = false;
+  int tid = 0;
+  double ts_us = 0;
+  double dur_us = 0;
+  std::uint64_t id = 0;
+  std::uint64_t arg = 0;
+  std::int64_t left = -1;
+  std::int64_t right = -1;
+};
+
+struct LoadedTrace {
+  std::vector<LoadedEvent> events;  ///< "X" and "i" events, metadata excluded
+  std::vector<std::pair<std::string, std::string>> other_data;
+  std::uint64_t dropped_events = 0;
+};
+
+/// Structural validation of a parsed trace document: required top-level
+/// shape, per-event required fields and types, ph in {"X","i","M"},
+/// non-negative ts/dur. Appends one message per problem; returns true
+/// when the document is a valid trace.
+bool validate_trace_document(const JsonValue& doc, std::vector<std::string>& errors);
+
+/// Parse + validate + lift. On failure returns false and sets `error`
+/// (parse error or the first validation message; all validation messages
+/// go to `error` newline-joined).
+bool load_trace(const std::string& text, LoadedTrace& out, std::string& error);
+
+/// Aggregated wall time per (cat, name). `total_us` counts the full span
+/// extent; `self_us` subtracts directly nested spans on the same thread
+/// (flame-graph self time). Instants contribute counts only.
+struct FlameRow {
+  std::string cat;
+  std::string name;
+  std::uint64_t count = 0;
+  double total_us = 0;
+  double self_us = 0;
+};
+
+/// Rows sorted by self time descending (ties: total, then cat/name).
+std::vector<FlameRow> flame_rows(const LoadedTrace& trace);
+
+/// Critical path over the T' dependency schedule: node-category spans
+/// carry their children's node ids, so cp(v) = dur(v) + max(cp(left),
+/// cp(right)) and the reported path is the dependency chain that
+/// lower-bounds parallel makespan. `makespan_us` is max(end) - min(start)
+/// over node spans (the measured schedule length).
+struct CriticalPathResult {
+  bool ok = false;
+  std::string error;               ///< set when !ok (no node spans, duplicate ids, ...)
+  double path_us = 0;              ///< critical-path time
+  double makespan_us = 0;          ///< measured node-schedule extent
+  std::vector<std::uint64_t> chain;  ///< node ids, root first
+};
+
+CriticalPathResult critical_path(const LoadedTrace& trace);
+
+/// Deterministic-identity comparison of two traces. Events in
+/// deterministic categories (everything except "pool") are compared as a
+/// multiset of (cat, name, id, arg) — timestamps, durations and thread
+/// ids never participate, mirroring the §9/§10 determinism contract.
+/// Pool events and timings are reported as informational deltas only.
+struct TraceDiff {
+  bool identical = false;           ///< deterministic multisets equal
+  std::vector<std::string> differences;  ///< one line per identity mismatch
+  std::vector<std::string> notes;        ///< informational (timing, pool traffic)
+};
+
+TraceDiff diff_traces(const LoadedTrace& a, const LoadedTrace& b);
+
+}  // namespace fpopt::telemetry

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "optimize/optimizer.h"
+#include "telemetry/trace.h"
 
 namespace fpopt {
 
@@ -72,6 +73,7 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
   double t0 = opts.initial_temperature;
   if (t0 <= 0) {
     const auto scope = phases.scope("calibrate");
+    const telemetry::TraceSpan span(telemetry::TraceCat::kPhase, "calibrate");
     PolishExpr probe = current;
     double probe_cost = current_cost;
     double uphill_sum = 0;
@@ -102,12 +104,17 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
   std::uint64_t attempt = 0;
   double temperature = t0;
   const auto search_start = std::chrono::steady_clock::now();
+  telemetry::TraceSpan search_span(telemetry::TraceCat::kPhase, "search");
   while (temperature > opts.freeze_ratio * t0 && result.moves < opts.max_total_moves) {
     for (std::size_t m = 0; m < moves_per_temp && result.moves < opts.max_total_moves; ++m) {
       Pcg32 move_rng = annealing_move_rng(opts.seed, attempt++);
       PolishExpr candidate = current;
       if (!candidate.random_move(move_rng)) continue;
       ++result.moves;
+      // Trace identity is the attempt index — the same (seed, attempt)
+      // pair that selects the move's PCG32 stream, so a traced trajectory
+      // lines up one-to-one with a replayed one. arg = 1 on accept.
+      telemetry::TraceSpan move_span(telemetry::TraceCat::kAnneal, "move", attempt - 1);
       // The candidate's freshly computed nodes enter the cache inside an
       // epoch: kept on accept, removed on reject, so the cache always
       // reflects exactly the accepted trajectory.
@@ -115,9 +122,12 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
       const double candidate_cost = cost_of(candidate);
       const double delta = candidate_cost - current_cost;
       if (delta <= 0 || move_rng.unit() < std::exp(-delta / temperature)) {
+        move_span.set_arg(1);
         if (cache) {
           cache->commit_epoch();
           ++result.epoch_commits;
+          telemetry::trace_instant(telemetry::TraceCat::kAnneal, "epoch_commit",
+                                   attempt - 1);
         }
         current = std::move(candidate);
         current_cost = candidate_cost;
@@ -131,6 +141,8 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
         if (cache) {
           cache->rollback_epoch();
           ++result.epoch_rollbacks;
+          telemetry::trace_instant(telemetry::TraceCat::kAnneal, "epoch_rollback",
+                                   attempt - 1);
         }
       }
     }

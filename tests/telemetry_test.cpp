@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -106,6 +107,52 @@ TEST(Telemetry, PhaseProfileKeepsFirstUseOrderAndCounts) {
 
 // ---- pool stats --------------------------------------------------------
 
+TEST(Telemetry, PhaseProfileRecordsOnEarlyReturn) {
+  telemetry::PhaseProfile profile;
+  const auto body = [&profile](bool bail) {
+    const auto scope = profile.scope("guarded");
+    if (bail) return 1;  // scope must still record on this path
+    return 0;
+  };
+  EXPECT_EQ(body(true), 1);
+  EXPECT_EQ(body(false), 0);
+  const std::vector<PhaseSample> samples = profile.samples();
+  if constexpr (telemetry::kEnabled) {
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_EQ(samples[0].name, std::string("guarded"));
+    EXPECT_EQ(samples[0].count, 2u) << "both the early and normal return record";
+  } else {
+    EXPECT_TRUE(samples.empty());
+  }
+}
+
+TEST(Telemetry, PhaseProfileRecordsNestedScopesDuringUnwinding) {
+  // A throw from the innermost scope unwinds through every open scope;
+  // each must record exactly once, and the outer phase's time must cover
+  // the inner's (scopes close inner-first).
+  telemetry::PhaseProfile profile;
+  EXPECT_THROW(
+      {
+        const auto outer = profile.scope("outer");
+        const auto inner = profile.scope("inner");
+        throw std::runtime_error("boom");
+      },
+      std::runtime_error);
+  const std::vector<PhaseSample> samples = profile.samples();
+  if constexpr (telemetry::kEnabled) {
+    ASSERT_EQ(samples.size(), 2u);
+    // First-use order is record order, and scopes record at destruction,
+    // so the inner scope lands first.
+    EXPECT_EQ(samples[0].name, std::string("inner"));
+    EXPECT_EQ(samples[0].count, 1u);
+    EXPECT_EQ(samples[1].name, std::string("outer"));
+    EXPECT_EQ(samples[1].count, 1u);
+    EXPECT_GE(samples[1].seconds, samples[0].seconds);
+  } else {
+    EXPECT_TRUE(samples.empty());
+  }
+}
+
 TEST(Telemetry, PoolStatsTotalsSumWorkers) {
   telemetry::PoolStats stats;
   stats.workers.push_back({10, 2, 3, 0.25});
@@ -171,6 +218,55 @@ TEST(TelemetryJson, RejectsMalformedDocuments) {
   std::string deep(100, '[');
   deep += std::string(100, ']');
   EXPECT_FALSE(telemetry::parse_json(deep).value.has_value());
+}
+
+TEST(TelemetryJson, NestingDepthGuardBoundary) {
+  // The parser caps recursion at 64 levels: exactly 64 parses, 65 fails.
+  const auto nested = [](std::size_t levels) {
+    return std::string(levels, '[') + std::string(levels, ']');
+  };
+  EXPECT_TRUE(telemetry::parse_json(nested(64)).value.has_value());
+  const JsonParseResult too_deep = telemetry::parse_json(nested(65));
+  EXPECT_FALSE(too_deep.value.has_value());
+  EXPECT_NE(too_deep.error.find("nesting too deep"), std::string::npos);
+}
+
+TEST(TelemetryJson, ParsesUnicodeEscapes) {
+  const JsonParseResult parsed = telemetry::parse_json(
+      "[\"\\u0041\", \"caf\\u00e9\", \"\\u20ac\", \"\\ud83d\\ude00\"]");
+  ASSERT_TRUE(parsed.value.has_value()) << parsed.error;
+  const auto& arr = parsed.value->array;
+  ASSERT_EQ(arr.size(), 4u);
+  EXPECT_EQ(arr[0].string, "A");
+  EXPECT_EQ(arr[1].string, "caf\xc3\xa9");          // U+00E9, 2-byte UTF-8
+  EXPECT_EQ(arr[2].string, "\xe2\x82\xac");         // U+20AC, 3-byte UTF-8
+  EXPECT_EQ(arr[3].string, "\xf0\x9f\x98\x80");     // U+1F600 via surrogate pair
+}
+
+TEST(TelemetryJson, RejectsMalformedUnicodeEscapes) {
+  // Lone surrogates, a high surrogate followed by a non-surrogate, bad hex
+  // digits and truncated escapes are all malformed.
+  EXPECT_FALSE(telemetry::parse_json(R"(["\ud800"])").value.has_value());
+  EXPECT_FALSE(telemetry::parse_json(R"(["\udc00"])").value.has_value());
+  EXPECT_FALSE(telemetry::parse_json(R"(["\ud800A"])").value.has_value());
+  EXPECT_FALSE(telemetry::parse_json(R"(["\uZZZZ"])").value.has_value());
+  EXPECT_FALSE(telemetry::parse_json(R"(["\u12)").value.has_value());
+}
+
+TEST(TelemetryJson, QuoteEscapesNonAsciiAsUnicode) {
+  // json_quote emits pure ASCII: BMP code points as one \uXXXX, higher
+  // planes as a surrogate pair, and malformed UTF-8 as U+FFFD.
+  EXPECT_EQ(telemetry::json_quote("caf\xc3\xa9"), "\"caf\\u00e9\"");
+  EXPECT_EQ(telemetry::json_quote("\xe2\x82\xac"), "\"\\u20ac\"");
+  EXPECT_EQ(telemetry::json_quote("\xf0\x9f\x98\x80"), "\"\\ud83d\\ude00\"");
+  EXPECT_EQ(telemetry::json_quote("a\x80z"), "\"a\\ufffdz\"");
+}
+
+TEST(TelemetryJson, UnicodeEscapesRoundTripThroughQuoteAndParse) {
+  const std::string original = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80";
+  const JsonParseResult parsed = telemetry::parse_json(telemetry::json_quote(original));
+  ASSERT_TRUE(parsed.value.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.value->string, original);
 }
 
 TEST(TelemetryJson, QuoteAndNumberHelpers) {

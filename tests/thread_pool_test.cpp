@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <memory>
+#include <thread>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -190,6 +192,47 @@ TEST(ParallelFor, CoversRangeExactlyOnceSerialAndPooled) {
     for (std::size_t i = 0; i < kN; ++i) {
       ASSERT_EQ(hit[i].load(), 1) << "workers=" << workers << " index " << i;
     }
+  }
+}
+
+TEST(ThreadPool, IdleTimeIsMonotonicAcrossSnapshots) {
+  // stats() snapshots lifetime counters; idle_seconds must never move
+  // backwards between snapshots, and grows while workers sleep.
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 32; ++i) {
+    group.run([] {});
+  }
+  group.wait();
+  const telemetry::PoolStats before = pool.stats();
+  for (const telemetry::WorkerStats& w : before.workers) {
+    EXPECT_GE(w.idle_seconds, 0.0);
+  }
+  // Let the workers sleep, then poke them so the sleep gets accounted
+  // (idle time is added on wake). The coordinator may drain a wake batch
+  // itself (TaskGroup::wait helps), so retry until a worker's wake lands.
+  telemetry::PoolStats after = pool.stats();
+  for (int tries = 0; tries < 200; ++tries) {
+    if constexpr (telemetry::kEnabled) {
+      if (after.total_idle_seconds() > before.total_idle_seconds()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    TaskGroup wake(&pool);
+    for (int i = 0; i < 8; ++i) {
+      wake.run([] {});
+    }
+    wake.wait();
+    after = pool.stats();
+  }
+  ASSERT_EQ(after.workers.size(), before.workers.size());
+  for (std::size_t i = 0; i < after.workers.size(); ++i) {
+    EXPECT_GE(after.workers[i].idle_seconds, before.workers[i].idle_seconds)
+        << "worker " << i << " idle time went backwards";
+  }
+  if constexpr (telemetry::kEnabled) {
+    EXPECT_GT(after.total_idle_seconds(), before.total_idle_seconds());
+  } else {
+    EXPECT_EQ(after.total_idle_seconds(), 0.0);
   }
 }
 

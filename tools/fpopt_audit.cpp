@@ -14,11 +14,16 @@
 //   --metric l1|l2|linf                (default l1)
 //   --pruning perchain|node|eager      L pruning mode (default node, i.e. [9])
 //   --trace N    root implementations traced to placements (default 16)
+//   --trace=F    write a Chrome trace-event JSON of the run to F (the
+//                equals form disambiguates from --trace N; docs §10)
 //   --certs N    selection certificates re-derived per kind (default 4)
 //   --incremental  audit the incremental engine instead: scratch vs cold-
 //                  vs warm-cache runs must produce byte-equal artifacts
 //   --stats        print the run-report table after the audit
 //   --stats-json F write the JSON run report to F (docs/ALGORITHMS.md §9)
+//   --dump-workload P  write the floorplan as P.topo + P.lib (the fpopt
+//                      CLI file format) and exit; pairs --fp workloads
+//                      with file-driven tools
 //
 // Exit codes: 0 all checks passed, 1 violations found, 2 usage/input error,
 // 3 the run exceeded the memory budget (no verdict).
@@ -33,6 +38,7 @@
 #include "floorplan/serialize.h"
 #include "io/run_report_build.h"
 #include "telemetry/run_report.h"
+#include "telemetry/trace.h"
 #include "workload/floorplans.h"
 
 namespace {
@@ -70,6 +76,8 @@ struct Cli {
   bool incremental = false;
   bool show_stats = false;
   std::string stats_json_path;
+  std::string trace_json_path;    // --trace=F
+  std::string dump_workload_path;  // --dump-workload P -> P.topo + P.lib
 };
 
 Cli parse_args(const std::vector<std::string>& args) {
@@ -143,6 +151,11 @@ Cli parse_args(const std::vector<std::string>& args) {
       }
     } else if (a == "--trace") {
       cli.audit.max_traced_placements = static_cast<std::size_t>(parse_int(a, need_value()));
+    } else if (a.rfind("--trace=", 0) == 0) {
+      cli.trace_json_path = a.substr(8);
+      if (cli.trace_json_path.empty()) throw UsageError("--trace= needs a file name");
+    } else if (a == "--dump-workload") {
+      cli.dump_workload_path = need_value();
     } else if (a == "--certs") {
       cli.audit.certificate_samples = static_cast<std::size_t>(parse_int(a, need_value()));
     } else if (a == "--incremental") {
@@ -199,23 +212,24 @@ fpopt::FloorplanTree build_tree(const Cli& cli) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::vector<std::string> args(argv + 1, argv + argc);
-  Cli cli;
-  fpopt::FloorplanTree tree;
-  try {
-    cli = parse_args(args);
-    tree = build_tree(cli);
-  } catch (const UsageError& e) {
-    std::cerr << "fpopt_audit: " << e.what() << '\n';
-    return 2;
-  } catch (const fpopt::ParseError& e) {
-    std::cerr << "fpopt_audit: parse error: " << e.what() << '\n';
+/// Write the workload in the fpopt CLI file format so file-driven tools
+/// (fpopt --trace, golden corpora) can run the exact same floorplan.
+int dump_workload(const Cli& cli, const fpopt::FloorplanTree& tree) {
+  const std::string topo_path = cli.dump_workload_path + ".topo";
+  const std::string lib_path = cli.dump_workload_path + ".lib";
+  std::ofstream topo(topo_path, std::ios::binary);
+  std::ofstream lib(lib_path, std::ios::binary);
+  if (!topo || !lib) {
+    std::cerr << "fpopt_audit: cannot write " << topo_path << " / " << lib_path << '\n';
     return 2;
   }
+  topo << fpopt::to_topology_string(tree) << '\n';
+  lib << fpopt::to_module_library_string(tree.modules());
+  std::cout << "wrote " << topo_path << " and " << lib_path << '\n';
+  return 0;
+}
 
+int run_audit(const Cli& cli, const fpopt::FloorplanTree& tree) {
   if (cli.incremental) {
     const fpopt::IncrementalAuditReport report = fpopt::audit_incremental(tree, cli.audit);
     if (cli.show_stats || !cli.stats_json_path.empty()) {
@@ -278,4 +292,44 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nPASS: no violations\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  Cli cli;
+  fpopt::FloorplanTree tree;
+  try {
+    cli = parse_args(args);
+    tree = build_tree(cli);
+  } catch (const UsageError& e) {
+    std::cerr << "fpopt_audit: " << e.what() << '\n';
+    return 2;
+  } catch (const fpopt::ParseError& e) {
+    std::cerr << "fpopt_audit: parse error: " << e.what() << '\n';
+    return 2;
+  }
+
+  if (!cli.dump_workload_path.empty()) return dump_workload(cli, tree);
+  if (cli.trace_json_path.empty()) return run_audit(cli, tree);
+
+  // Arm the trace around the whole audit (pools are created and joined
+  // inside, satisfying the session lifecycle rule). Note an audit runs
+  // the optimizer several times, so node ids repeat across runs — fine
+  // for `fpopt_trace check|top|diff`, rejected by `critpath` (which
+  // needs the single-run traces `fpopt --trace` produces).
+  fpopt::telemetry::TraceSession session;
+  session.set_meta("tool", "fpopt_audit");
+  session.set_meta("command", cli.incremental ? "audit-incremental" : "audit");
+  session.set_meta("threads", std::to_string(cli.audit.optimizer.threads));
+  fpopt::telemetry::trace_thread_name("main");
+  const int code = run_audit(cli, tree);
+  std::ofstream file(cli.trace_json_path, std::ios::binary);
+  if (!file) {
+    std::cerr << "fpopt_audit: cannot write " << cli.trace_json_path << '\n';
+    return 2;
+  }
+  session.write_json(file);
+  return code;
 }

@@ -7,7 +7,13 @@
 // it at the top level, BENCH_*.json embeds one per workload entry); every
 // block must satisfy run-report schema v1 (src/telemetry/run_report.h).
 //
-// Exit codes: 0 all files valid, 1 violations found, 2 usage/IO error.
+// All files are checked even after a failure; the exit code reports the
+// worst outcome across them (parse failures outrank schema violations so
+// CI can distinguish "not JSON at all" from "JSON with a bad report").
+//
+// Exit codes: 0 all files valid, 1 schema violations, 2 usage/IO error,
+// 3 parse failure (matches the fpopt_trace convention).
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -17,15 +23,29 @@
 #include "telemetry/json.h"
 #include "telemetry/report_schema.h"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fpopt_report_check <file.json> [more.json ...]\n"
+    "  Validates every embedded fpopt_run_report block (schema v1) in each file.\n"
+    "exit codes: 0 all files valid, 1 schema violations, 2 usage or I/O error,\n"
+    "            3 parse failure (a file is not well-formed JSON)\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: fpopt_report_check <file.json> [more.json ...]\n";
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && (args[0] == "--help" || args[0] == "-h")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (args.empty()) {
+    std::cerr << kUsage;
     return 2;
   }
 
-  bool ok = true;
-  for (int i = 1; i < argc; ++i) {
-    const std::string path = argv[i];
+  int worst = 0;
+  for (const std::string& path : args) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
       std::cerr << "fpopt_report_check: cannot open " << path << '\n';
@@ -38,7 +58,7 @@ int main(int argc, char** argv) {
         fpopt::telemetry::parse_json(buf.str());
     if (!parsed.value.has_value()) {
       std::cerr << path << ": " << parsed.error << '\n';
-      ok = false;
+      worst = std::max(worst, 3);
       continue;
     }
     const std::vector<std::string> errors =
@@ -47,8 +67,8 @@ int main(int argc, char** argv) {
     if (errors.empty()) {
       std::cout << path << ": ok\n";
     } else {
-      ok = false;
+      worst = std::max(worst, 1);
     }
   }
-  return ok ? 0 : 1;
+  return worst;
 }

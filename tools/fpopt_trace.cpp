@@ -1,0 +1,186 @@
+// fpopt_trace: offline analysis of Chrome trace-event JSON captured with
+// `fpopt --trace F` / `fpopt_audit --trace=F` (src/telemetry/trace.h).
+//
+// Usage:
+//   fpopt_trace check    <trace.json>             validate structure
+//   fpopt_trace top      <trace.json> [--total]   flame table (self time)
+//   fpopt_trace critpath <trace.json>             critical path over T'
+//   fpopt_trace diff     <a.json> <b.json>        deterministic-identity diff
+//
+// check: the file must parse as JSON and satisfy the trace document
+//   shape (otherData with dropped_events, traceEvents with ph/ts/dur/args.id).
+//   Reports drop counts; a trace with drops is still valid (the capture
+//   rings are bounded by design) but flagged, since analyses on it
+//   undercount.
+// top: per-(category, name) aggregation — event count, total time and
+//   self time (total minus directly nested spans on the same thread),
+//   sorted by self unless --total.
+// critpath: node spans carry their children's ids, so the tool rebuilds
+//   the T' dependency DAG and reports cp(root) = the chain of node
+//   evaluations that lower-bounds the schedule's makespan at ANY worker
+//   count, next to the measured makespan (max end - min start over node
+//   spans). Needs a single optimize run per trace (node ids must be
+//   unique); audit/anneal traces are rejected with a hint.
+// diff: compares the deterministic event identities (cat, name, id, arg)
+//   of the two traces as multisets — timestamps, durations and thread
+//   placement are measurement and never participate (the §9/§10
+//   determinism contract); pool events are scheduling and are reported
+//   as aggregate notes only. Identical schedules at different thread
+//   counts diff clean; a behaviour change shows up as identity churn.
+//
+// Exit codes: 0 ok (diff: identical), 1 check violations / diff
+// differences, 2 usage or I/O error, 3 parse failure.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "telemetry/trace_analysis.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fpopt_trace <subcommand> ...\n"
+    "  check    <trace.json>            validate trace structure (exit 1 on violations)\n"
+    "  top      <trace.json> [--total]  per-category/name time table\n"
+    "  critpath <trace.json>            critical path over the T' schedule\n"
+    "  diff     <a.json> <b.json>       deterministic-identity comparison\n"
+    "exit codes: 0 ok, 1 violations/differences, 2 usage or I/O error, 3 parse failure\n";
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "fpopt_trace: cannot open " << path << '\n';
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+/// Load a trace or exit-code on failure: 2 for I/O, 3 for parse errors,
+/// 1 for a well-formed JSON that is not a valid trace document.
+int load_or_code(const std::string& path, fpopt::telemetry::LoadedTrace& trace) {
+  std::string text;
+  if (!read_file(path, text)) return 2;
+  const fpopt::telemetry::JsonParseResult parsed = fpopt::telemetry::parse_json(text);
+  if (!parsed.value.has_value()) {
+    std::cerr << path << ": parse error: " << parsed.error << '\n';
+    return 3;
+  }
+  std::string error;
+  if (!fpopt::telemetry::load_trace(text, trace, error)) {
+    std::cerr << path << ": " << error << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_check(const std::string& path) {
+  fpopt::telemetry::LoadedTrace trace;
+  if (const int code = load_or_code(path, trace); code != 0) return code;
+  std::size_t spans = 0, instants = 0;
+  for (const fpopt::telemetry::LoadedEvent& e : trace.events) {
+    ++(e.instant ? instants : spans);
+  }
+  std::cout << path << ": ok (" << spans << " spans, " << instants << " instants";
+  if (trace.dropped_events != 0) {
+    std::cout << "; " << trace.dropped_events
+              << " events dropped by full capture rings — analyses undercount";
+  }
+  std::cout << ")\n";
+  return 0;
+}
+
+int cmd_top(const std::string& path, bool by_total) {
+  fpopt::telemetry::LoadedTrace trace;
+  if (const int code = load_or_code(path, trace); code != 0) return code;
+  std::vector<fpopt::telemetry::FlameRow> rows = fpopt::telemetry::flame_rows(trace);
+  if (by_total) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const fpopt::telemetry::FlameRow& a,
+                        const fpopt::telemetry::FlameRow& b) { return a.total_us > b.total_us; });
+  }
+  std::printf("%-8s %-16s %10s %14s %14s\n", "cat", "name", "count", "total_ms", "self_ms");
+  for (const fpopt::telemetry::FlameRow& row : rows) {
+    std::printf("%-8s %-16s %10llu %14.3f %14.3f\n", row.cat.c_str(), row.name.c_str(),
+                static_cast<unsigned long long>(row.count), row.total_us / 1000.0,
+                row.self_us / 1000.0);
+  }
+  if (trace.dropped_events != 0) {
+    std::cout << "warning: " << trace.dropped_events
+              << " events were dropped at capture; the table undercounts\n";
+  }
+  return 0;
+}
+
+int cmd_critpath(const std::string& path) {
+  fpopt::telemetry::LoadedTrace trace;
+  if (const int code = load_or_code(path, trace); code != 0) return code;
+  const fpopt::telemetry::CriticalPathResult cp = fpopt::telemetry::critical_path(trace);
+  if (!cp.ok) {
+    std::cerr << path << ": " << cp.error << '\n';
+    return 1;
+  }
+  std::printf("critical path: %.3f ms over %zu nodes\n", cp.path_us / 1000.0,
+              cp.chain.size());
+  std::printf("makespan:      %.3f ms (measured node-schedule extent)\n",
+              cp.makespan_us / 1000.0);
+  const double headroom = cp.path_us > 0 ? cp.makespan_us / cp.path_us : 0;
+  std::printf("ratio:         %.2fx makespan/path (1.00x = schedule is chain-bound;\n"
+              "               the path lower-bounds makespan at every worker count)\n",
+              headroom);
+  std::cout << "chain (root first):";
+  for (std::size_t i = 0; i < cp.chain.size(); ++i) {
+    std::cout << (i == 0 ? " " : " -> ") << cp.chain[i];
+  }
+  std::cout << '\n';
+  if (trace.dropped_events != 0) {
+    std::cout << "warning: " << trace.dropped_events
+              << " events were dropped at capture; missing node spans count as zero cost\n";
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  fpopt::telemetry::LoadedTrace a, b;
+  if (const int code = load_or_code(path_a, a); code != 0) return code;
+  if (const int code = load_or_code(path_b, b); code != 0) return code;
+  const fpopt::telemetry::TraceDiff diff = fpopt::telemetry::diff_traces(a, b);
+  for (const std::string& line : diff.differences) {
+    std::cout << "DIFF " << line << '\n';
+  }
+  for (const std::string& line : diff.notes) {
+    std::cout << "note " << line << '\n';
+  }
+  if (diff.identical) {
+    std::cout << "deterministic identities match (" << path_a << " vs " << path_b << ")\n";
+    return 0;
+  }
+  std::cout << diff.differences.size() << " identity difference(s)\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "help") {
+    std::cout << kUsage;
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& cmd = args[0];
+  if (cmd == "check" && args.size() == 2) return cmd_check(args[1]);
+  if (cmd == "top" && (args.size() == 2 || (args.size() == 3 && args[2] == "--total"))) {
+    return cmd_top(args[1], args.size() == 3);
+  }
+  if (cmd == "critpath" && args.size() == 2) return cmd_critpath(args[1]);
+  if (cmd == "diff" && args.size() == 3) return cmd_diff(args[1], args[2]);
+  std::cerr << "fpopt_trace: bad arguments\n" << kUsage;
+  return 2;
+}
