@@ -22,7 +22,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "optimize/optimizer.h"
+#include "optimize/optimizer.h"  // FPOPT-LINT-OK(layering): key derivation fingerprints OptimizerOptions; cache stays link-level below optimize (see cache/CMakeLists.txt)
 
 namespace fpopt {
 

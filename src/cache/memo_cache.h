@@ -29,8 +29,8 @@
 #include <vector>
 
 #include "cache/cache_key.h"
-#include "optimize/node_result.h"
-#include "optimize/stats.h"
+#include "optimize/node_result.h"  // FPOPT-LINT-OK(layering): entries store the engine's NodeResult vocabulary type; header-only coupling, no engine code called
+#include "optimize/stats.h"  // FPOPT-LINT-OK(layering): profile records replay OptimizerStats counters; header-only coupling, no engine code called
 
 namespace fpopt {
 
@@ -106,6 +106,10 @@ class MemoCache {
   std::size_t byte_budget_;
   std::size_t bytes_ = 0;
   LruList lru_;  ///< front = most recently used
+  /// Key -> LRU position. Audited for iteration-order leaks (rule
+  /// unordered-iter): only find/emplace/erase/clear — never iterated.
+  /// Eviction and publish order walk lru_, whose order is a pure
+  /// function of the (deterministic, serial) probe/insert sequence.
   std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> map_;
   std::vector<CacheKey> epoch_inserts_;
   bool epoch_open_ = false;

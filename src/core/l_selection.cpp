@@ -11,7 +11,7 @@
 #include "telemetry/trace.h"
 
 #if defined(FPOPT_VALIDATE)
-#include "check/check_certificate.h"
+#include "check/check_certificate.h"  // FPOPT-LINT-OK(layering): FPOPT_VALIDATE post-condition hook; compiled to no-ops by default
 #endif
 
 namespace fpopt {

@@ -273,7 +273,7 @@ int cmd_optimize(const ParsedArgs& parsed, std::ostream& out) {
 
 Placement trace_chosen(const FloorplanTree& tree, const OptimizeOutcome& result,
                        const ParsedArgs& parsed) {
-  std::size_t pick;
+  std::size_t pick = 0;
   if (!parsed.impl_index.has_value()) {
     pick = result.root.min_area_index();
   } else if (*parsed.impl_index >= result.root.size()) {

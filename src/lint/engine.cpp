@@ -1,0 +1,471 @@
+#include "lint/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fpopt::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Catalogue
+
+const std::vector<RuleInfo> kRules = {
+    {"unordered-iter",
+     "iteration over an unordered container: order is implementation-defined and must "
+     "not feed artifacts, trace identities, or cache publish order"},
+    {"wall-clock",
+     "wall-clock or randomness primitive outside src/telemetry/: results must derive "
+     "only from inputs and seeded PCG streams"},
+    {"atomic-order",
+     "atomic operation without an explicit std::memory_order, or a relaxed/acquire/"
+     "release order without a nearby justification comment"},
+    {"raw-telemetry",
+     "telemetry used raw: FPOPT_TELEMETRY preprocessor checks or trace/telemetry "
+     "symbols outside the no-op-capable headers"},
+    {"layering", "quoted include violates the .fpopt-layers allowed DAG"},
+    {"bad-suppression",
+     "FPOPT-LINT-OK annotation with an unknown rule id or an empty reason"},
+};
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool under(const std::string& path, const char* prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file context: include resolution and unordered-container symbols.
+
+struct FileContext {
+  std::vector<std::size_t> closure;          ///< indices of transitively included files
+  std::set<std::string> include_strings;     ///< include texts, transitive
+  std::set<std::string> unordered_vars;      ///< visible unordered-typed names
+};
+
+struct UnorderedDecls {
+  std::set<std::string> vars;
+  std::set<std::string> aliases;
+};
+
+bool is_unordered_name(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" || s == "unordered_multimap" ||
+         s == "unordered_multiset";
+}
+
+/// Collect names declared with an unordered container type in one file.
+UnorderedDecls collect_unordered_decls(const SourceFile& f) {
+  UnorderedDecls out;
+  const std::vector<Token>& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !is_unordered_name(toks[i].text)) continue;
+
+    // `using Alias = std::unordered_map<...>;` — walk back over std:: to
+    // see whether this spells a type alias.
+    std::string alias;
+    {
+      std::size_t j = i;
+      if (j > 0 && is_punct(toks[j - 1], "::")) j -= 1;
+      if (j > 0 && is_ident(toks[j - 1], "std")) j -= 1;
+      if (j >= 2 && is_punct(toks[j - 1], "=") && toks[j - 2].kind == TokKind::kIdent &&
+          j >= 3 && is_ident(toks[j - 3], "using")) {
+        alias = toks[j - 2].text;
+      }
+    }
+
+    // Balance the template argument list.
+    std::size_t j = i + 1;
+    if (j >= toks.size() || !is_punct(toks[j], "<")) continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "<")) ++depth;
+      if (is_punct(toks[j], ">") && --depth == 0) break;
+      if (is_punct(toks[j], ";") || is_punct(toks[j], "{")) break;  // lost; bail out
+    }
+    if (j >= toks.size() || !is_punct(toks[j], ">")) continue;
+    ++j;
+
+    if (!alias.empty()) {
+      out.aliases.insert(alias);
+      continue;
+    }
+    while (j < toks.size() &&
+           (is_punct(toks[j], "*") || is_punct(toks[j], "&") || is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    if (j + 1 < toks.size() && is_punct(toks[j + 1], "(")) continue;  // function decl
+    out.vars.insert(toks[j].text);
+  }
+
+  // Second pass: variables declared through one of the aliases.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || out.aliases.count(toks[i].text) == 0) continue;
+    std::size_t j = i + 1;
+    while (j < toks.size() && (is_punct(toks[j], "*") || is_punct(toks[j], "&"))) ++j;
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+        !(j + 1 < toks.size() && is_punct(toks[j + 1], "("))) {
+      out.vars.insert(toks[j].text);
+    }
+  }
+  return out;
+}
+
+/// Resolve one quoted include to an index in `files`, or npos. Quoted
+/// includes are rooted at src/ in this repo, but test/tool fixtures may
+/// use paths relative to the including file.
+std::size_t resolve_include(const std::map<std::string, std::size_t>& by_path,
+                            const std::string& including, const std::string& inc) {
+  const std::string dir = dirname_of(including);
+  for (const std::string& candidate :
+       {dir.empty() ? inc : dir + "/" + inc, "src/" + inc, inc}) {
+    const auto it = by_path.find(candidate);
+    if (it != by_path.end()) return it->second;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::vector<FileContext> build_contexts(const std::vector<SourceFile>& files) {
+  std::map<std::string, std::size_t> by_path;
+  for (std::size_t i = 0; i < files.size(); ++i) by_path[files[i].path] = i;
+
+  std::vector<UnorderedDecls> decls(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) decls[i] = collect_unordered_decls(files[i]);
+
+  std::vector<FileContext> contexts(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    // BFS over quoted includes resolved within the analyzed set.
+    std::vector<std::size_t> queue{i};
+    std::set<std::size_t> seen{i};
+    while (!queue.empty()) {
+      const std::size_t cur = queue.back();
+      queue.pop_back();
+      contexts[i].closure.push_back(cur);
+      for (const IncludeDirective& inc : files[cur].includes) {
+        contexts[i].include_strings.insert(inc.path);
+        const std::size_t target = resolve_include(by_path, files[cur].path, inc.path);
+        if (target != static_cast<std::size_t>(-1) && seen.insert(target).second) {
+          queue.push_back(target);
+        }
+      }
+    }
+    for (const std::size_t member : contexts[i].closure) {
+      contexts[i].unordered_vars.insert(decls[member].vars.begin(),
+                                        decls[member].vars.end());
+    }
+  }
+  return contexts;
+}
+
+// ---------------------------------------------------------------------------
+// R1: unordered-iter
+
+/// True when the token range [begin, end) reduces to a plain reference to
+/// `var` — `var`, `*var`, `this->var`, `obj.var`, chains thereof, with
+/// optional outer parentheses. A surrounding call (e.g. `sorted(var)`)
+/// counts as an explicit reordering wrapper and does NOT match.
+bool range_is_bare_var(const std::vector<Token>& toks, std::size_t begin, std::size_t end,
+                       const std::string& var) {
+  if (begin >= end) return false;
+  if (toks[end - 1].kind != TokKind::kIdent || toks[end - 1].text != var) return false;
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    const Token& t = toks[i];
+    const bool link = t.kind == TokKind::kIdent || is_punct(t, ".") || is_punct(t, "->") ||
+                      is_punct(t, "*") || is_punct(t, "(") || is_punct(t, ")") ||
+                      is_punct(t, "::");
+    if (!link) return false;
+    // An ident directly followed by '(' is a call: the container is
+    // wrapped, which is exactly the sanctioned fix.
+    if (t.kind == TokKind::kIdent && i + 1 < end && is_punct(toks[i + 1], "(")) return false;
+  }
+  return true;
+}
+
+void rule_unordered_iter(const SourceFile& f, const FileContext& ctx,
+                         std::vector<Finding>& out) {
+  const std::vector<Token>& toks = f.tokens;
+  const std::set<std::string>& vars = ctx.unordered_vars;
+  if (vars.empty()) return;
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    // Range-for: for ( decl : range-expr )
+    if (is_ident(toks[i], "for") && is_punct(toks[i + 1], "(")) {
+      int depth = 0;
+      std::size_t colon = 0, close = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "(")) ++depth;
+        if (is_punct(toks[j], ")") && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (colon == 0 && depth == 1 && is_punct(toks[j], ":")) colon = j;
+      }
+      if (colon == 0 || close == 0) continue;
+      for (const std::string& var : vars) {
+        if (range_is_bare_var(toks, colon + 1, close, var)) {
+          out.push_back({"unordered-iter", f.path, toks[close - 1].line, toks[close - 1].col,
+                         "range-for over unordered container '" + var +
+                             "': iteration order is implementation-defined; sort into a "
+                             "vector (or std::map) before this feeds any artifact, trace "
+                             "identity, or cache publish order"});
+          break;
+        }
+      }
+      continue;
+    }
+    // Iterator loops: var.begin() / var->cbegin().
+    if ((is_punct(toks[i + 1], ".") || is_punct(toks[i + 1], "->")) && i + 3 < toks.size() &&
+        toks[i].kind == TokKind::kIdent && vars.count(toks[i].text) != 0 &&
+        (is_ident(toks[i + 2], "begin") || is_ident(toks[i + 2], "cbegin")) &&
+        is_punct(toks[i + 3], "(")) {
+      out.push_back({"unordered-iter", f.path, toks[i].line, toks[i].col,
+                     "iterator walk over unordered container '" + toks[i].text +
+                         "': iteration order is implementation-defined; sort into a vector "
+                         "(or std::map) before this feeds any artifact, trace identity, or "
+                         "cache publish order"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2: wall-clock
+
+void rule_wall_clock(const SourceFile& f, std::vector<Finding>& out) {
+  if (!under(f.path, "src/") || under(f.path, "src/telemetry/")) return;
+  static const std::set<std::string> kBannedAlways = {
+      "rand",       "srand",          "random_device",         "mt19937",
+      "mt19937_64", "system_clock",   "high_resolution_clock", "steady_clock",
+      "clock_gettime", "gettimeofday",
+  };
+  static const std::set<std::string> kBannedCalls = {"time", "clock"};
+  const std::vector<Token>& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const bool always = kBannedAlways.count(toks[i].text) != 0;
+    bool call = false;
+    if (!always && kBannedCalls.count(toks[i].text) != 0) {
+      // Only the free functions: `time(...)`, not `e.time` members.
+      const bool called = i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+      const bool member =
+          i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+      call = called && !member;
+    }
+    if (!always && !call) continue;
+    out.push_back({"wall-clock", f.path, toks[i].line, toks[i].col,
+                   "'" + toks[i].text +
+                       "' outside src/telemetry/: results must be a pure function of "
+                       "inputs and seeded PCG streams; route timing through the "
+                       "telemetry layer or annotate why this cannot affect outputs"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: atomic-order
+
+void rule_atomic_order(const SourceFile& f, std::vector<Finding>& out) {
+  static const std::set<std::string> kAtomicOps = {
+      "load",      "store",    "exchange",  "fetch_add",             "fetch_sub",
+      "fetch_and", "fetch_or", "fetch_xor", "compare_exchange_weak", "compare_exchange_strong",
+  };
+  const std::vector<Token>& toks = f.tokens;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || kAtomicOps.count(toks[i].text) == 0) continue;
+    if (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+
+    // Collect the argument tokens of the call.
+    int depth = 0;
+    std::size_t end = i + 1;
+    bool named_order = false;
+    bool relaxed_family = false;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "(")) ++depth;
+      if (is_punct(toks[j], ")") && --depth == 0) {
+        end = j;
+        break;
+      }
+      if (toks[j].kind == TokKind::kIdent &&
+          toks[j].text.rfind("memory_order", 0) == 0) {
+        named_order = true;
+        if (toks[j].text != "memory_order" && toks[j].text != "memory_order_seq_cst") {
+          relaxed_family = true;
+        }
+        // `memory_order::relaxed` spelling: peek past the `::`.
+        if (toks[j].text == "memory_order" && j + 2 < toks.size() &&
+            is_punct(toks[j + 1], "::") && !is_ident(toks[j + 2], "seq_cst")) {
+          relaxed_family = true;
+        }
+      }
+    }
+    const int op_line = toks[i].line;
+    if (!named_order) {
+      out.push_back({"atomic-order", f.path, op_line, toks[i].col,
+                     "atomic '" + toks[i].text +
+                         "' relies on implicit seq_cst: name the std::memory_order "
+                         "explicitly so the synchronization contract is visible"});
+      continue;
+    }
+    if (relaxed_family) {
+      const int end_line = toks[end].line;
+      if (!f.has_comment_between(op_line - 3, end_line)) {
+        out.push_back({"atomic-order", f.path, op_line, toks[i].col,
+                       "non-seq_cst atomic '" + toks[i].text +
+                           "' has no nearby justification: add a comment (within the 3 "
+                           "lines above) saying why this ordering is sufficient"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4: raw-telemetry
+
+void rule_raw_telemetry(const SourceFile& f, const FileContext& ctx,
+                        std::vector<Finding>& out) {
+  if (under(f.path, "src/telemetry/")) return;
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokKind::kDirective && t.text.find("FPOPT_TELEMETRY") != std::string::npos) {
+      out.push_back({"raw-telemetry", f.path, t.line, t.col,
+                     "raw FPOPT_TELEMETRY preprocessor check: the compile-out contract "
+                     "lives in telemetry/telemetry.h (kEnabled / no-op bodies); branch on "
+                     "telemetry::kEnabled instead"});
+    }
+    if (is_ident(t, "FPOPT_TELEMETRY_DISABLED")) {
+      out.push_back({"raw-telemetry", f.path, t.line, t.col,
+                     "FPOPT_TELEMETRY_DISABLED referenced outside src/telemetry/: only the "
+                     "telemetry headers may observe the build switch"});
+    }
+  }
+
+  static const std::vector<std::pair<const char*, const char*>> kRequiredHeader = {
+      {"TraceSpan", "telemetry/trace.h"},
+      {"TraceSession", "telemetry/trace.h"},
+      {"trace_instant", "telemetry/trace.h"},
+      {"trace_thread_name", "telemetry/trace.h"},
+      {"PhaseProfile", "telemetry/telemetry.h"},
+  };
+  std::set<std::string> reported;
+  for (const Token& t : f.tokens) {
+    if (t.kind != TokKind::kIdent) continue;
+    for (const auto& [symbol, header] : kRequiredHeader) {
+      if (t.text != symbol || ctx.include_strings.count(header) != 0) continue;
+      if (!reported.insert(symbol).second) continue;
+      out.push_back({"raw-telemetry", f.path, t.line, t.col,
+                     std::string("'") + symbol + "' used without including \"" + header +
+                         "\": telemetry symbols must come from the no-op-capable header, "
+                         "never a local declaration"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5: layering
+
+void rule_layering(const SourceFile& f, const LayerManifest& manifest,
+                   std::vector<Finding>& out) {
+  const std::string layer = f.layer();
+  if (layer.empty()) return;
+  if (!manifest.has_layer(layer)) {
+    out.push_back({"layering", f.path, 1, 1,
+                   "src/" + layer + "/ is not declared in .fpopt-layers: add the layer "
+                   "and its allowed dependencies to the manifest"});
+    return;
+  }
+  for (const IncludeDirective& inc : f.includes) {
+    const std::size_t slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string target = inc.path.substr(0, slash);
+    if (!manifest.has_layer(target)) continue;  // not a src/ layer path
+    if (!manifest.allows(layer, target)) {
+      out.push_back({"layering", f.path, inc.line, 1,
+                     "include \"" + inc.path + "\": layer '" + layer +
+                         "' may not depend on '" + target +
+                         "' (.fpopt-layers); either the dependency is wrong or the "
+                         "manifest needs a deliberate edge"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+void apply_suppressions(const SourceFile& f, std::vector<Finding>& findings,
+                        std::vector<Finding>& out) {
+  for (Finding& finding : findings) {
+    bool suppressed = false;
+    for (const Suppression& s : f.suppressions) {
+      if (s.target_line == finding.line && s.rule == finding.rule && !s.reason.empty() &&
+          known_rule(s.rule)) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(finding));
+  }
+}
+
+void rule_bad_suppression(const SourceFile& f, std::vector<Finding>& out) {
+  for (const Suppression& s : f.suppressions) {
+    if (s.rule.empty() || !known_rule(s.rule)) {
+      out.push_back({"bad-suppression", f.path, s.comment_line, 1,
+                     "FPOPT-LINT-OK with " +
+                         (s.rule.empty() ? std::string("no rule id")
+                                         : "unknown rule id '" + s.rule + "'") +
+                         ": use one of the ids from `fpopt_lint --list-rules`"});
+    } else if (s.reason.empty()) {
+      out.push_back({"bad-suppression", f.path, s.comment_line, 1,
+                     "FPOPT-LINT-OK(" + s.rule +
+                         ") has no reason: every waiver must say why the rule does not "
+                         "apply (\"FPOPT-LINT-OK(" + s.rule + "): <why>\")"});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalogue() { return kRules; }
+
+bool known_rule(const std::string& id) {
+  for (const RuleInfo& rule : kRules) {
+    if (id == rule.id) return true;
+  }
+  return false;
+}
+
+std::vector<Finding> run_lint(const std::vector<SourceFile>& files,
+                              const LintOptions& options) {
+  const std::vector<FileContext> contexts = build_contexts(files);
+  std::vector<Finding> out;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const SourceFile& f = files[i];
+    std::vector<Finding> local;
+    rule_unordered_iter(f, contexts[i], local);
+    rule_wall_clock(f, local);
+    rule_atomic_order(f, local);
+    rule_raw_telemetry(f, contexts[i], local);
+    if (options.manifest != nullptr) rule_layering(f, *options.manifest, local);
+    apply_suppressions(f, local, out);
+    rule_bad_suppression(f, out);
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace fpopt::lint

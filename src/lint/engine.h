@@ -1,0 +1,75 @@
+// fpopt_lint rule engine (docs/LINT.md): determinism- and layering-aware
+// static analysis over the repo's own sources.
+//
+// Rule catalogue — each targets an invariant the test suites can only
+// check after the fact, turning it into a rule that fails the build the
+// moment the pattern is written:
+//
+//   unordered-iter (R1)  iteration over std::unordered_{map,set,multimap,
+//                        multiset}: order is implementation-defined, so a
+//                        loop that feeds output artifacts, trace
+//                        identities, or cache publish order silently
+//                        breaks bit-identical reproduction.
+//   wall-clock     (R2)  wall-clock / randomness primitives outside
+//                        src/telemetry/ (std::rand, srand, random_device,
+//                        mt19937, *_clock, time(), gettimeofday): results
+//                        must derive only from inputs and seeded PCG.
+//   atomic-order   (R3)  every atomic load/store/RMW must name its
+//                        std::memory_order explicitly, and every
+//                        non-seq_cst order must carry a nearby
+//                        justification comment.
+//   raw-telemetry  (R4)  telemetry must route through the no-op-capable
+//                        headers: no raw FPOPT_TELEMETRY #if/#ifdef and no
+//                        TraceSpan/trace_instant/PhaseProfile use without
+//                        including the corresponding telemetry header.
+//   layering       (R5)  quoted includes across src/<dir>/ boundaries
+//                        must follow the allowed DAG in .fpopt-layers.
+//   bad-suppression      a suppression annotation with an unknown rule
+//                        id or an empty reason.
+//
+// Findings are suppressible per line via the annotation syntax described
+// in source.h and docs/LINT.md; `bad-suppression` itself is not
+// suppressible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/layers.h"
+#include "lint/source.h"
+
+namespace fpopt::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The full catalogue, in stable order (drives --list-rules and the SARIF
+/// tool.driver.rules array).
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
+[[nodiscard]] bool known_rule(const std::string& id);
+
+struct LintOptions {
+  /// Layer manifest for R5; null skips the layering rule entirely.
+  const LayerManifest* manifest = nullptr;
+};
+
+/// Run every rule over the file set. The set is analyzed as a whole:
+/// unordered-container declarations and telemetry includes propagate
+/// through quoted includes resolved *within the set*, so a member
+/// declared in a header is recognized in the .cpp that includes it.
+/// Findings come back sorted by (file, line, col, rule) and already
+/// filtered through the files' suppression annotations.
+[[nodiscard]] std::vector<Finding> run_lint(const std::vector<SourceFile>& files,
+                                            const LintOptions& options);
+
+}  // namespace fpopt::lint

@@ -1,0 +1,108 @@
+#include "lint/layers.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fpopt::lint {
+
+bool LayerManifest::allows(const std::string& from, const std::string& to) const {
+  if (from == to) return true;
+  const auto it = deps.find(from);
+  if (it == deps.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), to) != it->second.end();
+}
+
+namespace {
+
+/// Depth-first cycle search over the declared dependency edges; fills
+/// `chain` with the cycle (first element repeated at the end) when found.
+bool find_cycle(const LayerManifest& m, const std::string& node,
+                std::map<std::string, int>& state, std::vector<std::string>& chain) {
+  state[node] = 1;  // on the current path
+  chain.push_back(node);
+  const auto it = m.deps.find(node);
+  if (it != m.deps.end()) {
+    for (const std::string& dep : it->second) {
+      const int dep_state = state.count(dep) != 0 ? state[dep] : 0;
+      if (dep_state == 1) {
+        chain.push_back(dep);
+        return true;
+      }
+      if (dep_state == 0 && find_cycle(m, dep, state, chain)) return true;
+    }
+  }
+  chain.pop_back();
+  state[node] = 2;  // fully explored
+  return false;
+}
+
+}  // namespace
+
+LayerManifestResult parse_layer_manifest(const std::string& text) {
+  LayerManifestResult result;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string head;
+    if (!(fields >> head)) continue;  // blank / comment-only line
+    if (head.back() != ':') {
+      result.errors.push_back("line " + std::to_string(line_no) +
+                              ": expected \"layer:\" at start, got \"" + head + "\"");
+      continue;
+    }
+    head.pop_back();
+    if (head.empty()) {
+      result.errors.push_back("line " + std::to_string(line_no) + ": empty layer name");
+      continue;
+    }
+    if (result.manifest.has_layer(head)) {
+      result.errors.push_back("line " + std::to_string(line_no) + ": layer \"" + head +
+                              "\" declared twice");
+      continue;
+    }
+    std::vector<std::string>& deps = result.manifest.deps[head];
+    std::string dep;
+    while (fields >> dep) {
+      if (dep == head) {
+        result.errors.push_back("line " + std::to_string(line_no) + ": layer \"" + head +
+                                "\" lists itself (self-dependency is implicit)");
+        continue;
+      }
+      deps.push_back(dep);
+    }
+  }
+
+  for (const auto& [layer, deps] : result.manifest.deps) {
+    for (const std::string& dep : deps) {
+      if (!result.manifest.has_layer(dep)) {
+        result.errors.push_back("layer \"" + layer + "\" depends on undeclared layer \"" +
+                                dep + "\"");
+      }
+    }
+  }
+  if (!result.errors.empty()) return result;
+
+  std::map<std::string, int> state;
+  for (const auto& [layer, deps] : result.manifest.deps) {
+    std::vector<std::string> chain;
+    if ((state.count(layer) == 0 || state[layer] == 0) &&
+        find_cycle(result.manifest, layer, state, chain)) {
+      std::string msg = "dependency cycle: ";
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (i > 0) msg += " -> ";
+        msg += chain[i];
+      }
+      result.errors.push_back(std::move(msg));
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fpopt::lint

@@ -1,0 +1,43 @@
+// The `.fpopt-layers` manifest: the repo's allowed include DAG over the
+// directories of src/ (R5, docs/LINT.md).
+//
+// Format, one layer per line:
+//
+//   # comment
+//   optimize: core cache floorplan shape geometry runtime telemetry
+//   geometry:
+//
+// `name: dep dep ...` declares that files under src/<name>/ may include
+// headers from src/<dep>/ (and always from src/<name>/ itself). The
+// declared graph must be acyclic and every dependency must itself be a
+// declared layer — both are manifest *errors* (exit 2), not findings,
+// because a broken manifest can silently allow anything.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fpopt::lint {
+
+struct LayerManifest {
+  /// layer -> allowed direct dependencies (self-dependency implicit).
+  std::map<std::string, std::vector<std::string>> deps;
+
+  [[nodiscard]] bool has_layer(const std::string& name) const {
+    return deps.find(name) != deps.end();
+  }
+  [[nodiscard]] bool allows(const std::string& from, const std::string& to) const;
+};
+
+struct LayerManifestResult {
+  LayerManifest manifest;
+  std::vector<std::string> errors;  ///< empty iff the manifest is usable
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Parse and validate manifest text: syntax, undeclared deps, duplicate
+/// layers, and cycles (reported with the offending chain).
+[[nodiscard]] LayerManifestResult parse_layer_manifest(const std::string& text);
+
+}  // namespace fpopt::lint

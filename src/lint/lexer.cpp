@@ -1,0 +1,195 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace fpopt::lint {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char take() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+/// True when the token stream so far makes the next '#' a directive:
+/// only whitespace (and comments) since the last newline.
+bool at_line_start(const std::vector<Token>& toks, int line) {
+  for (auto it = toks.rbegin(); it != toks.rend(); ++it) {
+    if (it->line != line) break;
+    if (it->kind != TokKind::kComment) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& text) {
+  std::vector<Token> out;
+  Cursor cur(text);
+
+  auto start_token = [&](TokKind kind) {
+    return Token{kind, std::string(), cur.line(), cur.col()};
+  };
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      cur.take();
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on its line; fold "\\\n".
+    if (c == '#' && at_line_start(out, cur.line())) {
+      Token t = start_token(TokKind::kDirective);
+      while (!cur.done()) {
+        const char d = cur.peek();
+        if (d == '\\' && cur.peek(1) == '\n') {
+          cur.take();
+          cur.take();
+          t.text += ' ';
+          continue;
+        }
+        if (d == '\n') break;
+        // A // comment terminates the directive's interesting text.
+        if (d == '/' && cur.peek(1) == '/') break;
+        t.text += cur.take();
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      Token t = start_token(TokKind::kComment);
+      while (!cur.done() && cur.peek() != '\n') t.text += cur.take();
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      Token t = start_token(TokKind::kComment);
+      t.text += cur.take();
+      t.text += cur.take();
+      while (!cur.done()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          t.text += cur.take();
+          t.text += cur.take();
+          break;
+        }
+        t.text += cur.take();
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && cur.peek(1) == '"') {
+      Token t = start_token(TokKind::kString);
+      t.text += cur.take();  // R
+      t.text += cur.take();  // "
+      std::string delim;
+      while (!cur.done() && cur.peek() != '(') delim += cur.take();
+      if (!cur.done()) cur.take();  // (
+      t.text += delim + "(";
+      const std::string close = ")" + delim + "\"";
+      std::string tail;
+      while (!cur.done()) {
+        tail += cur.take();
+        if (tail.size() >= close.size() &&
+            tail.compare(tail.size() - close.size(), close.size(), close) == 0) {
+          break;
+        }
+      }
+      t.text += tail;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Ordinary string / char literals.
+    if (c == '"' || c == '\'') {
+      Token t = start_token(TokKind::kString);
+      const char quote = cur.take();
+      t.text += quote;
+      while (!cur.done()) {
+        const char d = cur.take();
+        t.text += d;
+        if (d == '\\' && !cur.done()) {
+          t.text += cur.take();
+          continue;
+        }
+        if (d == quote || d == '\n') break;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (ident_start(c)) {
+      Token t = start_token(TokKind::kIdent);
+      while (!cur.done() && ident_char(cur.peek())) t.text += cur.take();
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Numbers (pp-number, loosely: digits plus idents/dots/exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))) != 0)) {
+      Token t = start_token(TokKind::kNumber);
+      while (!cur.done()) {
+        const char d = cur.peek();
+        if (ident_char(d) || d == '.') {
+          t.text += cur.take();
+          if ((t.text.back() == 'e' || t.text.back() == 'E' || t.text.back() == 'p' ||
+               t.text.back() == 'P') &&
+              (cur.peek() == '+' || cur.peek() == '-')) {
+            t.text += cur.take();
+          }
+          continue;
+        }
+        break;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Punctuation. `::` and `->` become single tokens (the rules need
+    // them); everything else is one character, so `>>` closes two
+    // template levels and `<<` never pairs with a declaration's `<`.
+    Token t = start_token(TokKind::kPunct);
+    const char first = cur.take();
+    t.text += first;
+    if ((first == ':' && cur.peek() == ':') || (first == '-' && cur.peek() == '>')) {
+      t.text += cur.take();
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace fpopt::lint

@@ -1,0 +1,42 @@
+// Lightweight C++ lexer for fpopt_lint (src/lint/).
+//
+// This is *not* a compiler front end: it tokenizes just enough C++ to
+// drive the per-rule visitors in engine.cpp — identifiers, punctuation,
+// literals, comments (kept as tokens, because suppression annotations and
+// R3 justification comments live in them), and whole preprocessor
+// directives (kept as single tokens, with line continuations folded,
+// because the include extractor and the R4 raw-#ifdef check match on
+// them). Templates, raw strings, and multi-character operators that the
+// rules care about (`::`, `->`) are handled; everything else is a
+// single-character punctuation token. The design constraint is the same
+// as the rest of the tool: dependency-free, deterministic, fast enough to
+// lex the whole repo on every CI run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fpopt::lint {
+
+enum class TokKind {
+  kIdent,      ///< identifiers and keywords (the rules treat them alike)
+  kNumber,     ///< numeric literal (pp-number, loosely)
+  kString,     ///< string or character literal, raw strings included
+  kPunct,      ///< operator / punctuation; `::` and `->` are single tokens
+  kComment,    ///< // or /* */ comment, text includes the delimiters
+  kDirective,  ///< whole preprocessor line, continuations folded, '#' included
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+  int col = 0;   ///< 1-based column of the token's first character
+};
+
+/// Tokenize a C++ source buffer. Never fails: malformed input (unclosed
+/// comment/string) produces a best-effort token that runs to end of file.
+[[nodiscard]] std::vector<Token> lex(const std::string& text);
+
+}  // namespace fpopt::lint

@@ -1,0 +1,92 @@
+#include "lint/render.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace fpopt::lint {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::ostringstream out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(static_cast<unsigned char>(c)) << std::dec;
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void render_text(const std::vector<Finding>& findings, std::ostream& out) {
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ":" << f.col << ": error[" << f.rule
+        << "]: " << f.message << "\n";
+  }
+  if (findings.empty()) {
+    out << "fpopt_lint: clean\n";
+  } else {
+    out << "fpopt_lint: " << findings.size() << " finding"
+        << (findings.size() == 1 ? "" : "s") << "\n";
+  }
+}
+
+void render_json(const std::vector<Finding>& findings, std::ostream& out) {
+  out << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"col\": " << f.col << ", \"rule\": \""
+        << json_escape(f.rule) << "\", \"message\": \"" << json_escape(f.message)
+        << "\"}";
+  }
+  out << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+void render_sarif(const std::vector<Finding>& findings, std::ostream& out) {
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"fpopt_lint\",\n"
+      << "          \"informationUri\": \"docs/LINT.md\",\n"
+      << "          \"rules\": [";
+  const std::vector<RuleInfo>& rules = rule_catalogue();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n            {\"id\": \"" << json_escape(rules[i].id)
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(rules[i].summary)
+        << "\"}}";
+  }
+  out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "" : ",") << "\n        {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"}, \"region\": {\"startLine\": " << f.line
+        << ", \"startColumn\": " << f.col << "}}}]}";
+  }
+  out << (findings.empty() ? "" : "\n      ") << "]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
+}  // namespace fpopt::lint

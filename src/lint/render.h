@@ -1,0 +1,25 @@
+// Output renderers for fpopt_lint findings: human-readable text, a plain
+// JSON findings list, and SARIF 2.1.0 (the format CI code-scanning UIs
+// ingest). Dependency-free by design — the emitters build the documents
+// by hand, escaping strings per RFC 8259; tests/lint_test.cpp round-trips
+// the JSON/SARIF output through the repo's own parser to pin the shape.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "lint/engine.h"
+
+namespace fpopt::lint {
+
+/// "file:line:col: error[rule]: message" lines plus a summary line.
+void render_text(const std::vector<Finding>& findings, std::ostream& out);
+
+/// {"findings": [{"file", "line", "col", "rule", "message"}, ...]}
+void render_json(const std::vector<Finding>& findings, std::ostream& out);
+
+/// Minimal SARIF 2.1.0: one run, tool.driver.rules from the catalogue,
+/// one result per finding with a physicalLocation region.
+void render_sarif(const std::vector<Finding>& findings, std::ostream& out);
+
+}  // namespace fpopt::lint

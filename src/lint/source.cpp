@@ -1,0 +1,124 @@
+#include "lint/source.h"
+
+#include <algorithm>
+
+namespace fpopt::lint {
+namespace {
+
+constexpr const char kMarker[] = "FPOPT-LINT-OK";
+
+std::string trim(std::string s) {
+  const auto ws = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
+  while (!s.empty() && ws(s.back())) s.pop_back();
+  // Strip a block comment's trailing "*/" so the reason text stays clean
+  // whether the annotation uses // or /* */.
+  if (s.size() >= 2 && s[s.size() - 2] == '*' && s.back() == '/') s.resize(s.size() - 2);
+  while (!s.empty() && ws(s.back())) s.pop_back();
+  std::size_t b = 0;
+  while (b < s.size() && ws(s[b])) ++b;
+  return s.substr(b);
+}
+
+/// Parse every annotation of the form MARKER(rule): reason in one
+/// comment token (the marker itself is kMarker above; spelling it out
+/// here would read as an annotation).
+void parse_annotations(const Token& comment, bool line_has_code,
+                       std::vector<Suppression>& out) {
+  std::size_t pos = 0;
+  while ((pos = comment.text.find(kMarker, pos)) != std::string::npos) {
+    std::size_t cur = pos + sizeof(kMarker) - 1;
+    pos = cur;
+    Suppression s;
+    s.comment_line = comment.line;
+    s.target_line = line_has_code ? comment.line : comment.line + 1;
+    if (cur >= comment.text.size() || comment.text[cur] != '(') {
+      continue;  // prose mention of the marker, not an annotation
+    }
+    const std::size_t close = comment.text.find(')', cur);
+    if (close == std::string::npos) {
+      out.push_back(std::move(s));
+      continue;
+    }
+    s.rule = trim(comment.text.substr(cur + 1, close - cur - 1));
+    cur = close + 1;
+    if (cur < comment.text.size() && comment.text[cur] == ':') {
+      // Reason runs to the end of the comment (or the next annotation).
+      std::size_t end = comment.text.find(kMarker, cur);
+      if (end == std::string::npos) end = comment.text.size();
+      s.reason = trim(comment.text.substr(cur + 1, end - cur - 1));
+    }
+    out.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
+std::string SourceFile::layer() const {
+  if (path.rfind("src/", 0) != 0) return {};
+  const std::size_t begin = 4;
+  const std::size_t slash = path.find('/', begin);
+  if (slash == std::string::npos) return {};
+  return path.substr(begin, slash - begin);
+}
+
+bool SourceFile::has_comment_on(int line) const {
+  return std::binary_search(comment_lines.begin(), comment_lines.end(), line);
+}
+
+bool SourceFile::has_comment_between(int first_line, int last_line) const {
+  const auto it = std::lower_bound(comment_lines.begin(), comment_lines.end(), first_line);
+  return it != comment_lines.end() && *it <= last_line;
+}
+
+SourceFile parse_source(std::string path, std::string text) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.text = std::move(text);
+  f.tokens = lex(f.text);
+
+  for (std::size_t i = 0; i < f.tokens.size(); ++i) {
+    const Token& t = f.tokens[i];
+    if (t.kind == TokKind::kDirective) {
+      // `#include "x"` / `# include "x"`; angle includes are not layer-checked.
+      const std::size_t inc = t.text.find("include");
+      if (inc != std::string::npos) {
+        const std::size_t open = t.text.find('"', inc);
+        if (open != std::string::npos) {
+          const std::size_t close = t.text.find('"', open + 1);
+          if (close != std::string::npos) {
+            f.includes.push_back({t.text.substr(open + 1, close - open - 1), t.line});
+          }
+        }
+      }
+      continue;
+    }
+    if (t.kind == TokKind::kComment && t.text.find(kMarker) != std::string::npos) {
+      // Code "on the line" means any non-comment token preceding this one
+      // on the same source line.
+      bool has_code = false;
+      for (std::size_t j = i; j-- > 0;) {
+        if (f.tokens[j].line != t.line) break;
+        if (f.tokens[j].kind != TokKind::kComment) {
+          has_code = true;
+          break;
+        }
+      }
+      parse_annotations(t, has_code, f.suppressions);
+    }
+    if (t.kind == TokKind::kComment) {
+      // A block comment can span lines; every spanned line counts for the
+      // R3 justification search.
+      int line = t.line;
+      f.comment_lines.push_back(line);
+      for (const char c : t.text) {
+        if (c == '\n') f.comment_lines.push_back(++line);
+      }
+    }
+  }
+  std::sort(f.comment_lines.begin(), f.comment_lines.end());
+  f.comment_lines.erase(std::unique(f.comment_lines.begin(), f.comment_lines.end()),
+                        f.comment_lines.end());
+  return f;
+}
+
+}  // namespace fpopt::lint

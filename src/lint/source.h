@@ -1,0 +1,54 @@
+// Per-file source model for fpopt_lint: tokens plus everything the rule
+// visitors need pre-extracted — quoted includes, suppression annotations,
+// and the set of lines that carry any comment (R3's justification check).
+//
+// Suppression syntax (docs/LINT.md):
+//
+//   code();  // FPOPT-LINT-OK(unordered-iter): counts only, order-free
+//
+// An annotation on a line with code suppresses findings of `rule-id` on
+// that line; an annotation on a line of its own suppresses the next line.
+// The reason is mandatory — an empty reason (or an unknown rule id) is
+// itself a finding (`bad-suppression`), so every waiver in the tree is
+// forced to document itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace fpopt::lint {
+
+struct IncludeDirective {
+  std::string path;  ///< the quoted include text, e.g. "cache/cache_key.h"
+  int line = 0;
+};
+
+struct Suppression {
+  std::string rule;
+  std::string reason;     ///< text after the ':' (trimmed); may be empty => finding
+  int target_line = 0;    ///< line whose findings this suppresses
+  int comment_line = 0;   ///< line the annotation itself is on
+};
+
+struct SourceFile {
+  std::string path;  ///< repo-relative, '/'-separated (e.g. "src/cache/memo_cache.h")
+  std::string text;
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;  ///< quoted includes only
+  std::vector<Suppression> suppressions;
+  std::vector<int> comment_lines;  ///< sorted lines containing any comment text
+
+  /// Directory layer for R5: "cache" for "src/cache/x.h", "" when the
+  /// file is not under src/ or sits directly in src/.
+  [[nodiscard]] std::string layer() const;
+
+  [[nodiscard]] bool has_comment_on(int line) const;
+  [[nodiscard]] bool has_comment_between(int first_line, int last_line) const;
+};
+
+/// Build the model: lex, extract includes + suppressions + comment lines.
+[[nodiscard]] SourceFile parse_source(std::string path, std::string text);
+
+}  // namespace fpopt::lint

@@ -15,7 +15,7 @@
 #if defined(FPOPT_VALIDATE)
 #include <string>
 
-#include "check/check_shapes.h"
+#include "check/check_shapes.h"  // FPOPT-LINT-OK(layering): FPOPT_VALIDATE post-condition hook; compiled to no-ops by default
 #endif
 
 namespace fpopt {
@@ -523,6 +523,7 @@ class ParallelEngine {
     for (std::size_t id = 0; id < n; ++id) {
       if (profiles_[id].done) {
         served_net += profiles_[id].net_stored;
+        // relaxed: single-threaded constructor; the pool starts later.
         pending_[id].store(0, std::memory_order_relaxed);
         continue;
       }
@@ -530,11 +531,13 @@ class ParallelEngine {
       int waits = 0;
       if (node.left && !profiles_[node.left->id].done) ++waits;
       if (node.right && !profiles_[node.right->id].done) ++waits;
+      // relaxed (all three): single-threaded constructor; TaskGroup's
+      // submission edges publish this state before any worker reads it.
       pending_[id].store(waits, std::memory_order_relaxed);
     }
     committed_.store(served_net, std::memory_order_relaxed);
     if (opts_.impl_budget != 0 && served_net > opts_.impl_budget) {
-      aborted_.store(true, std::memory_order_relaxed);
+      aborted_.store(true, std::memory_order_relaxed);  // relaxed: still single-threaded
     }
   }
 
@@ -544,6 +547,7 @@ class ParallelEngine {
     TaskGroup group(&pool_);
     group_ = &group;
     for (std::size_t id = 0; id < flat_.nodes.size(); ++id) {
+      // relaxed: reading our own constructor's writes on this thread.
       if (!profiles_[id].done && pending_[id].load(std::memory_order_relaxed) == 0) {
         group.run([this, id] { exec(id); });
       }
@@ -551,6 +555,8 @@ class ParallelEngine {
     group.wait();  // rethrows unexpected task exceptions
     group_ = nullptr;
 
+    // acquire (both): group.wait() already synchronized, but the pairing
+    // with exec()'s release stores keeps this read self-documenting.
     if (aborted_.load(std::memory_order_acquire)) {
       snapshot_partial(flat_, profiles_, stats_);
       throw MemoryLimitExceeded{committed_.load(std::memory_order_acquire), 0};
@@ -562,6 +568,8 @@ class ParallelEngine {
  private:
   void exec(std::size_t id) {
     const BinaryNode& node = *flat_.nodes[id];
+    // acquire: pairs with the release stores below so a task that skips
+    // work also observes the state the aborting task published.
     if (!aborted_.load(std::memory_order_acquire)) {
       const std::size_t desc_net = children_subtree_net(node, profiles_);
       std::size_t local_budget = 0;  // 0 = unlimited
@@ -581,13 +589,17 @@ class ParallelEngine {
         prof.peak_total = local.peak_total();
         prof.subtree_net = prof.net_stored + desc_net;
         prof.done = true;
+        // acq_rel: the running total must observe every earlier add and
+        // publish this node's profile writes with its contribution.
         const std::size_t committed =
             committed_.fetch_add(prof.net_stored, std::memory_order_acq_rel) +
             prof.net_stored;
         if (opts_.impl_budget != 0 && committed > opts_.impl_budget) {
+          // release: publishes the profile state that justified aborting.
           aborted_.store(true, std::memory_order_release);
         }
       } catch (const MemoryLimitExceeded&) {
+        // release: publishes the partial profile of the aborting node.
         aborted_.store(true, std::memory_order_release);
       }
     }
@@ -620,7 +632,7 @@ class ParallelEngine {
 
 OptimizeOutcome optimize_floorplan(const FloorplanTree& tree, const OptimizerOptions& opts) {
   assert(tree.validate().empty() && "optimize_floorplan requires a well-formed tree");
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = std::chrono::steady_clock::now();  // FPOPT-LINT-OK(wall-clock): stats.seconds is reported wall time, excluded from determinism comparisons
   telemetry::PhaseProfile phases;
 
   auto artifacts = std::make_shared<OptimizeArtifacts>();
@@ -675,7 +687,7 @@ OptimizeOutcome optimize_floorplan(const FloorplanTree& tree, const OptimizerOpt
 
   outcome.phases = phases.samples();
   outcome.stats.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();  // FPOPT-LINT-OK(wall-clock): reported wall time, excluded from determinism comparisons
   return outcome;
 }
 

@@ -46,6 +46,7 @@ ThreadPool::~ThreadPool() {
 ThreadPool* ThreadPool::current() { return tls_identity.pool; }
 
 void ThreadPool::submit(std::function<void()> fn) {
+  // relaxed: debug-only sanity probe, no ordering needed for an assert.
   assert(!stop_.load(std::memory_order_relaxed) && "submit after shutdown started");
   if (tls_identity.pool == this) {
     WorkerQueue& q = queues_[tls_identity.index];
@@ -55,6 +56,8 @@ void ThreadPool::submit(std::function<void()> fn) {
     std::lock_guard<std::mutex> lk(inject_mu_);
     inject_.push_back(std::move(fn));
   }
+  // release: the task was pushed under the queue mutex above; a worker
+  // that acquires pending_ > 0 must also see the queued task.
   pending_.fetch_add(1, std::memory_order_release);
   notify_one_sleeper();
 }
@@ -116,6 +119,8 @@ bool ThreadPool::run_one() {
       tls_identity.pool == this ? tls_identity.index : queues_.size();
   std::function<void()> task;
   if (!try_acquire(home, task)) return false;
+  // acq_rel: pairs with submit()'s release so the drain check in the
+  // destructor observes a consistent queue/counter pair.
   pending_.fetch_sub(1, std::memory_order_acq_rel);
   counters_[std::min(home, queues_.size())].tasks_run.inc();
   task();
@@ -127,10 +132,12 @@ void ThreadPool::worker_main(std::size_t index) {
   telemetry::trace_thread_name("worker " + std::to_string(index));
   for (;;) {
     if (run_one()) continue;
-    std::chrono::steady_clock::time_point idle_start{};
-    if constexpr (telemetry::kEnabled) idle_start = std::chrono::steady_clock::now();
+    std::chrono::steady_clock::time_point idle_start{};  // FPOPT-LINT-OK(wall-clock): idle-time measurement, telemetry-gated, never feeds results
+    if constexpr (telemetry::kEnabled) idle_start = std::chrono::steady_clock::now();  // FPOPT-LINT-OK(wall-clock): idle-time measurement behind telemetry::kEnabled
     {
       std::unique_lock<std::mutex> lk(sleep_mu_);
+      // acquire on both: seeing stop/pending set must also make the
+      // shutdown state resp. the queued task visible to this worker.
       sleep_cv_.wait(lk, [this] {
         return stop_.load(std::memory_order_acquire) ||
                pending_.load(std::memory_order_acquire) > 0;
@@ -139,9 +146,11 @@ void ThreadPool::worker_main(std::size_t index) {
     if constexpr (telemetry::kEnabled) {
       counters_[index].idle_ns.add(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - idle_start)
+              std::chrono::steady_clock::now() - idle_start)  // FPOPT-LINT-OK(wall-clock): idle-time measurement behind telemetry::kEnabled
               .count()));
     }
+    // acquire on both: exit only after observing the release-store of
+    // stop_ and a drained pending_ count (no task left behind).
     if (stop_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0) {
       break;
@@ -169,14 +178,20 @@ void TaskGroup::run(std::function<void()> fn) {
     fn();  // serial degradation: inline, exceptions propagate directly
     return;
   }
+  // acq_rel: the increment must be visible before the task can run and
+  // decrement (a 0->1->0 blip would wake wait() early).
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   pool_->submit([this, fn = std::move(fn)] {
+    // acquire: pairs with the release store below, so a task skipped
+    // after a failure also sees the recorded exception state.
     if (!failed_.load(std::memory_order_acquire)) {
       try {
         fn();
       } catch (...) {
         std::lock_guard<std::mutex> lk(mu_);
         if (!error_) error_ = std::current_exception();
+        // release: publishes error_ (written under mu_ above) to the
+        // acquire load at the top of each task.
         failed_.store(true, std::memory_order_release);
       }
     }
@@ -198,6 +213,8 @@ void TaskGroup::finish_one() {
 
 void TaskGroup::wait() {
   if (pool_ != nullptr) {
+    // acquire: returning from wait() must make every task's writes
+    // visible to the caller (pairs with finish_one's acq_rel decrement).
     while (outstanding_.load(std::memory_order_acquire) > 0) {
       if (pool_->run_one()) continue;
       // Nothing runnable anywhere: group tasks are in flight on other

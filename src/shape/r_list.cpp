@@ -5,7 +5,7 @@
 #include <numeric>
 
 #if defined(FPOPT_VALIDATE)
-#include "check/check_shapes.h"
+#include "check/check_shapes.h"  // FPOPT-LINT-OK(layering): FPOPT_VALIDATE post-condition hook; compiled to no-ops by default
 #endif
 
 namespace fpopt {

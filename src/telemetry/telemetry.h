@@ -44,14 +44,17 @@ inline constexpr bool kEnabled = true;
 class Counter {
  public:
   void add(std::uint64_t n) {
+    // relaxed: commutative increment, no reader orders against it.
     if constexpr (kEnabled) value_.fetch_add(n, std::memory_order_relaxed);
   }
   void inc() { add(1); }
   [[nodiscard]] std::uint64_t get() const {
+    // relaxed: totals are read after the run quiesces (pool joined).
     if constexpr (kEnabled) return value_.load(std::memory_order_relaxed);
     return 0;
   }
   void reset() {
+    // relaxed: reset only happens between runs, never concurrently.
     if constexpr (kEnabled) value_.store(0, std::memory_order_relaxed);
   }
 
@@ -64,16 +67,20 @@ class Counter {
 class Gauge {
  public:
   void set(double v) {
+    // relaxed: last-write-wins measurement, no cross-thread ordering.
     if constexpr (kEnabled) value_.store(v, std::memory_order_relaxed);
   }
   void fold_max(double v) {
     if constexpr (kEnabled) {
+      // relaxed CAS loop: max-fold is commutative and publishes no other
+      // data; the final value is read only after the run quiesces.
       double cur = value_.load(std::memory_order_relaxed);
       while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
       }
     }
   }
   [[nodiscard]] double get() const {
+    // relaxed: read after the run quiesces (pool joined).
     if constexpr (kEnabled) return value_.load(std::memory_order_relaxed);
     return 0;
   }

@@ -33,6 +33,8 @@ struct ThreadSlot {
 thread_local ThreadSlot t_slot;
 
 TraceRing* acquire_ring() {
+  // acquire: pairs with the release CAS in the TraceSession constructor,
+  // so a non-null session implies its rings are fully constructed.
   TraceSession* session = g_session.load(std::memory_order_acquire);
   if (session == nullptr) return nullptr;
   // Relaxed is enough: the epoch only changes at arm/disarm edges, which
@@ -68,11 +70,15 @@ std::uint64_t trace_now_ns() {
 TraceSession::TraceSession(TraceOptions opts) : opts_(opts), start_ns_(trace_now_ns()) {
   if constexpr (kEnabled) {
     TraceSession* expected = nullptr;
+    // release on success: publishes this fully-constructed session to the
+    // acquire load in acquire_ring(); relaxed on failure (assert path).
     const bool armed =
         g_session.compare_exchange_strong(expected, this, std::memory_order_release,
                                           std::memory_order_relaxed);
     assert(armed && "only one TraceSession may be armed at a time");
     (void)armed;
+    // relaxed: the epoch only changes at arm/disarm edges, outside any
+    // instrumented work (see acquire_ring).
     g_arm_epoch.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -80,6 +86,8 @@ TraceSession::TraceSession(TraceOptions opts) : opts_(opts), start_ns_(trace_now
 TraceSession::~TraceSession() {
   if constexpr (kEnabled) {
     TraceSession* expected = this;
+    // release: makes every ring write of this session visible before any
+    // later session re-arms; relaxed on failure (already disarmed).
     g_session.compare_exchange_strong(expected, nullptr, std::memory_order_release,
                                       std::memory_order_relaxed);
   }
@@ -87,6 +95,8 @@ TraceSession::~TraceSession() {
 
 TraceSession* TraceSession::current() {
   if constexpr (!kEnabled) return nullptr;
+  // relaxed: callers only use the pointer from the arming thread, which
+  // created the session; cross-thread access goes through acquire_ring.
   return g_session.load(std::memory_order_relaxed);
 }
 

@@ -317,11 +317,21 @@ CriticalPathResult critical_path(const LoadedTrace& trace) {
       stack.pop_back();
     }
   };
-  for (const auto& [id, node] : nodes) compute_cp(id);
+  // Iterate node ids in sorted order: cp values are order-independent
+  // (memoized pure function), but the argmax below breaks ties by visit
+  // order, and the winning chain is printed — unordered_map order here
+  // would leak into the report (rule unordered-iter, docs/LINT.md).
+  std::vector<std::uint64_t> sorted_ids;
+  sorted_ids.reserve(nodes.size());
+  for (auto it = nodes.begin(); it != nodes.end(); ++it) {  // FPOPT-LINT-OK(unordered-iter): collects keys for an explicit sort two lines down
+    sorted_ids.push_back(it->first);
+  }
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+  for (const std::uint64_t id : sorted_ids) compute_cp(id);
 
   std::uint64_t best_id = 0;
   double best = -1;
-  for (const auto& [id, node] : nodes) {
+  for (const std::uint64_t id : sorted_ids) {
     if (cp[id] > best) {
       best = cp[id];
       best_id = id;

@@ -29,7 +29,7 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
                                         const AnnealingOptions& opts) {
   assert(modules.size() >= 2);
   assert(opts.netlist == nullptr || opts.netlist->module_count() == modules.size());
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = std::chrono::steady_clock::now();  // FPOPT-LINT-OK(wall-clock): reported wall time only, excluded from determinism comparisons
 
   // Run-local memo cache for the incremental cost path. Costs are
   // identical to the Stockmeyer path (the engine with no selection limits
@@ -103,7 +103,7 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
   // the accept/reject history before it.
   std::uint64_t attempt = 0;
   double temperature = t0;
-  const auto search_start = std::chrono::steady_clock::now();
+  const auto search_start = std::chrono::steady_clock::now();  // FPOPT-LINT-OK(wall-clock): phase-timer input only, never steers the search
   telemetry::TraceSpan search_span(telemetry::TraceCat::kPhase, "search");
   while (temperature > opts.freeze_ratio * t0 && result.moves < opts.max_total_moves) {
     for (std::size_t m = 0; m < moves_per_temp && result.moves < opts.max_total_moves; ++m) {
@@ -148,7 +148,7 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
     }
     temperature *= opts.cooling;
   }
-  phases.record("search", std::chrono::duration<double>(std::chrono::steady_clock::now() -
+  phases.record("search", std::chrono::duration<double>(std::chrono::steady_clock::now() -  // FPOPT-LINT-OK(wall-clock): phase-timer input only, never steers the search
                                                         search_start)
                               .count());
 
@@ -156,7 +156,7 @@ AnnealingResult anneal_slicing_topology(const std::vector<Module>& modules,
   if (cache) result.cache_stats = cache->stats();
   result.phases = phases.samples();
   result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();  // FPOPT-LINT-OK(wall-clock): reported wall time only, excluded from determinism comparisons
   return result;
 }
 

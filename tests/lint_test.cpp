@@ -1,0 +1,530 @@
+// Fixture-driven tests for the fpopt_lint rule engine (docs/LINT.md):
+// one firing and one non-firing case per rule family, suppression
+// parsing, layer-manifest validation, and the machine-readable output
+// shapes (JSON / SARIF round-tripped through the repo's own parser).
+//
+// Fixtures are tiny C++ snippets handed to parse_source() with invented
+// repo-relative paths — the path decides which rules apply (R2 only
+// inside src/, R5 only for src/<layer>/ files), so the same snippet can
+// serve as both the positive and the negative case.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/engine.h"
+#include "lint/layers.h"
+#include "lint/render.h"
+#include "lint/source.h"
+#include "telemetry/json.h"
+
+namespace fpopt::lint {
+namespace {
+
+std::vector<Finding> lint_files(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const LayerManifest* manifest = nullptr) {
+  std::vector<SourceFile> files;
+  files.reserve(sources.size());
+  for (const auto& [path, text] : sources) files.push_back(parse_source(path, text));
+  LintOptions options;
+  options.manifest = manifest;
+  return run_lint(files, options);
+}
+
+std::vector<Finding> lint_one(const std::string& path, const std::string& text,
+                              const LayerManifest* manifest = nullptr) {
+  return lint_files({{path, text}}, manifest);
+}
+
+int count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// R1: unordered-iter
+
+TEST(LintUnorderedIter, FiresOnRangeForOverUnorderedMap) {
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+#include <unordered_map>
+std::unordered_map<int, int> counts;
+int total() {
+  int t = 0;
+  for (const auto& [k, v] : counts) t += v;
+  return t;
+}
+)cpp");
+  ASSERT_EQ(count_rule(findings, "unordered-iter"), 1);
+  EXPECT_EQ(findings[0].file, "src/core/x.cpp");
+  EXPECT_EQ(findings[0].line, 6);
+}
+
+TEST(LintUnorderedIter, FiresOnIteratorWalk) {
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+#include <unordered_set>
+std::unordered_set<int> seen;
+void walk() {
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+  }
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 1);
+}
+
+TEST(LintUnorderedIter, SilentOnOrderedMapAndPointLookups) {
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+#include <map>
+#include <unordered_map>
+std::map<int, int> ordered;
+std::unordered_map<int, int> counts;
+int f(int key) {
+  for (const auto& [k, v] : ordered) (void)k;   // std::map: order is defined
+  auto it = counts.find(key);                   // point lookup, no iteration
+  return it == counts.end() ? 0 : it->second;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 0);
+}
+
+TEST(LintUnorderedIter, WrapperCallIsTheSanctionedFix) {
+  // A call around the container (sorted(...), keys_sorted(...)) is the
+  // documented remediation; the rule must not fire on it.
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+#include <unordered_map>
+std::unordered_map<int, int> counts;
+void emit() {
+  for (const auto& kv : sorted(counts)) (void)kv;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 0);
+}
+
+TEST(LintUnorderedIter, SeesThroughUsingAlias) {
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+#include <unordered_map>
+using CountMap = std::unordered_map<int, int>;
+CountMap counts;
+void emit() {
+  for (const auto& kv : counts) (void)kv;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 1);
+}
+
+TEST(LintUnorderedIter, MemberDeclaredInIncludedHeaderPropagates) {
+  // The member is declared in the header; the .cpp only iterates it. The
+  // whole-set analysis must connect the two through the quoted include.
+  const std::string header = R"cpp(
+#include <unordered_map>
+struct Index {
+  std::unordered_map<int, int> slots_;
+  void publish();
+};
+)cpp";
+  const std::string impl = R"cpp(
+#include "core/index.h"
+void Index::publish() {
+  for (const auto& [k, v] : slots_) (void)k;
+}
+)cpp";
+  const auto findings =
+      lint_files({{"src/core/index.h", header}, {"src/core/index.cpp", impl}});
+  ASSERT_EQ(count_rule(findings, "unordered-iter"), 1);
+  EXPECT_EQ(findings[0].file, "src/core/index.cpp");
+
+  // Without the include the declaration is invisible: no finding.
+  const std::string no_include = R"cpp(
+void publish_other(const int& slots_) { (void)slots_; }
+)cpp";
+  const auto disconnected =
+      lint_files({{"src/core/index.h", header}, {"src/core/other.cpp", no_include}});
+  for (const Finding& f : disconnected) EXPECT_NE(f.file, "src/core/other.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// R2: wall-clock
+
+TEST(LintWallClock, FiresOnClockAndRandomnessInSrc) {
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+#include <chrono>
+#include <random>
+double now() {
+  std::random_device rd;
+  (void)rd;
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "wall-clock"), 2);  // random_device + steady_clock
+}
+
+TEST(LintWallClock, SilentInTelemetryLayerAndOutsideSrc) {
+  const std::string snippet = R"cpp(
+#include <chrono>
+auto t0 = std::chrono::steady_clock::now();
+)cpp";
+  EXPECT_EQ(count_rule(lint_one("src/telemetry/x.cpp", snippet), "wall-clock"), 0);
+  EXPECT_EQ(count_rule(lint_one("bench/x.cpp", snippet), "wall-clock"), 0);
+  EXPECT_EQ(count_rule(lint_one("tools/x.cpp", snippet), "wall-clock"), 0);
+}
+
+TEST(LintWallClock, TimeFiresOnlyAsFreeFunctionCall) {
+  const auto findings = lint_one("src/io/x.cpp", R"cpp(
+long stamp() { return time(nullptr); }
+double member(const Event& e) { return e.time; }
+int named() { int time = 3; return time; }
+)cpp");
+  ASSERT_EQ(count_rule(findings, "wall-clock"), 1);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+// ---------------------------------------------------------------------------
+// R3: atomic-order
+
+TEST(LintAtomicOrder, FiresOnImplicitSeqCst) {
+  const auto findings = lint_one("src/runtime/x.cpp", R"cpp(
+#include <atomic>
+std::atomic<int> flag{0};
+void set() { flag.store(1); }
+)cpp");
+  ASSERT_EQ(count_rule(findings, "atomic-order"), 1);
+  EXPECT_NE(findings[0].message.find("implicit seq_cst"), std::string::npos);
+}
+
+TEST(LintAtomicOrder, ExplicitSeqCstNeedsNoJustification) {
+  const auto findings = lint_one("src/runtime/x.cpp", R"cpp(
+#include <atomic>
+std::atomic<int> flag{0};
+void set() { flag.store(1, std::memory_order_seq_cst); }
+)cpp");
+  EXPECT_EQ(count_rule(findings, "atomic-order"), 0);
+}
+
+TEST(LintAtomicOrder, RelaxedWithoutCommentFires) {
+  const auto findings = lint_one("src/runtime/x.cpp", R"cpp(
+#include <atomic>
+std::atomic<int> n{0};
+void bump() {
+  n.fetch_add(1, std::memory_order_relaxed);
+}
+)cpp");
+  ASSERT_EQ(count_rule(findings, "atomic-order"), 1);
+  EXPECT_NE(findings[0].message.find("no nearby justification"), std::string::npos);
+}
+
+TEST(LintAtomicOrder, RelaxedWithNearbyCommentIsClean) {
+  const auto findings = lint_one("src/runtime/x.cpp", R"cpp(
+#include <atomic>
+std::atomic<int> n{0};
+void bump() {
+  // relaxed: commutative counter, read only after the pool quiesces.
+  n.fetch_add(1, std::memory_order_relaxed);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "atomic-order"), 0);
+}
+
+TEST(LintAtomicOrder, ScopedEnumSpellingIsRecognized) {
+  const auto findings = lint_one("src/runtime/x.cpp", R"cpp(
+#include <atomic>
+std::atomic<int> n{0};
+int peek() { return n.load(std::memory_order::acquire); }
+)cpp");
+  // Named, but acquire without a justification comment.
+  EXPECT_EQ(count_rule(findings, "atomic-order"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// R4: raw-telemetry
+
+TEST(LintRawTelemetry, FiresOnRawPreprocessorCheck) {
+  const auto findings = lint_one("src/optimize/x.cpp", R"cpp(
+#if defined(FPOPT_TELEMETRY)
+void hook();
+#endif
+)cpp");
+  EXPECT_GE(count_rule(findings, "raw-telemetry"), 1);
+}
+
+TEST(LintRawTelemetry, TelemetryLayerMayObserveTheSwitch) {
+  const auto findings = lint_one("src/telemetry/telemetry.h", R"cpp(
+#if defined(FPOPT_TELEMETRY_DISABLED)
+inline constexpr bool kEnabled = false;
+#endif
+)cpp");
+  EXPECT_EQ(count_rule(findings, "raw-telemetry"), 0);
+}
+
+TEST(LintRawTelemetry, TraceSymbolWithoutHeaderFires) {
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+void f() {
+  telemetry::TraceSpan span;
+  (void)span;
+}
+)cpp");
+  ASSERT_EQ(count_rule(findings, "raw-telemetry"), 1);
+  EXPECT_NE(findings[0].message.find("telemetry/trace.h"), std::string::npos);
+}
+
+TEST(LintRawTelemetry, IncludedHeaderSatisfiesTheRule) {
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+#include "telemetry/trace.h"
+void f() {
+  telemetry::TraceSpan span;
+  (void)span;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "raw-telemetry"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R5: layering
+
+LayerManifest small_manifest() {
+  const auto result = parse_layer_manifest("a:\nb: a\n");
+  EXPECT_TRUE(result.ok());
+  return result.manifest;
+}
+
+TEST(LintLayering, AllowedEdgeAndSelfEdgeAreClean) {
+  const LayerManifest manifest = small_manifest();
+  EXPECT_TRUE(manifest.allows("b", "a"));
+  EXPECT_TRUE(manifest.allows("a", "a"));  // self-dependency is implicit
+  const auto findings = lint_one("src/b/x.h", R"cpp(
+#include "a/y.h"
+#include "b/z.h"
+#include <vector>
+)cpp",
+                                 &manifest);
+  EXPECT_EQ(count_rule(findings, "layering"), 0);
+}
+
+TEST(LintLayering, BackEdgeFires) {
+  const LayerManifest manifest = small_manifest();
+  const auto findings = lint_one("src/a/x.h", "#include \"b/y.h\"\n", &manifest);
+  ASSERT_EQ(count_rule(findings, "layering"), 1);
+  EXPECT_NE(findings[0].message.find("'a' may not depend on 'b'"), std::string::npos);
+}
+
+TEST(LintLayering, UndeclaredLayerFires) {
+  const LayerManifest manifest = small_manifest();
+  const auto findings = lint_one("src/c/x.h", "int x;\n", &manifest);
+  ASSERT_EQ(count_rule(findings, "layering"), 1);
+  EXPECT_NE(findings[0].message.find("not declared"), std::string::npos);
+}
+
+TEST(LintLayering, SkippedEntirelyWithoutManifest) {
+  const auto findings = lint_one("src/a/x.h", "#include \"b/y.h\"\n");
+  EXPECT_EQ(count_rule(findings, "layering"), 0);
+}
+
+TEST(LayerManifest, ParsesCommentsBlanksAndEmptyDeps) {
+  const auto result = parse_layer_manifest(
+      "# allowed include DAG\n"
+      "\n"
+      "geometry:\n"
+      "shape: geometry\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.manifest.has_layer("geometry"));
+  EXPECT_TRUE(result.manifest.allows("shape", "geometry"));
+  EXPECT_FALSE(result.manifest.allows("geometry", "shape"));
+}
+
+TEST(LayerManifest, RejectsCycle) {
+  const auto result = parse_layer_manifest("a: b\nb: a\n");
+  ASSERT_FALSE(result.ok());
+  bool mentions_cycle = false;
+  for (const std::string& e : result.errors) {
+    if (e.find("cycle") != std::string::npos) mentions_cycle = true;
+  }
+  EXPECT_TRUE(mentions_cycle);
+}
+
+TEST(LayerManifest, RejectsUndeclaredDependencyAndDuplicateLayer) {
+  EXPECT_FALSE(parse_layer_manifest("a: ghost\n").ok());
+  EXPECT_FALSE(parse_layer_manifest("a:\na:\n").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+TEST(LintSuppression, SameLineAnnotationSilencesTheFinding) {
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+#include <unordered_map>
+std::unordered_map<int, int> counts;
+int total() {
+  int t = 0;
+  for (const auto& [k, v] : counts) t += v;  // FPOPT-LINT-OK(unordered-iter): sum is order-independent
+  return t;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 0);
+  EXPECT_EQ(count_rule(findings, "bad-suppression"), 0);
+}
+
+TEST(LintSuppression, OwnLineAnnotationCoversTheNextLine) {
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+#include <unordered_map>
+std::unordered_map<int, int> counts;
+int total() {
+  int t = 0;
+  // FPOPT-LINT-OK(unordered-iter): sum is order-independent
+  for (const auto& [k, v] : counts) t += v;
+  return t;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 0);
+}
+
+TEST(LintSuppression, WrongRuleIdDoesNotSuppress) {
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+#include <unordered_map>
+std::unordered_map<int, int> counts;
+int total() {
+  int t = 0;
+  for (const auto& [k, v] : counts) t += v;  // FPOPT-LINT-OK(wall-clock): wrong rule
+  return t;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 1);
+}
+
+TEST(LintSuppression, EmptyReasonIsItselfAFinding) {
+  const auto findings = lint_one("src/core/x.cpp", R"cpp(
+#include <unordered_map>
+std::unordered_map<int, int> counts;
+int total() {
+  int t = 0;
+  for (const auto& [k, v] : counts) t += v;  // FPOPT-LINT-OK(unordered-iter):
+  return t;
+}
+)cpp");
+  // The waiver is void (finding stays) and is flagged on top.
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 1);
+  EXPECT_EQ(count_rule(findings, "bad-suppression"), 1);
+}
+
+TEST(LintSuppression, UnknownRuleIdIsItselfAFinding) {
+  const auto findings = lint_one("src/core/x.cpp",
+                                 "int x;  // FPOPT-LINT-OK(no-such-rule): whatever\n");
+  ASSERT_EQ(count_rule(findings, "bad-suppression"), 1);
+  EXPECT_NE(findings[0].message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(LintSuppression, ProseMentionOfTheMarkerIsIgnored) {
+  const auto findings = lint_one(
+      "src/core/x.cpp", "int x;  // the FPOPT-LINT-OK marker is documented in LINT.md\n");
+  EXPECT_EQ(count_rule(findings, "bad-suppression"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Output shapes (round-tripped through the repo's own JSON parser)
+
+std::vector<Finding> one_finding() {
+  return lint_one("src/io/x.cpp", "long stamp() { return time(nullptr); }\n");
+}
+
+TEST(LintRender, TextFormatAndSummaryLine) {
+  std::ostringstream out;
+  render_text(one_finding(), out);
+  EXPECT_NE(out.str().find("src/io/x.cpp:1:"), std::string::npos);
+  EXPECT_NE(out.str().find("error[wall-clock]"), std::string::npos);
+  EXPECT_NE(out.str().find("fpopt_lint: 1 finding"), std::string::npos);
+
+  std::ostringstream clean;
+  render_text({}, clean);
+  EXPECT_EQ(clean.str(), "fpopt_lint: clean\n");
+}
+
+TEST(LintRender, JsonRoundTrips) {
+  std::ostringstream out;
+  render_json(one_finding(), out);
+  const auto parsed = telemetry::parse_json(out.str());
+  ASSERT_TRUE(parsed.value.has_value()) << parsed.error;
+  const telemetry::JsonValue* findings = parsed.value->find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_TRUE(findings->is_array());
+  ASSERT_EQ(findings->array.size(), 1u);
+  const telemetry::JsonValue& f = findings->array[0];
+  EXPECT_EQ(f.find("file")->string, "src/io/x.cpp");
+  EXPECT_EQ(f.find("rule")->string, "wall-clock");
+  EXPECT_EQ(f.find("line")->integer, 1);
+  EXPECT_FALSE(f.find("message")->string.empty());
+}
+
+TEST(LintRender, SarifShape) {
+  std::ostringstream out;
+  render_sarif(one_finding(), out);
+  const auto parsed = telemetry::parse_json(out.str());
+  ASSERT_TRUE(parsed.value.has_value()) << parsed.error;
+  const telemetry::JsonValue& doc = *parsed.value;
+
+  ASSERT_NE(doc.find("version"), nullptr);
+  EXPECT_EQ(doc.find("version")->string, "2.1.0");
+  ASSERT_NE(doc.find("$schema"), nullptr);
+
+  const telemetry::JsonValue* runs = doc.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_TRUE(runs->is_array());
+  ASSERT_EQ(runs->array.size(), 1u);
+  const telemetry::JsonValue& run = runs->array[0];
+
+  const telemetry::JsonValue* driver = run.find("tool")->find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->find("name")->string, "fpopt_lint");
+  const telemetry::JsonValue* rules = driver->find("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->array.size(), rule_catalogue().size());
+  for (const telemetry::JsonValue& rule : rules->array) {
+    EXPECT_TRUE(known_rule(rule.find("id")->string));
+    EXPECT_FALSE(rule.find("shortDescription")->find("text")->string.empty());
+  }
+
+  const telemetry::JsonValue* results = run.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), 1u);
+  const telemetry::JsonValue& result = results->array[0];
+  EXPECT_EQ(result.find("ruleId")->string, "wall-clock");
+  EXPECT_EQ(result.find("level")->string, "error");
+  EXPECT_FALSE(result.find("message")->find("text")->string.empty());
+  const telemetry::JsonValue& loc = result.find("locations")->array[0];
+  const telemetry::JsonValue* phys = loc.find("physicalLocation");
+  ASSERT_NE(phys, nullptr);
+  EXPECT_EQ(phys->find("artifactLocation")->find("uri")->string, "src/io/x.cpp");
+  EXPECT_EQ(phys->find("region")->find("startLine")->integer, 1);
+  EXPECT_GE(phys->find("region")->find("startColumn")->integer, 1);
+}
+
+TEST(LintRender, SarifEmptyResultsParses) {
+  std::ostringstream out;
+  render_sarif({}, out);
+  const auto parsed = telemetry::parse_json(out.str());
+  ASSERT_TRUE(parsed.value.has_value()) << parsed.error;
+  const telemetry::JsonValue* results = parsed.value->find("runs")->array[0].find("results");
+  ASSERT_NE(results, nullptr);
+  EXPECT_TRUE(results->array.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the findings list itself
+
+TEST(LintEngine, FindingsAreSortedByFileLineColRule) {
+  const auto findings = lint_files({
+      {"src/io/z.cpp", "long a() { return time(nullptr); }\nlong b() { return time(nullptr); }\n"},
+      {"src/io/a.cpp", "long c() { return time(nullptr); }\n"},
+  });
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].file, "src/io/a.cpp");
+  EXPECT_EQ(findings[1].file, "src/io/z.cpp");
+  EXPECT_EQ(findings[1].line, 1);
+  EXPECT_EQ(findings[2].line, 2);
+}
+
+}  // namespace
+}  // namespace fpopt::lint

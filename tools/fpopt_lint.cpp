@@ -1,0 +1,212 @@
+// fpopt_lint — determinism- and layering-aware static analysis over the
+// fpopt sources (docs/LINT.md).
+//
+//   fpopt_lint [options] <path>...        paths are files or directories
+//
+//   --root DIR        repo root; findings and layer checks use paths
+//                     relative to it (default: .)
+//   --manifest FILE   .fpopt-layers manifest (default: <root>/.fpopt-layers;
+//                     R5 is skipped if the file does not exist and the
+//                     option was not given explicitly)
+//   --format FMT      text | json | sarif (default: text)
+//   --output FILE     write the report there instead of stdout
+//   --list-rules      print the rule catalogue and exit
+//
+// Exit codes: 0 = clean, 1 = findings, 2 = usage / IO / manifest error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/engine.h"
+#include "lint/render.h"
+
+namespace fs = std::filesystem;
+using namespace fpopt::lint;
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
+void usage(std::ostream& out) {
+  out << "usage: fpopt_lint [--root DIR] [--manifest FILE] [--format text|json|sarif]\n"
+         "                  [--output FILE] [--list-rules] <path>...\n"
+         "Rule catalogue and suppression syntax: docs/LINT.md\n";
+}
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+/// Path relative to root, '/'-separated, for stable finding output.
+std::string rel_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec || rel.empty()) ? p.generic_string() : rel.generic_string();
+  while (s.rfind("./", 0) == 0) s.erase(0, 2);
+  return s;
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string manifest_path;
+  bool manifest_explicit = false;
+  std::string format = "text";
+  std::string output_path;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "fpopt_lint: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return kExitClean;
+    }
+    if (arg == "--list-rules") {
+      for (const RuleInfo& rule : rule_catalogue()) {
+        std::cout << rule.id << ": " << rule.summary << "\n";
+      }
+      return kExitClean;
+    }
+    if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) return kExitUsage;
+      root = v;
+    } else if (arg == "--manifest") {
+      const char* v = value("--manifest");
+      if (v == nullptr) return kExitUsage;
+      manifest_path = v;
+      manifest_explicit = true;
+    } else if (arg == "--format") {
+      const char* v = value("--format");
+      if (v == nullptr) return kExitUsage;
+      format = v;
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "fpopt_lint: unknown --format \"" << format << "\"\n";
+        return kExitUsage;
+      }
+    } else if (arg == "--output") {
+      const char* v = value("--output");
+      if (v == nullptr) return kExitUsage;
+      output_path = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fpopt_lint: unknown option \"" << arg << "\"\n";
+      usage(std::cerr);
+      return kExitUsage;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    usage(std::cerr);
+    return kExitUsage;
+  }
+
+  const fs::path root_path(root);
+  if (manifest_path.empty()) manifest_path = (root_path / ".fpopt-layers").string();
+
+  // Collect source files (deterministic order: sorted repo-relative path).
+  std::vector<fs::path> source_paths;
+  for (const std::string& input : inputs) {
+    // Paths may be given relative to the current directory or to --root.
+    fs::path p(input);
+    if (!fs::exists(p) && fs::exists(root_path / input)) p = root_path / input;
+    if (!fs::exists(p)) {
+      std::cerr << "fpopt_lint: no such file or directory: " << input << "\n";
+      return kExitUsage;
+    }
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && is_source_file(entry.path())) {
+          source_paths.push_back(entry.path());
+        }
+      }
+    } else if (is_source_file(p)) {
+      source_paths.push_back(p);
+    }
+  }
+
+  std::vector<SourceFile> files;
+  files.reserve(source_paths.size());
+  for (const fs::path& p : source_paths) {
+    std::string text;
+    if (!read_file(p, text)) {
+      std::cerr << "fpopt_lint: cannot read " << p << "\n";
+      return kExitUsage;
+    }
+    files.push_back(parse_source(rel_path(p, root_path), std::move(text)));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) { return a.path < b.path; });
+
+  LintOptions options;
+  LayerManifestResult manifest;
+  const bool manifest_exists = fs::exists(manifest_path);
+  if (manifest_explicit && !manifest_exists) {
+    std::cerr << "fpopt_lint: manifest not found: " << manifest_path << "\n";
+    return kExitUsage;
+  }
+  if (manifest_exists) {
+    std::string text;
+    if (!read_file(manifest_path, text)) {
+      std::cerr << "fpopt_lint: cannot read manifest " << manifest_path << "\n";
+      return kExitUsage;
+    }
+    manifest = parse_layer_manifest(text);
+    if (!manifest.ok()) {
+      for (const std::string& error : manifest.errors) {
+        std::cerr << "fpopt_lint: " << manifest_path << ": " << error << "\n";
+      }
+      return kExitUsage;
+    }
+    options.manifest = &manifest.manifest;
+  }
+
+  const std::vector<Finding> findings = run_lint(files, options);
+
+  std::ofstream out_file;
+  if (!output_path.empty()) {
+    out_file.open(output_path, std::ios::binary);
+    if (!out_file) {
+      std::cerr << "fpopt_lint: cannot write " << output_path << "\n";
+      return kExitUsage;
+    }
+  }
+  std::ostream& out = output_path.empty() ? std::cout : out_file;
+  if (format == "json") {
+    render_json(findings, out);
+  } else if (format == "sarif") {
+    render_sarif(findings, out);
+  } else {
+    render_text(findings, out);
+  }
+  // The human summary also goes to stderr when the report went to a file,
+  // so CI logs show the verdict next to the uploaded artifact.
+  if (!output_path.empty()) {
+    render_text(findings, std::cerr);
+  }
+  return findings.empty() ? kExitClean : kExitFindings;
+}
