@@ -1,0 +1,203 @@
+// fpoptd service saturation bench: batching throughput and tail latency
+// of the shared Service core (the exact request path both daemon
+// transports call), at 1..8 concurrent client workers, cold vs warm
+// shared cross-request cache.
+//
+// Emits machine-readable BENCH_service.json next to the binary:
+//   {"hardware_concurrency": C, "requests_per_batch": N,
+//    "corpus": ["fp1", "fp2"],
+//    "runs": [{"workers": W, "cache": "cold"|"warm", "seconds": S,
+//              "requests_per_sec": R,
+//              "p50_ms": ..., "p95_ms": ..., "p99_ms": ...}],
+//    "warm_cache_hit_rate": H,          // acceptance: > 0
+//    "run_report": {"fpopt_run_report": ...}}
+// The embedded run_report is re-dumped from an actual daemon response
+// (report=true), so the CI gate (fpopt_report_check) validates the
+// service's schema-versioned report emission end to end.
+//
+// Latency numbers depend on the runner; the *structural* guarantees
+// (responses byte-identical at every concurrency, warm hit rate > 0)
+// are enforced by the test suite, not here.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "floorplan/serialize.h"
+#include "service/protocol.h"
+#include "service/service.h"
+#include "telemetry/json.h"
+#include "workload/floorplans.h"
+
+namespace {
+
+using namespace fpopt;
+
+WorkloadConfig bench_config() {
+  WorkloadConfig cfg;
+  cfg.seed = 1;
+  cfg.impls_per_module = 5;
+  return cfg;
+}
+
+std::string request_frame(const std::string& id, const FloorplanTree& tree,
+                          const std::string& options_json, bool report = false) {
+  std::string frame = "{\"fpopt_request\":{\"schema_version\":1,\"id\":" +
+                      telemetry::json_quote(id) +
+                      ",\"command\":\"optimize\",\"topology\":" +
+                      telemetry::json_quote(to_topology_string(tree)) + ",\"library\":" +
+                      telemetry::json_quote(to_module_library_string(tree.modules()));
+  if (!options_json.empty()) frame += ",\"options\":{" + options_json + "}";
+  if (report) frame += ",\"report\":true";
+  frame += "}}";
+  return frame;
+}
+
+struct BatchResult {
+  double seconds = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+double percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+/// Run `frames` against `service` with `workers` client threads pulling
+/// from a shared queue; returns wall time and latency percentiles.
+BatchResult run_batch(Service& service, const std::vector<std::string>& frames,
+                      unsigned workers) {
+  std::atomic<std::size_t> next{0};
+  std::vector<std::vector<double>> latencies(workers);
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      for (;;) {
+        // Queue ticket only; frames is read-only here, nothing to order.
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= frames.size()) break;
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string response = service.handle_frame(frames[i]);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (response.find("\"status\":\"ok\"") == std::string::npos) {
+          std::cerr << "request failed: " << response << '\n';
+          std::abort();
+        }
+        latencies[w].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  BatchResult r;
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+  std::vector<double> all;
+  for (const std::vector<double>& per_worker : latencies) {
+    all.insert(all.end(), per_worker.begin(), per_worker.end());
+  }
+  std::sort(all.begin(), all.end());
+  r.p50_ms = percentile(all, 0.50);
+  r.p95_ms = percentile(all, 0.95);
+  r.p99_ms = percentile(all, 0.99);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const FloorplanTree fp1 = make_fp1(bench_config());
+  const FloorplanTree fp2 = make_fp2(bench_config());
+
+  // Four distinct cacheable request shapes, repeated — the repeat factor
+  // is what a warm shared cache monetizes.
+  std::vector<std::string> variants = {
+      request_frame("a", fp1, "\"k1\":8,\"k2\":10,\"incremental\":true"),
+      request_frame("b", fp1, "\"k1\":4,\"k2\":6,\"incremental\":true"),
+      request_frame("c", fp2, "\"k1\":8,\"k2\":10,\"incremental\":true"),
+      request_frame("d", fp2, "\"k1\":4,\"k2\":6,\"incremental\":true"),
+  };
+  constexpr int kRepeats = 12;
+  std::vector<std::string> batch;
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const std::string& v : variants) batch.push_back(v);
+  }
+
+  ServiceConfig config;
+  std::ostringstream runs_json;
+  bool first = true;
+  std::cout << "workers  cache  seconds   req/s    p50ms    p95ms    p99ms\n";
+  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    for (const bool warm : {false, true}) {
+      Service service(config);
+      if (warm) {
+        // One serial pre-pass commits every variant into the shared cache.
+        for (const std::string& v : variants) (void)service.handle_frame(v);
+      }
+      const BatchResult r = run_batch(service, batch, workers);
+      const double rps = static_cast<double>(batch.size()) / r.seconds;
+      std::printf("%7u  %5s  %7.3f  %7.1f  %7.3f  %7.3f  %7.3f\n", workers,
+                  warm ? "warm" : "cold", r.seconds, rps, r.p50_ms, r.p95_ms, r.p99_ms);
+      if (!first) runs_json << ",\n  ";
+      first = false;
+      runs_json << "{\"workers\": " << workers << ", \"cache\": \""
+                << (warm ? "warm" : "cold") << "\""
+                << ", \"seconds\": " << telemetry::json_number(r.seconds)
+                << ", \"requests_per_sec\": " << telemetry::json_number(rps)
+                << ", \"p50_ms\": " << telemetry::json_number(r.p50_ms)
+                << ", \"p95_ms\": " << telemetry::json_number(r.p95_ms)
+                << ", \"p99_ms\": " << telemetry::json_number(r.p99_ms) << "}";
+    }
+  }
+
+  // Warm-cache hit rate of one fully warmed service (acceptance: > 0).
+  Service warm_service(config);
+  for (int round = 0; round < 2; ++round) {
+    for (const std::string& v : variants) (void)warm_service.handle_frame(v);
+  }
+  const double hit_rate =
+      warm_service.cache() != nullptr ? warm_service.cache()->stats().hit_rate() : 0.0;
+  std::cout << "warm shared-cache hit rate: " << hit_rate << '\n';
+
+  // Re-dump the run report out of an actual response: the emitted block
+  // is exactly what a daemon client would receive.
+  const std::string with_report = request_frame(
+      "report", fp1, "\"k1\":8,\"k2\":10,\"incremental\":true", /*report=*/true);
+  const std::string response = warm_service.handle_frame(with_report);
+  const telemetry::JsonParseResult doc = telemetry::parse_json(response);
+  if (!doc.value.has_value()) {
+    std::cerr << "unparseable service response: " << doc.error << '\n';
+    return 1;
+  }
+  const telemetry::JsonValue* report =
+      doc.value->find("fpopt_response")->find("fpopt_run_report");
+  if (report == nullptr) {
+    std::cerr << "response carries no fpopt_run_report\n";
+    return 1;
+  }
+
+  std::ofstream out("BENCH_service.json", std::ios::binary);
+  out << "{\"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n \"corpus\": [\"fp1\", \"fp2\"]"
+      << ",\n \"requests_per_batch\": " << batch.size() << ",\n \"runs\": [\n  "
+      << runs_json.str() << "\n ]"
+      << ",\n \"warm_cache_hit_rate\": " << telemetry::json_number(hit_rate)
+      << ",\n \"run_report\": {\"fpopt_run_report\": " << report->dump() << "}}\n";
+  std::cout << "\nwrote BENCH_service.json\n";
+  if (hit_rate <= 0) {
+    std::cerr << "FAIL: warm shared-cache hit rate is zero\n";
+    return 1;
+  }
+  return 0;
+}

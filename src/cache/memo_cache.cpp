@@ -27,6 +27,11 @@ const MemoCache::Entry* MemoCache::find(const CacheKey& key) {
   return &*it->second;
 }
 
+const MemoCache::Entry* MemoCache::peek(const CacheKey& key) const {
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &*it->second;
+}
+
 void MemoCache::insert(const CacheKey& key, NodeResult result,
                        const NodeProfileRecord& profile) {
   if (const auto it = map_.find(key); it != map_.end()) erase(it->second);

@@ -20,7 +20,9 @@
 // The cache is deliberately NOT thread-safe: the engines probe it in a
 // serial pre-pass before fanning work out and publish new entries in a
 // serial post-pass (in postorder, so the cache's content and LRU order
-// are identical for every thread count).
+// are identical for every thread count). Concurrent requests share work
+// through SharedMemoCache + per-request CacheSession (shared_cache.h),
+// which speak the same CacheView interface the engines consume.
 #pragma once
 
 #include <cstddef>
@@ -33,6 +35,8 @@
 #include "optimize/stats.h"  // FPOPT-LINT-OK(layering): profile records replay OptimizerStats counters; header-only coupling, no engine code called
 
 namespace fpopt {
+
+class CacheView;  // below
 
 /// One node's recorded evaluation profile: everything the serial-replay
 /// budget model needs to account for the node without re-running it.
@@ -59,14 +63,40 @@ struct MemoCacheStats {
   }
 };
 
-class MemoCache {
+/// One cached node: the key, the complete NodeResult, and the recorded
+/// memory/stats profile the serial-replay budget model consumes.
+struct CacheEntry {
+  CacheKey key;
+  NodeResult result;
+  NodeProfileRecord profile;
+  std::size_t bytes = 0;
+};
+
+/// The engine-facing cache interface. The engines' serve/publish passes
+/// only ever probe and insert, so any store that can answer those two —
+/// the run-local MemoCache, or a per-request CacheSession over the
+/// daemon's shared cross-request cache (shared_cache.h) — plugs into
+/// OptimizerOptions::cache unchanged.
+class CacheView {
  public:
-  struct Entry {
-    CacheKey key;
-    NodeResult result;
-    NodeProfileRecord profile;
-    std::size_t bytes = 0;
-  };
+  virtual ~CacheView() = default;
+
+  /// Look up a key. The returned pointer stays valid until the next
+  /// insert / rollback / clear on this view.
+  [[nodiscard]] virtual const CacheEntry* find(const CacheKey& key) = 0;
+
+  /// Insert (or overwrite) an entry.
+  virtual void insert(const CacheKey& key, NodeResult result,
+                      const NodeProfileRecord& profile) = 0;
+
+  /// Probe/insert counters of this view (a session reports its own
+  /// request-local traffic, not the shared store's lifetime totals).
+  [[nodiscard]] virtual const MemoCacheStats& stats() const = 0;
+};
+
+class MemoCache : public CacheView {
+ public:
+  using Entry = CacheEntry;
 
   static constexpr std::size_t kDefaultByteBudget = 256u << 20;  // 256 MiB
 
@@ -76,12 +106,25 @@ class MemoCache {
 
   /// Look up a key; a hit moves the entry to the front of the LRU order.
   /// The pointer stays valid until the next insert / rollback / clear.
-  [[nodiscard]] const Entry* find(const CacheKey& key);
+  [[nodiscard]] const Entry* find(const CacheKey& key) override;
+
+  /// Look up a key without touching stats or the LRU order (a pure read,
+  /// usable under a shared lock). The pointer stays valid until the next
+  /// insert / rollback / clear.
+  [[nodiscard]] const Entry* peek(const CacheKey& key) const;
 
   /// Insert (or overwrite) an entry, then evict least-recently-used
   /// entries until the byte budget holds again (the fresh entry itself is
   /// never evicted by its own insertion).
-  void insert(const CacheKey& key, NodeResult result, const NodeProfileRecord& profile);
+  void insert(const CacheKey& key, NodeResult result,
+              const NodeProfileRecord& profile) override;
+
+  /// Fold a committed session's probe traffic into this store's stats
+  /// (sessions probe via peek, which deliberately counts nothing).
+  void note_probes(std::size_t hits, std::size_t misses) {
+    stats_.hits += hits;
+    stats_.misses += misses;
+  }
 
   /// Epochs (no nesting): insertions after begin_epoch() are provisional
   /// until commit_epoch() keeps them or rollback_epoch() removes them.
@@ -93,7 +136,7 @@ class MemoCache {
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] std::size_t bytes() const { return bytes_; }
   [[nodiscard]] std::size_t byte_budget() const { return byte_budget_; }
-  [[nodiscard]] const MemoCacheStats& stats() const { return stats_; }
+  [[nodiscard]] const MemoCacheStats& stats() const override { return stats_; }
   void reset_stats() { stats_ = {}; }
   void clear();
 

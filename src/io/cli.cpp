@@ -7,6 +7,7 @@
 
 #include "cache/memo_cache.h"
 #include "floorplan/serialize.h"
+#include "io/command.h"
 #include "io/run_report_build.h"
 #include "io/svg.h"
 #include "optimize/optimizer.h"
@@ -44,6 +45,10 @@ struct ParsedArgs {
   AnnealingOptions anneal;
   std::string netlist_path;
   std::string out_path;
+
+  [[nodiscard]] CommandSpec spec() const {
+    return CommandSpec{command, options, impl_index, cache_bytes};
+  }
 };
 
 long parse_long(const std::string& flag, const std::string& value) {
@@ -188,22 +193,6 @@ bool wants_report(const ParsedArgs& parsed) {
   return parsed.show_stats || !parsed.stats_json_path.empty();
 }
 
-/// The run's knobs as report config (strings; telemetry::json_number keeps
-/// the double formatting deterministic).
-void add_common_config(telemetry::RunReport& report, const ParsedArgs& parsed) {
-  const SelectionConfig& sel = parsed.options.selection;
-  report.add_config("k1", std::to_string(sel.k1));
-  report.add_config("k2", std::to_string(sel.k2));
-  report.add_config("theta", telemetry::json_number(sel.theta));
-  report.add_config("scap", std::to_string(sel.heuristic_cap));
-  report.add_config("metric", sel.metric == LpMetric::L1    ? "l1"
-                              : sel.metric == LpMetric::L2 ? "l2"
-                                                           : "linf");
-  report.add_config("budget", std::to_string(parsed.options.impl_budget));
-  report.add_config("threads", std::to_string(parsed.options.threads));
-  report.add_config("incremental", parsed.options.incremental ? "true" : "false");
-}
-
 void emit_report(const telemetry::RunReport& report, const ParsedArgs& parsed,
                  std::ostream& out) {
   if (!parsed.stats_json_path.empty()) {
@@ -214,90 +203,23 @@ void emit_report(const telemetry::RunReport& report, const ParsedArgs& parsed,
   if (parsed.show_stats) out << report.to_table();
 }
 
-OptimizeOutcome optimize_or_throw(const FloorplanTree& tree, const ParsedArgs& parsed,
-                                  std::ostream& out) {
-  OptimizerOptions options = parsed.options;
-  // --incremental on a one-shot command runs against a run-local cache
-  // (cold, so every node misses and is published); it exists to exercise
-  // the incremental engine from the CLI — the flag pays off in `anneal`,
-  // where the cache persists across moves.
-  std::optional<MemoCache> cache;
-  if (options.incremental) {
-    cache.emplace(parsed.cache_bytes);
-    options.cache = &*cache;
-  }
-  OptimizeOutcome result = optimize_floorplan(tree, options);
-  // The report is written even for an aborted run (flagged aborted=true)
-  // so a budget sweep can post-process every outcome uniformly.
-  if (wants_report(parsed)) {
-    telemetry::RunReport report("fpopt", parsed.command);
-    add_common_config(report, parsed);
-    report_optimizer(report, result);
-    if (cache) report_cache(report, cache->stats());
-    emit_report(report, parsed, out);
-  }
-  if (result.out_of_memory) {
-    throw CliError{"out of memory: exceeded the --budget of " +
-                   std::to_string(options.impl_budget) + " implementations"};
-  }
-  return result;
-}
-
-int cmd_stats(const ParsedArgs& parsed, std::ostream& out) {
+/// Run the command through the shared execution core (io/command.h — the
+/// same path the fpoptd daemon uses, which is what keeps daemon responses
+/// byte-identical to this CLI). Reports are emitted even when the run
+/// aborts over budget, before the abort is rethrown as the CLI error.
+int run_command(const ParsedArgs& parsed, std::ostream& out) {
   const FloorplanTree tree = load_tree(parsed);
-  const TreeStats s = tree.stats();
-  std::size_t impls = 0;
-  for (const Module& m : tree.modules()) impls += m.impls.size();
-  out << "topology:     " << to_topology_string(tree) << '\n'
-      << "modules:      " << tree.module_count() << " (" << impls << " implementations)\n"
-      << "slice nodes:  " << s.slice_count << '\n'
-      << "wheel nodes:  " << s.wheel_count << '\n'
-      << "tree depth:   " << s.depth << '\n';
-  return 0;
-}
-
-int cmd_optimize(const ParsedArgs& parsed, std::ostream& out) {
-  const FloorplanTree tree = load_tree(parsed);
-  const OptimizeOutcome result = optimize_or_throw(tree, parsed, out);
-  out << "best area:    " << result.best_area << '\n'
-      << "shape curve:  " << result.root.size() << " implementations\n";
-  for (const RectImpl& r : result.root) out << "  " << r.w << " x " << r.h << '\n';
-  out << "peak stored:  " << result.stats.peak_stored << " implementations\n"
-      << "generated:    " << result.stats.total_generated << " candidates\n"
-      << "R_Selection:  " << result.stats.r_selection_calls << " calls, removed "
-      << result.stats.r_selected_away << '\n'
-      << "L_Selection:  " << result.stats.l_selection_calls << " calls, removed "
-      << result.stats.l_selected_away << '\n';
-  return 0;
-}
-
-Placement trace_chosen(const FloorplanTree& tree, const OptimizeOutcome& result,
-                       const ParsedArgs& parsed) {
-  std::size_t pick = 0;
-  if (!parsed.impl_index.has_value()) {
-    pick = result.root.min_area_index();
-  } else if (*parsed.impl_index >= result.root.size()) {
-    throw CliError{"--impl " + std::to_string(*parsed.impl_index) +
-                   " out of range (curve has " + std::to_string(result.root.size()) +
-                   " implementations)"};
-  } else {
-    pick = *parsed.impl_index;
-  }
-  return trace_placement(tree, result, pick);
-}
-
-int cmd_place(const ParsedArgs& parsed, std::ostream& out) {
-  const FloorplanTree tree = load_tree(parsed);
-  const OptimizeOutcome result = optimize_or_throw(tree, parsed, out);
-  const Placement p = trace_chosen(tree, result, parsed);
-  const auto problems = validate_placement(p, tree);
-  if (!problems.empty()) throw CliError{"internal error: " + problems.front()};
-  out << "chip " << p.width << " x " << p.height << " area " << p.chip_area() << " waste "
-      << (p.chip_area() - p.total_module_area()) << '\n';
-  for (const ModulePlacement& m : p.rooms) {
-    out << tree.module(m.module_id).name << " room x=" << m.room.x << " y=" << m.room.y
-        << " w=" << m.room.w << " h=" << m.room.h << " impl " << m.impl.w << "x" << m.impl.h
-        << '\n';
+  telemetry::RunReport report("fpopt", parsed.command);
+  telemetry::RunReport* report_ptr = wants_report(parsed) ? &report : nullptr;
+  CommandEnv env;
+  // Render --stats / --stats-json as soon as the report is populated:
+  // ahead of the command output, and even when the run then aborts over
+  // budget — a budget sweep post-processes every outcome uniformly.
+  env.report_ready = [&] { emit_report(report, parsed, out); };
+  try {
+    execute_command(parsed.spec(), tree, env, out, report_ptr);
+  } catch (const CommandError& e) {
+    throw CliError{e.message};
   }
   return 0;
 }
@@ -307,8 +229,22 @@ int cmd_svg(const ParsedArgs& parsed, std::ostream& out) {
     throw CliError{"svg needs <topology-file> <library-file> <out.svg>"};
   }
   const FloorplanTree tree = load_tree(parsed);
-  const OptimizeOutcome result = optimize_or_throw(tree, parsed, out);
-  const Placement p = trace_chosen(tree, result, parsed);
+  telemetry::RunReport report("fpopt", parsed.command);
+  telemetry::RunReport* report_ptr = wants_report(parsed) ? &report : nullptr;
+  CommandEnv env;
+  env.report_ready = [&] { emit_report(report, parsed, out); };
+  std::optional<OptimizeOutcome> result;
+  try {
+    result = optimize_for_command(parsed.spec(), tree, env, report_ptr);
+  } catch (const CommandError& e) {
+    throw CliError{e.message};
+  }
+  Placement p;
+  try {
+    p = trace_command_placement(tree, *result, parsed.impl_index);
+  } catch (const CommandError& e) {
+    throw CliError{e.message};
+  }
   std::ofstream file(parsed.positional[2], std::ios::binary);
   if (!file) throw CliError{"cannot write '" + parsed.positional[2] + "'"};
   file << placement_to_svg(p, tree);
@@ -369,15 +305,16 @@ constexpr const char* kUsage =
     "commands:\n"
     "  stats | optimize | place [--impl I] | svg <out.svg>   (args: <topology-file> <library-file>)\n"
     "  anneal <library-file> [--seed N --moves N --netlist F --lambda X --out F]\n"
+    "  client --connect <socket> ...   (send requests to a running fpoptd; see docs/SERVICE.md)\n"
     "flags: --k1 N --k2 N --theta X --scap N --budget N --threads N --metric l1|l2|linf\n"
     "       --incremental [--cache-mb N]   (memo-cached re-optimization; see docs)\n"
     "       --stats (run-report table) --stats-json F (JSON run report; see docs §9)\n"
     "       --trace F (Chrome trace-event JSON of the run; see docs §10)\n";
 
 int dispatch(const ParsedArgs& parsed, std::ostream& out) {
-  if (parsed.command == "stats") return cmd_stats(parsed, out);
-  if (parsed.command == "optimize") return cmd_optimize(parsed, out);
-  if (parsed.command == "place") return cmd_place(parsed, out);
+  if (parsed.command == "stats" || parsed.command == "optimize" || parsed.command == "place") {
+    return run_command(parsed, out);
+  }
   if (parsed.command == "svg") return cmd_svg(parsed, out);
   if (parsed.command == "anneal") return cmd_anneal(parsed, out);
   if (parsed.command == "help" || parsed.command == "--help") {

@@ -1,0 +1,134 @@
+#include "io/command.h"
+
+#include <optional>
+
+#include "floorplan/serialize.h"
+#include "io/run_report_build.h"
+#include "telemetry/json.h"
+
+namespace fpopt {
+
+void add_command_config(telemetry::RunReport& report, const CommandSpec& spec) {
+  const SelectionConfig& sel = spec.options.selection;
+  report.add_config("k1", std::to_string(sel.k1));
+  report.add_config("k2", std::to_string(sel.k2));
+  report.add_config("theta", telemetry::json_number(sel.theta));
+  report.add_config("scap", std::to_string(sel.heuristic_cap));
+  report.add_config("metric", sel.metric == LpMetric::L1    ? "l1"
+                              : sel.metric == LpMetric::L2 ? "l2"
+                                                           : "linf");
+  report.add_config("budget", std::to_string(spec.options.impl_budget));
+  report.add_config("threads", std::to_string(spec.options.threads));
+  report.add_config("incremental", spec.options.incremental ? "true" : "false");
+}
+
+OptimizeOutcome optimize_for_command(const CommandSpec& spec, const FloorplanTree& tree,
+                                     const CommandEnv& env, telemetry::RunReport* report) {
+  OptimizerOptions options = spec.options;
+  options.pool = env.pool;
+  // Incremental mode runs against the injected shared view when the host
+  // provides one; a standalone run gets a run-local cache (cold, so every
+  // node misses and is published — the flag pays off where the cache
+  // persists: across annealing moves, or across daemon requests).
+  std::optional<MemoCache> local_cache;
+  CacheView* cache = nullptr;
+  if (options.incremental) {
+    cache = env.cache;
+    if (cache == nullptr) {
+      local_cache.emplace(spec.cache_bytes);
+      cache = &*local_cache;
+    }
+    options.cache = cache;
+  }
+  OptimizeOutcome result = optimize_floorplan(tree, options);
+  // The report is written even for an aborted run (flagged aborted=true)
+  // so a budget sweep can post-process every outcome uniformly.
+  if (report != nullptr) {
+    add_command_config(*report, spec);
+    report_optimizer(*report, result);
+    if (cache != nullptr) report_cache(*report, cache->stats());
+    if (env.report_ready) env.report_ready();
+  }
+  if (result.out_of_memory) {
+    throw CommandError{"out of memory: exceeded the --budget of " +
+                           std::to_string(options.impl_budget) + " implementations",
+                       true};
+  }
+  return result;
+}
+
+Placement trace_command_placement(const FloorplanTree& tree, const OptimizeOutcome& outcome,
+                                  std::optional<std::size_t> impl_index) {
+  std::size_t pick = 0;
+  if (!impl_index.has_value()) {
+    pick = outcome.root.min_area_index();
+  } else if (*impl_index >= outcome.root.size()) {
+    throw CommandError{"--impl " + std::to_string(*impl_index) +
+                       " out of range (curve has " + std::to_string(outcome.root.size()) +
+                       " implementations)"};
+  } else {
+    pick = *impl_index;
+  }
+  return trace_placement(tree, outcome, pick);
+}
+
+namespace {
+
+void command_stats(const FloorplanTree& tree, std::ostream& out) {
+  const TreeStats s = tree.stats();
+  std::size_t impls = 0;
+  for (const Module& m : tree.modules()) impls += m.impls.size();
+  out << "topology:     " << to_topology_string(tree) << '\n'
+      << "modules:      " << tree.module_count() << " (" << impls << " implementations)\n"
+      << "slice nodes:  " << s.slice_count << '\n'
+      << "wheel nodes:  " << s.wheel_count << '\n'
+      << "tree depth:   " << s.depth << '\n';
+}
+
+void command_optimize(const CommandSpec& spec, const FloorplanTree& tree,
+                      const CommandEnv& env, std::ostream& out,
+                      telemetry::RunReport* report) {
+  const OptimizeOutcome result = optimize_for_command(spec, tree, env, report);
+  out << "best area:    " << result.best_area << '\n'
+      << "shape curve:  " << result.root.size() << " implementations\n";
+  for (const RectImpl& r : result.root) out << "  " << r.w << " x " << r.h << '\n';
+  out << "peak stored:  " << result.stats.peak_stored << " implementations\n"
+      << "generated:    " << result.stats.total_generated << " candidates\n"
+      << "R_Selection:  " << result.stats.r_selection_calls << " calls, removed "
+      << result.stats.r_selected_away << '\n'
+      << "L_Selection:  " << result.stats.l_selection_calls << " calls, removed "
+      << result.stats.l_selected_away << '\n';
+}
+
+void command_place(const CommandSpec& spec, const FloorplanTree& tree, const CommandEnv& env,
+                   std::ostream& out, telemetry::RunReport* report) {
+  const OptimizeOutcome result = optimize_for_command(spec, tree, env, report);
+  const Placement p = trace_command_placement(tree, result, spec.impl_index);
+  const auto problems = validate_placement(p, tree);
+  if (!problems.empty()) throw CommandError{"internal error: " + problems.front()};
+  out << "chip " << p.width << " x " << p.height << " area " << p.chip_area() << " waste "
+      << (p.chip_area() - p.total_module_area()) << '\n';
+  for (const ModulePlacement& m : p.rooms) {
+    out << tree.module(m.module_id).name << " room x=" << m.room.x << " y=" << m.room.y
+        << " w=" << m.room.w << " h=" << m.room.h << " impl " << m.impl.w << "x" << m.impl.h
+        << '\n';
+  }
+}
+
+}  // namespace
+
+void execute_command(const CommandSpec& spec, const FloorplanTree& tree,
+                     const CommandEnv& env, std::ostream& out,
+                     telemetry::RunReport* report) {
+  if (spec.command == "stats") {
+    command_stats(tree, out);
+  } else if (spec.command == "optimize") {
+    command_optimize(spec, tree, env, out, report);
+  } else if (spec.command == "place") {
+    command_place(spec, tree, env, out, report);
+  } else {
+    throw CommandError{"unknown command '" + spec.command + "'"};
+  }
+}
+
+}  // namespace fpopt

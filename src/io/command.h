@@ -1,0 +1,89 @@
+// The shared execution core of the fpopt CLI and the fpoptd service.
+//
+// One stats / optimize / place command runs over an already-parsed
+// floorplan tree and prints exactly the standalone CLI's output text —
+// the daemon builds its responses through this same code path, so a
+// daemon response body and a standalone `fpopt` stdout are byte-identical
+// by construction (the service equivalence suite enforces it end to end).
+//
+// A CommandEnv injects the long-lived resources a daemon shares across
+// requests: a CacheView (a CacheSession over the cross-request
+// SharedMemoCache) and a process-wide ThreadPool. Both default to null,
+// which reproduces the standalone behavior — a run-local cold cache in
+// incremental mode and a run-owned pool for threads > 0.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "cache/memo_cache.h"
+#include "floorplan/tree.h"
+#include "optimize/optimizer.h"
+#include "optimize/placement.h"
+#include "telemetry/run_report.h"
+
+namespace fpopt {
+
+class ThreadPool;  // src/runtime/thread_pool.h
+
+/// A user-facing command failure (bad arguments, over-budget abort). The
+/// CLI renders it on stderr with usage; the daemon maps it to a
+/// machine-readable error response.
+struct CommandError {
+  std::string message;
+  bool over_budget = false;  ///< the run aborted over the implementation budget
+};
+
+/// Everything a command needs beyond the tree itself. Mirrors the CLI
+/// flag surface (io/cli.h) minus file paths.
+struct CommandSpec {
+  std::string command;  ///< "stats" | "optimize" | "place"
+  OptimizerOptions options;
+  std::optional<std::size_t> impl_index;  ///< place: unset = min area
+  /// Byte budget of the run-local cache created when `options.incremental`
+  /// is set and no shared cache is injected.
+  std::size_t cache_bytes = MemoCache::kDefaultByteBudget;
+};
+
+/// Shared resources injected by a long-running host; both null for the
+/// standalone CLI.
+struct CommandEnv {
+  CacheView* cache = nullptr;  ///< overrides the run-local incremental cache
+  ThreadPool* pool = nullptr;  ///< overrides the run-owned pool (threads > 0)
+  /// Invoked once the run report is populated — after the optimize step,
+  /// before any command output and before an over-budget abort surfaces.
+  /// The CLI renders --stats / --stats-json here, which is what puts the
+  /// stats table ahead of the command output, byte-compatibly with every
+  /// release so far. Ignored when no report was requested.
+  std::function<void()> report_ready;
+};
+
+/// Run the optimizer for a command, filling `report` (when non-null) with
+/// the same sections `fpopt --stats` renders — even for an over-budget
+/// abort, which is reported (aborted=true) and then thrown as a
+/// CommandError with over_budget set, the CLI's exact message included.
+[[nodiscard]] OptimizeOutcome optimize_for_command(const CommandSpec& spec,
+                                                   const FloorplanTree& tree,
+                                                   const CommandEnv& env,
+                                                   telemetry::RunReport* report);
+
+/// Resolve the implementation a placement command traces: the requested
+/// index (throws CommandError when out of range) or the min-area one.
+[[nodiscard]] Placement trace_command_placement(const FloorplanTree& tree,
+                                                const OptimizeOutcome& outcome,
+                                                std::optional<std::size_t> impl_index);
+
+/// Run one stats / optimize / place command, writing the standalone CLI's
+/// byte-exact stdout text to `out`. Throws CommandError on failure (the
+/// report, when requested, is still filled as far as the run got).
+void execute_command(const CommandSpec& spec, const FloorplanTree& tree,
+                     const CommandEnv& env, std::ostream& out,
+                     telemetry::RunReport* report);
+
+/// Append the command's knobs as report config entries (the scheme the
+/// CLI, the daemon and the benches all share).
+void add_command_config(telemetry::RunReport& report, const CommandSpec& spec);
+
+}  // namespace fpopt

@@ -351,7 +351,7 @@ void snapshot_partial(const FlatTree& flat, const std::vector<NodeProfile>& prof
 /// touches, insertions and evictions are identical for every thread count.
 class CacheBinding {
  public:
-  CacheBinding(MemoCache& cache, const FloorplanTree& tree, const OptimizerOptions& opts,
+  CacheBinding(CacheView& cache, const FloorplanTree& tree, const OptimizerOptions& opts,
                const OptimizeArtifacts& art)
       : cache_(cache),
         keys_(derive_node_keys(art.btree, tree, opts)),
@@ -365,7 +365,7 @@ class CacheBinding {
     std::uint64_t hits = 0;
     for (const std::size_t id : flat.postorder) {
       if (flat.nodes[id]->is_leaf()) continue;
-      const MemoCache::Entry* entry = cache_.find(keys_[id]);
+      const CacheEntry* entry = cache_.find(keys_[id]);
       if (entry == nullptr) continue;
       telemetry::trace_instant(telemetry::TraceCat::kCache, "memo_serve", id,
                                entry->profile.net_stored);
@@ -405,7 +405,7 @@ class CacheBinding {
   }
 
  private:
-  MemoCache& cache_;
+  CacheView& cache_;
   std::vector<CacheKey> keys_;
   std::vector<char> served_;
 };
@@ -665,17 +665,24 @@ OptimizeOutcome optimize_floorplan(const FloorplanTree& tree, const OptimizerOpt
         }
       }
     } else {
-      ThreadPool pool(static_cast<unsigned>(opts.threads));
-      ParallelEngine engine(tree, opts, *artifacts, outcome.stats, pool,
+      // A run-owned pool dies with this scope (its counters are kept for
+      // the report); an externally shared pool (opts.pool, the daemon's)
+      // outlives the run and keeps its own process-lifetime counters.
+      std::optional<ThreadPool> owned;
+      ThreadPool* pool = opts.pool;
+      if (pool == nullptr) {
+        owned.emplace(static_cast<unsigned>(opts.threads));
+        pool = &*owned;
+      }
+      ParallelEngine engine(tree, opts, *artifacts, outcome.stats, *pool,
                             binding ? &*binding : nullptr);
       try {
         engine.run();
       } catch (const MemoryLimitExceeded&) {
-        // The pool dies with this scope; keep its counters for the report.
-        outcome.pool_stats = pool.stats();
+        if (owned) outcome.pool_stats = owned->stats();
         throw;
       }
-      outcome.pool_stats = pool.stats();
+      if (owned) outcome.pool_stats = owned->stats();
     }
     const NodeResult& root = artifacts->nodes[artifacts->btree.root->id];
     outcome.root = root.rlist;

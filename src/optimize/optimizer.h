@@ -46,7 +46,8 @@
 
 namespace fpopt {
 
-class MemoCache;  // src/cache/memo_cache.h
+class CacheView;   // src/cache/memo_cache.h
+class ThreadPool;  // src/runtime/thread_pool.h
 
 /// The paper's knobs (Sections 3 and 5).
 struct SelectionConfig {
@@ -88,10 +89,23 @@ struct OptimizerOptions {
   /// decision are byte-identical to a scratch run at any thread count.
   /// No effect unless `cache` is also set.
   bool incremental = false;
-  /// The memo cache for incremental mode. Not owned; not thread-safe —
-  /// the engine touches it only from the coordinating thread, and a
-  /// cache must not be shared by concurrent optimize_floorplan calls.
-  MemoCache* cache = nullptr;
+  /// The memo cache for incremental mode. Not owned. The engine touches
+  /// it only from the coordinating thread, in a serial pre-pass (probe)
+  /// and a serial post-pass (publish), so the view itself need not be
+  /// thread-safe — but one view must not be shared by concurrent
+  /// optimize_floorplan calls. Concurrent callers each bring their own
+  /// view: a run-local MemoCache, or a per-request CacheSession over the
+  /// daemon's SharedMemoCache (cache/shared_cache.h).
+  CacheView* cache = nullptr;
+  /// Optional externally owned pool for the parallel engine (threads >
+  /// 0). When null the engine spins up its own `threads`-worker pool for
+  /// the run — the standalone behavior. A long-running process (fpoptd)
+  /// passes one process-wide pool instead so concurrent runs share the
+  /// workers; results stay bit-identical either way (the schedule is
+  /// deterministic for every worker count). Shared-pool runs leave
+  /// OptimizeOutcome::pool_stats empty: a shared pool's counters span
+  /// many runs and belong to the process, not to any one outcome.
+  ThreadPool* pool = nullptr;
 };
 
 // NodeResult and OptimizeArtifacts live in optimize/node_result.h (the

@@ -1,0 +1,266 @@
+#include "service/client.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "service/protocol.h"
+#include "telemetry/json.h"
+
+namespace fpopt {
+namespace {
+
+struct ClientError {
+  std::string message;
+};
+
+constexpr const char* kUsage =
+    "usage: fpopt client --connect <socket> [command ...]\n"
+    "  (no command)                      pipe JSONL request frames from stdin,\n"
+    "                                    print response frames as they arrive\n"
+    "  stats|optimize|place <topology-file> <library-file> [flags]\n"
+    "                                    run one remote command; prints the\n"
+    "                                    standalone CLI's byte-exact output\n"
+    "  ping | shutdown                   control verbs\n"
+    "flags: --k1 N --k2 N --theta X --scap N --budget N --threads N\n"
+    "       --metric l1|l2|linf --incremental --cache-mb N --impl I --id S\n";
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw ClientError{"cannot open '" + path + "'"};
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return buf.str();
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) throw ClientError{"socket path too long: " + path};
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw ClientError{std::string("socket: ") + std::strerror(errno)};
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw ClientError{"cannot connect to '" + path + "': " + reason};
+  }
+  return fd;
+}
+
+/// Send `frames` (already newline-terminated as one byte stream) and
+/// invoke `on_response` for each response line, fully pipelined: one poll
+/// loop interleaves writes and reads so the daemon can work on every
+/// request concurrently. Returns when `expected` responses arrived or the
+/// daemon closed the connection.
+template <typename Fn>
+void pump(int fd, const std::string& outgoing, std::size_t expected, Fn&& on_response) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  std::string partial;
+  char chunk[4096];
+  while (received < expected) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (sent < outgoing.size()) pfd.events |= POLLOUT;
+    if (::poll(&pfd, 1, -1) < 0) {
+      if (errno == EINTR) continue;
+      throw ClientError{std::string("poll: ") + std::strerror(errno)};
+    }
+    if ((pfd.revents & POLLOUT) != 0 && sent < outgoing.size()) {
+      const ssize_t n =
+          ::send(fd, outgoing.data() + sent, outgoing.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        throw ClientError{std::string("send: ") + std::strerror(errno)};
+      }
+      if (n > 0) sent += static_cast<std::size_t>(n);
+    }
+    if ((pfd.revents & (POLLIN | POLLHUP)) != 0) {
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+        throw ClientError{std::string("read: ") + std::strerror(errno)};
+      }
+      if (n == 0) {
+        if (received < expected) {
+          throw ClientError{"daemon closed the connection after " +
+                            std::to_string(received) + " of " +
+                            std::to_string(expected) + " responses"};
+        }
+        break;
+      }
+      for (ssize_t i = 0; i < n; ++i) {
+        if (chunk[i] == '\n') {
+          on_response(partial);
+          partial.clear();
+          ++received;
+        } else {
+          partial.push_back(chunk[i]);
+        }
+      }
+    }
+  }
+}
+
+struct ClientArgs {
+  std::string socket_path;
+  std::string command;  ///< empty = frames passthrough mode
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;  ///< JSON key -> token
+  std::string id_json = "null";
+};
+
+/// JSON token for a numeric flag value; client-side validation is
+/// deliberately thin — the daemon re-validates everything and its error
+/// message travels back in the response.
+std::string number_token(const std::string& flag, const std::string& value) {
+  if (value.empty()) throw ClientError{"flag " + flag + " needs a value"};
+  std::size_t pos = 0;
+  try {
+    (void)std::stod(value, &pos);
+  } catch (...) {
+    pos = 0;
+  }
+  if (pos != value.size()) throw ClientError{"bad value '" + value + "' for " + flag};
+  return value;
+}
+
+ClientArgs parse_client_args(const std::vector<std::string>& args) {
+  ClientArgs parsed;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto need_value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) throw ClientError{"flag " + a + " needs a value"};
+      return args[++i];
+    };
+    if (a == "--connect") {
+      parsed.socket_path = need_value();
+    } else if (a == "--id") {
+      parsed.id_json = telemetry::json_quote(need_value());
+    } else if (a == "--incremental") {
+      parsed.options.emplace_back("incremental", "true");
+    } else if (a == "--metric") {
+      parsed.options.emplace_back("metric", telemetry::json_quote(need_value()));
+    } else if (a == "--k1" || a == "--k2" || a == "--theta" || a == "--scap" ||
+               a == "--budget" || a == "--threads" || a == "--impl") {
+      const std::string key = a.substr(2);
+      parsed.options.emplace_back(key, number_token(a, need_value()));
+    } else if (a == "--cache-mb") {
+      parsed.options.emplace_back("cache_mb", number_token(a, need_value()));
+    } else if (a.rfind("--", 0) == 0) {
+      throw ClientError{"unknown flag " + a};
+    } else if (parsed.command.empty()) {
+      parsed.command = a;
+    } else {
+      parsed.positional.push_back(a);
+    }
+  }
+  if (parsed.socket_path.empty()) throw ClientError{"--connect <socket> is required"};
+  return parsed;
+}
+
+std::string build_request(const ClientArgs& parsed) {
+  std::string body = "{\"fpopt_request\":{\"schema_version\":" +
+                     std::to_string(kServiceSchemaVersion) +
+                     ",\"id\":" + parsed.id_json +
+                     ",\"command\":" + telemetry::json_quote(parsed.command);
+  if (parsed.command != "ping" && parsed.command != "shutdown") {
+    if (parsed.positional.size() < 2) {
+      throw ClientError{"command '" + parsed.command +
+                        "' needs <topology-file> <library-file>"};
+    }
+    body += ",\"topology\":" + telemetry::json_quote(read_file(parsed.positional[0]));
+    body += ",\"library\":" + telemetry::json_quote(read_file(parsed.positional[1]));
+    if (!parsed.options.empty()) {
+      body += ",\"options\":{";
+      for (std::size_t i = 0; i < parsed.options.size(); ++i) {
+        if (i > 0) body += ',';
+        body += telemetry::json_quote(parsed.options[i].first) + ':' +
+                parsed.options[i].second;
+      }
+      body += '}';
+    }
+  }
+  body += "}}";
+  return body;
+}
+
+int run_frames_mode(const ClientArgs& parsed, std::istream& in, std::ostream& out) {
+  std::vector<std::string> frames;
+  std::string line;
+  while (std::getline(in, line)) frames.push_back(line);
+  if (frames.empty()) return 0;
+  std::string outgoing;
+  for (const std::string& f : frames) {
+    outgoing += f;
+    outgoing += '\n';
+  }
+  const int fd = connect_unix(parsed.socket_path);
+  try {
+    pump(fd, outgoing, frames.size(),
+         [&](const std::string& response) { out << response << '\n' << std::flush; });
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return 0;
+}
+
+int run_command_mode(const ClientArgs& parsed, std::ostream& out, std::ostream& err) {
+  const std::string request = build_request(parsed) + "\n";
+  const int fd = connect_unix(parsed.socket_path);
+  std::string response;
+  try {
+    pump(fd, request, 1, [&](const std::string& line) { response = line; });
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+
+  const telemetry::JsonParseResult doc = telemetry::parse_json(response);
+  if (!doc.value.has_value()) {
+    throw ClientError{"daemon sent unparseable JSON: " + doc.error};
+  }
+  const std::vector<std::string> violations = validate_service_response(*doc.value);
+  if (!violations.empty()) {
+    throw ClientError{"daemon response violates the schema: " + violations.front()};
+  }
+  const telemetry::JsonValue& r = *doc.value->find("fpopt_response");
+  if (r.find("status")->string == "ok") {
+    out << r.find("output")->string;
+    return 0;
+  }
+  const telemetry::JsonValue* error = r.find("error");
+  err << "fpopt: " << error->find("message")->string << " ["
+      << error->find("code")->string << "]\n";
+  return 2;
+}
+
+}  // namespace
+
+int run_client(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+               std::ostream& err) {
+  try {
+    const ClientArgs parsed = parse_client_args(args);
+    if (parsed.command.empty()) return run_frames_mode(parsed, in, out);
+    return run_command_mode(parsed, out, err);
+  } catch (const ClientError& e) {
+    err << "fpopt client: " << e.message << '\n' << kUsage;
+    return 2;
+  }
+}
+
+}  // namespace fpopt

@@ -1,0 +1,28 @@
+// `fpopt client` — talk to a running fpoptd over its Unix socket.
+//
+// Two modes share one connection and one poll-driven pump:
+//  * Frames passthrough (no command verb): every line on stdin is sent
+//    to the daemon verbatim and every response line is printed as it
+//    arrives. The pump keeps many requests in flight at once (writes and
+//    reads interleave through one poll loop), so a batch of N requests
+//    costs one round trip of daemon work, not N sequential ones.
+//  * Command mode (`fpopt client --connect S optimize t.fp lib.mod
+//    --k1 8 ...`): builds one request from the standalone CLI's flag
+//    surface, sends it, and prints the response's output field — which
+//    the service guarantees is byte-identical to standalone `fpopt`
+//    stdout. Error responses render as `fpopt: <message>` on stderr with
+//    exit code 2, mirroring the standalone tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fpopt {
+
+/// Run the client on argv-style arguments (the leading "client" verb
+/// excluded). Returns the process exit code.
+int run_client(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
+               std::ostream& err);
+
+}  // namespace fpopt

@@ -1,0 +1,347 @@
+#include "service/protocol.h"
+
+#include <limits>
+
+#include "telemetry/report_schema.h"
+
+namespace fpopt {
+namespace {
+
+using telemetry::JsonValue;
+
+/// Thrown internally by the decode helpers; decode_request catches it and
+/// converts to the (code, message) out-parameters.
+struct DecodeFail {
+  ServiceErrorCode code;
+  std::string message;
+};
+
+/// CLI-equivalent non-negative integer option (parse_long in io/cli.cpp).
+std::size_t option_uint(const std::string& name, const JsonValue& v) {
+  if (!v.is_number() || !v.is_integer || v.integer < 0) {
+    throw DecodeFail{ServiceErrorCode::kOption,
+                     "option '" + name + "' must be a non-negative integer"};
+  }
+  if (static_cast<unsigned long long>(v.integer) >
+      std::numeric_limits<std::size_t>::max()) {
+    throw DecodeFail{ServiceErrorCode::kOption,
+                     "option '" + name + "' out of range"};
+  }
+  return static_cast<std::size_t>(v.integer);
+}
+
+double option_double(const std::string& name, const JsonValue& v) {
+  if (!v.is_number()) {
+    throw DecodeFail{ServiceErrorCode::kOption,
+                     "option '" + name + "' must be a number"};
+  }
+  return v.number;
+}
+
+bool option_bool(const std::string& name, const JsonValue& v) {
+  if (!v.is_bool()) {
+    throw DecodeFail{ServiceErrorCode::kOption,
+                     "option '" + name + "' must be a boolean"};
+  }
+  return v.boolean;
+}
+
+/// Apply one member of the request's "options" object onto the spec, with
+/// the CLI flag parser's exact validation rules (same ranges, same
+/// messages where they exist).
+void apply_option(const std::string& key, const JsonValue& v, ServiceRequest& out) {
+  OptimizerOptions& options = out.spec.options;
+  if (key == "k1") {
+    options.selection.k1 = option_uint(key, v);
+  } else if (key == "k2") {
+    options.selection.k2 = option_uint(key, v);
+  } else if (key == "theta") {
+    options.selection.theta = option_double(key, v);
+    if (options.selection.theta <= 0 || options.selection.theta > 1) {
+      throw DecodeFail{ServiceErrorCode::kOption, "option 'theta' must be in (0, 1]"};
+    }
+  } else if (key == "scap") {
+    options.selection.heuristic_cap = option_uint(key, v);
+  } else if (key == "budget") {
+    options.impl_budget = option_uint(key, v);
+    out.budget_set = true;
+  } else if (key == "threads") {
+    options.threads = option_uint(key, v);
+  } else if (key == "incremental") {
+    options.incremental = option_bool(key, v);
+  } else if (key == "cache_mb") {
+    const std::size_t mb = option_uint(key, v);
+    if (mb == 0) {
+      throw DecodeFail{ServiceErrorCode::kOption,
+                       "option 'cache_mb' must be at least 1 (MiB)"};
+    }
+    if (mb > (std::numeric_limits<std::size_t>::max() >> 20)) {
+      throw DecodeFail{ServiceErrorCode::kOption,
+                       "option 'cache_mb' overflows the byte budget"};
+    }
+    out.spec.cache_bytes = mb << 20;
+  } else if (key == "impl") {
+    out.spec.impl_index = option_uint(key, v);
+  } else if (key == "metric") {
+    if (!v.is_string()) {
+      throw DecodeFail{ServiceErrorCode::kOption, "option 'metric' must be a string"};
+    }
+    if (v.string == "l1") {
+      options.selection.metric = LpMetric::L1;
+    } else if (v.string == "l2") {
+      options.selection.metric = LpMetric::L2;
+    } else if (v.string == "linf") {
+      options.selection.metric = LpMetric::LInf;
+    } else {
+      throw DecodeFail{ServiceErrorCode::kOption,
+                       "unknown metric '" + v.string + "' (expected l1, l2 or linf)"};
+    }
+  } else {
+    throw DecodeFail{ServiceErrorCode::kOption, "unknown option '" + key + "'"};
+  }
+}
+
+const std::string& required_string(const JsonValue& request, const std::string& key) {
+  const JsonValue* v = request.find(key);
+  if (v == nullptr) {
+    throw DecodeFail{ServiceErrorCode::kSchema, "missing request member '" + key + "'"};
+  }
+  if (!v->is_string()) {
+    throw DecodeFail{ServiceErrorCode::kSchema,
+                     "request member '" + key + "' must be a string"};
+  }
+  return v->string;
+}
+
+}  // namespace
+
+const char* to_string(ServiceErrorCode code) {
+  switch (code) {
+    case ServiceErrorCode::kParse:
+      return "E_PARSE";
+    case ServiceErrorCode::kSchema:
+      return "E_SCHEMA";
+    case ServiceErrorCode::kCommand:
+      return "E_COMMAND";
+    case ServiceErrorCode::kOption:
+      return "E_OPTION";
+    case ServiceErrorCode::kInput:
+      return "E_INPUT";
+    case ServiceErrorCode::kBudget:
+      return "E_BUDGET";
+    case ServiceErrorCode::kOversized:
+      return "E_OVERSIZED";
+    case ServiceErrorCode::kInternal:
+      return "E_INTERNAL";
+  }
+  return "E_INTERNAL";
+}
+
+bool decode_request(const std::string& frame, ServiceRequest& out, ServiceError& error) {
+  out = ServiceRequest{};
+  const telemetry::JsonParseResult parsed = telemetry::parse_json(frame);
+  if (!parsed.value.has_value()) {
+    error = {ServiceErrorCode::kParse, "bad JSON: " + parsed.error};
+    return false;
+  }
+  try {
+    const JsonValue& doc = *parsed.value;
+    const JsonValue* request = doc.find("fpopt_request");
+    if (request == nullptr || !request->is_object() || doc.object.size() != 1) {
+      throw DecodeFail{ServiceErrorCode::kSchema,
+                       "frame must be a {\"fpopt_request\": {...}} object"};
+    }
+    // The id is echoed even into schema-error responses, so recover it
+    // before any other member can fail validation.
+    if (const JsonValue* id = request->find("id")) {
+      if (id->is_string()) {
+        out.id_json = telemetry::json_quote(id->string);
+      } else if (id->is_number() && id->is_integer) {
+        out.id_json = std::to_string(id->integer);
+      } else if (id->kind != JsonValue::Kind::Null) {
+        throw DecodeFail{ServiceErrorCode::kSchema,
+                         "request 'id' must be a string, an integer or null"};
+      }
+    }
+    const JsonValue* version = request->find("schema_version");
+    if (version == nullptr || !version->is_number() || !version->is_integer) {
+      throw DecodeFail{ServiceErrorCode::kSchema,
+                       "missing integer request member 'schema_version'"};
+    }
+    if (version->integer != kServiceSchemaVersion) {
+      throw DecodeFail{ServiceErrorCode::kSchema,
+                       "unsupported schema_version " + std::to_string(version->integer) +
+                           " (this server speaks " +
+                           std::to_string(kServiceSchemaVersion) + ")"};
+    }
+    out.spec.command = required_string(*request, "command");
+    // The CLI's default: no simulated memory limit unless asked for.
+    out.spec.options.impl_budget = 0;
+
+    const bool control = out.is_control();
+    const bool known = control || out.spec.command == "stats" ||
+                       out.spec.command == "optimize" || out.spec.command == "place";
+    if (!known) {
+      throw DecodeFail{ServiceErrorCode::kCommand,
+                       "unknown command '" + out.spec.command + "'"};
+    }
+    for (const auto& [key, value] : request->object) {
+      if (key == "id" || key == "schema_version" || key == "command") continue;
+      if (key == "report") {
+        if (!value.is_bool()) {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "request member 'report' must be a boolean"};
+        }
+        out.want_report = value.boolean;
+      } else if (key == "topology" || key == "library" || key == "options") {
+        if (control) {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "command '" + out.spec.command + "' takes no '" + key + "'"};
+        }
+        if (key == "options") {
+          if (!value.is_object()) {
+            throw DecodeFail{ServiceErrorCode::kSchema,
+                             "request member 'options' must be an object"};
+          }
+          for (const auto& [okey, ovalue] : value.object) {
+            apply_option(okey, ovalue, out);
+          }
+        }
+        // topology / library re-checked below via required_string.
+      } else {
+        throw DecodeFail{ServiceErrorCode::kSchema,
+                         "unknown request member '" + key + "'"};
+      }
+    }
+    if (!control) {
+      out.topology = required_string(*request, "topology");
+      out.library = required_string(*request, "library");
+    }
+  } catch (const DecodeFail& f) {
+    error = {f.code, f.message};
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// `report_json` arrives as RunReport::to_json(false) — the compact
+/// wrapper document {"fpopt_run_report":{...}}. Splice out the inner
+/// object so the response carries "fpopt_run_report" as a direct member
+/// (which is exactly where validate_embedded_run_reports looks).
+std::string report_inner(const std::string& report_json) {
+  constexpr const char* kPrefix = "{\"fpopt_run_report\":";
+  const std::size_t plen = std::string(kPrefix).size();
+  if (report_json.size() > plen + 1 && report_json.rfind(kPrefix, 0) == 0 &&
+      report_json.back() == '}') {
+    return report_json.substr(plen, report_json.size() - plen - 1);
+  }
+  return report_json;
+}
+
+}  // namespace
+
+std::string build_ok_response(const std::string& id_json, const std::string& output,
+                              const std::string& report_json) {
+  std::string line = "{\"fpopt_response\":{\"schema_version\":" +
+                     std::to_string(kServiceSchemaVersion) + ",\"id\":" + id_json +
+                     ",\"status\":\"ok\",\"output\":" + telemetry::json_quote(output);
+  if (!report_json.empty()) {
+    line += ",\"fpopt_run_report\":" + report_inner(report_json);
+  }
+  line += "}}";
+  return line;
+}
+
+std::string build_error_response(const std::string& id_json, const ServiceError& error,
+                                 const std::string& report_json) {
+  std::string line = "{\"fpopt_response\":{\"schema_version\":" +
+                     std::to_string(kServiceSchemaVersion) + ",\"id\":" + id_json +
+                     ",\"status\":\"error\",\"error\":{\"code\":\"" +
+                     to_string(error.code) +
+                     "\",\"message\":" + telemetry::json_quote(error.message) + "}";
+  if (!report_json.empty()) {
+    line += ",\"fpopt_run_report\":" + report_inner(report_json);
+  }
+  line += "}}";
+  return line;
+}
+
+std::vector<std::string> validate_service_response(const telemetry::JsonValue& doc) {
+  std::vector<std::string> errors;
+  const auto fail = [&errors](std::string msg) { errors.push_back(std::move(msg)); };
+
+  if (!doc.is_object() || doc.object.size() != 1) {
+    fail("response must be a single-member {\"fpopt_response\": {...}} object");
+    return errors;
+  }
+  const JsonValue* r = doc.find("fpopt_response");
+  if (r == nullptr || !r->is_object()) {
+    fail("missing object member 'fpopt_response'");
+    return errors;
+  }
+  const JsonValue* version = r->find("schema_version");
+  if (version == nullptr || !version->is_number() || !version->is_integer ||
+      version->integer != kServiceSchemaVersion) {
+    fail("fpopt_response.schema_version must be the integer " +
+         std::to_string(kServiceSchemaVersion));
+  }
+  const JsonValue* id = r->find("id");
+  if (id == nullptr) {
+    fail("fpopt_response.id is required (null for unidentifiable requests)");
+  } else if (!id->is_string() && !(id->is_number() && id->is_integer) &&
+             id->kind != JsonValue::Kind::Null) {
+    fail("fpopt_response.id must be a string, an integer or null");
+  }
+  const JsonValue* status = r->find("status");
+  const std::string status_text = (status != nullptr && status->is_string())
+                                      ? status->string
+                                      : std::string();
+  if (status_text != "ok" && status_text != "error") {
+    fail("fpopt_response.status must be \"ok\" or \"error\"");
+    return errors;
+  }
+  const JsonValue* output = r->find("output");
+  const JsonValue* err = r->find("error");
+  if (status_text == "ok") {
+    if (output == nullptr || !output->is_string()) {
+      fail("ok response requires a string 'output'");
+    }
+    if (err != nullptr) fail("ok response must not carry 'error'");
+  } else {
+    if (output != nullptr) fail("error response must not carry 'output'");
+    if (err == nullptr || !err->is_object()) {
+      fail("error response requires an object 'error'");
+    } else {
+      const JsonValue* code = err->find("code");
+      static const char* kCodes[] = {"E_PARSE",  "E_SCHEMA",    "E_COMMAND",
+                                     "E_OPTION", "E_INPUT",     "E_BUDGET",
+                                     "E_OVERSIZED", "E_INTERNAL"};
+      bool code_ok = false;
+      if (code != nullptr && code->is_string()) {
+        for (const char* c : kCodes) code_ok = code_ok || code->string == c;
+      }
+      if (!code_ok) fail("error.code must be one of the documented E_* codes");
+      const JsonValue* message = err->find("message");
+      if (message == nullptr || !message->is_string()) {
+        fail("error.message must be a string");
+      }
+    }
+  }
+  if (const JsonValue* report = r->find("fpopt_run_report")) {
+    for (std::string& e : telemetry::validate_run_report(*report)) {
+      errors.push_back("fpopt_run_report: " + std::move(e));
+    }
+  }
+  for (const auto& [key, value] : r->object) {
+    (void)value;
+    if (key != "schema_version" && key != "id" && key != "status" && key != "output" &&
+        key != "error" && key != "fpopt_run_report") {
+      fail("unknown fpopt_response member '" + key + "'");
+    }
+  }
+  return errors;
+}
+
+}  // namespace fpopt

@@ -1,0 +1,125 @@
+#include "service/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+namespace fpopt {
+namespace {
+
+/// Poll interval for shutdown-flag checks. Purely a liveness knob: how
+/// quickly a blocked transport notices the flag. No output depends on it.
+constexpr int kPollMillis = 100;
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // client went away; their loss, not the daemon's
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void connection_main(Service& service, int fd) {
+  LineSplitter splitter(service.config().max_frame_bytes);
+  char chunk[4096];
+  bool open = true;
+  while (open && !service.shutdown_requested()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n == 0) break;  // client EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    splitter.feed(chunk, static_cast<std::size_t>(n),
+                  [&](const std::string& frame, bool /*oversized*/) {
+                    // Oversized frames arrive truncated past the limit;
+                    // handle_frame classifies them E_OVERSIZED by size.
+                    if (!write_all(fd, service.handle_frame(frame) + "\n")) open = false;
+                  });
+  }
+  // A trailing unterminated line at EOF is still one frame.
+  if (open && splitter.has_partial() && !service.shutdown_requested()) {
+    write_all(fd, service.handle_frame(splitter.partial()) + "\n");
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int serve_stdio(Service& service, std::istream& in, std::ostream& out) {
+  LineSplitter splitter(service.config().max_frame_bytes);
+  char chunk[4096];
+  bool done = false;
+  while (!done && in.good()) {
+    in.read(chunk, sizeof chunk);
+    const std::streamsize n = in.gcount();
+    if (n <= 0) break;
+    splitter.feed(chunk, static_cast<std::size_t>(n),
+                  [&](const std::string& frame, bool /*oversized*/) {
+                    if (done) return;  // drop frames queued after shutdown
+                    out << service.handle_frame(frame) << '\n' << std::flush;
+                    done = service.shutdown_requested();
+                  });
+  }
+  if (!done && splitter.has_partial()) {
+    out << service.handle_frame(splitter.partial()) << '\n' << std::flush;
+  }
+  return 0;
+}
+
+int serve_unix(Service& service, const std::string& socket_path, std::ostream& err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    err << "fpoptd: socket path too long: " << socket_path << '\n';
+    return 1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    err << "fpoptd: socket: " << std::strerror(errno) << '\n';
+    return 1;
+  }
+  ::unlink(socket_path.c_str());  // replace a stale socket file
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd, SOMAXCONN) < 0) {
+    err << "fpoptd: bind " << socket_path << ": " << std::strerror(errno) << '\n';
+    ::close(listen_fd);
+    return 1;
+  }
+
+  std::vector<std::thread> connections;
+  while (!service.shutdown_requested()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections.emplace_back([&service, fd] { connection_main(service, fd); });
+  }
+  for (std::thread& t : connections) t.join();
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  return 0;
+}
+
+}  // namespace fpopt

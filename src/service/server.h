@@ -1,0 +1,80 @@
+// fpoptd transports: pump JSONL frames between clients and a Service.
+//
+// Two interchangeable front ends over the same Service::handle_frame:
+//  * serve_stdio — one client on stdin/stdout; the test harness's and
+//    shell pipelines' transport (`fpoptd --stdio`).
+//  * serve_unix — an AF_UNIX stream socket, one thread per connection,
+//    many pipelined clients at once (`fpoptd --socket <path>`).
+//
+// Both resynchronize after an oversized frame (answer E_OVERSIZED, then
+// discard bytes to the next newline) and exit cleanly when a client sends
+// the shutdown command. The transports only move bytes; every decision
+// about a frame's meaning lives in the Service, so the two front ends
+// cannot diverge in behavior.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/service.h"
+
+namespace fpopt {
+
+/// Serve one client on an istream/ostream pair until EOF or shutdown.
+/// Returns 0 (clean exit) — every request-level failure is an error
+/// response, not an exit code.
+int serve_stdio(Service& service, std::istream& in, std::ostream& out);
+
+/// Bind `socket_path` (an existing stale socket file is replaced) and
+/// serve connections until a shutdown request. Returns 0 on clean
+/// shutdown, 1 on transport setup failure (message on `err`).
+int serve_unix(Service& service, const std::string& socket_path, std::ostream& err);
+
+/// Incremental JSONL splitter with oversized-frame resynchronization:
+/// feed raw bytes, get complete lines back. Once a partial line exceeds
+/// `max_line` the splitter reports it oversized exactly once and then
+/// silently discards until the next newline. max_line 0 = unlimited.
+/// (Header-exposed so the protocol tests can fuzz it directly.)
+class LineSplitter {
+ public:
+  explicit LineSplitter(std::size_t max_line) : max_line_(max_line) {}
+
+  /// Consume a chunk of raw bytes. For each complete or oversized frame,
+  /// invokes `frame(line, oversized)` in input order; an oversized
+  /// frame's text is truncated to max_line + 1 bytes (enough for the
+  /// Service to see it is over the limit, bounded memory regardless of
+  /// how much garbage a client streams).
+  template <typename Fn>
+  void feed(const char* data, std::size_t size, Fn&& frame) {
+    for (std::size_t i = 0; i < size; ++i) {
+      const char c = data[i];
+      if (c == '\n') {
+        if (discarding_) {
+          discarding_ = false;
+        } else {
+          frame(buffer_, false);
+        }
+        buffer_.clear();
+        continue;
+      }
+      if (discarding_) continue;
+      buffer_.push_back(c);
+      if (max_line_ != 0 && buffer_.size() > max_line_) {
+        frame(buffer_, true);
+        buffer_.clear();
+        discarding_ = true;
+      }
+    }
+  }
+
+  /// True when a final unterminated partial line is pending at EOF.
+  [[nodiscard]] bool has_partial() const { return !discarding_ && !buffer_.empty(); }
+  [[nodiscard]] const std::string& partial() const { return buffer_; }
+
+ private:
+  std::size_t max_line_;
+  std::string buffer_;
+  bool discarding_ = false;
+};
+
+}  // namespace fpopt

@@ -1,0 +1,135 @@
+#include "service/service.h"
+
+#include <sstream>
+
+#include "floorplan/serialize.h"
+
+namespace fpopt {
+
+Service::Service(ServiceConfig config) : config_(config) {
+  if (config_.pool_workers > 0) pool_.emplace(config_.pool_workers);
+  if (config_.shared_cache) cache_.emplace(config_.cache_bytes);
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  // Counters only report; they synchronize nothing.
+  s.requests_ok = requests_ok_.load(std::memory_order_relaxed);
+  s.requests_error = requests_error_.load(std::memory_order_relaxed);
+  s.frames = frames_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string Service::handle_frame(const std::string& frame) {
+  // Counters only report; they synchronize nothing, so relaxed suffices.
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.max_frame_bytes != 0 && frame.size() > config_.max_frame_bytes) {
+    requests_error_.fetch_add(1, std::memory_order_relaxed);
+    return build_error_response(
+        "null",
+        {ServiceErrorCode::kOversized,
+         "frame of " + std::to_string(frame.size()) + " bytes exceeds the limit of " +
+             std::to_string(config_.max_frame_bytes)},
+        "");
+  }
+  ServiceRequest request;
+  ServiceError error;
+  if (!decode_request(frame, request, error)) {
+    // Counters only report; they synchronize nothing, so relaxed suffices.
+    requests_error_.fetch_add(1, std::memory_order_relaxed);
+    return build_error_response(request.id_json, error, "");
+  }
+  std::string response;
+  bool ok = false;
+  try {
+    response = handle_request(request, ok);
+  } catch (const std::exception& e) {
+    response = build_error_response(request.id_json,
+                                    {ServiceErrorCode::kInternal, e.what()}, "");
+  } catch (...) {
+    response = build_error_response(
+        request.id_json, {ServiceErrorCode::kInternal, "unknown failure"}, "");
+  }
+  // Counters only report; they synchronize nothing, so relaxed suffices.
+  (ok ? requests_ok_ : requests_error_).fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+std::string Service::handle_request(const ServiceRequest& request, bool& ok) {
+  if (request.spec.command == "ping") {
+    ok = true;
+    return build_ok_response(request.id_json, "pong\n", "");
+  }
+  if (request.spec.command == "shutdown") {
+    // Release pairs with the acquire load in shutdown_requested(): a
+    // transport that observes the flag also observes this response.
+    shutdown_.store(true, std::memory_order_release);
+    ok = true;
+    return build_ok_response(request.id_json, "shutting down\n", "");
+  }
+
+  // Admission control: a request that names no budget runs under the
+  // server's default cap (0 = unlimited, the CLI default).
+  CommandSpec spec = request.spec;
+  if (!request.budget_set && config_.default_impl_budget > 0) {
+    spec.options.impl_budget = config_.default_impl_budget;
+  }
+
+  FloorplanTree tree;
+  try {
+    tree = parse_floorplan(request.topology, parse_module_library(request.library));
+  } catch (const ParseError& e) {
+    return build_error_response(request.id_json,
+                                {ServiceErrorCode::kInput,
+                                 std::string("parse error: ") + e.what()},
+                                "");
+  }
+  {
+    const auto problems = tree.validate();
+    if (!problems.empty()) {
+      return build_error_response(
+          request.id_json,
+          {ServiceErrorCode::kInput, "invalid floorplan: " + problems.front()}, "");
+    }
+  }
+
+  // Per-request isolation: an incremental run gets its own session over
+  // the shared cache. The session publishes only on success; every
+  // failure path below leaves the shared store byte-exactly as the
+  // committed trajectories built it.
+  std::optional<CacheSession> session;
+  CommandEnv env;
+  env.pool = pool_.has_value() ? &*pool_ : nullptr;
+  if (spec.options.incremental && cache_.has_value()) {
+    session.emplace(*cache_);
+    env.cache = &*session;
+  }
+
+  telemetry::RunReport report("fpoptd", spec.command);
+  telemetry::RunReport* report_ptr = request.want_report ? &report : nullptr;
+  std::ostringstream out;
+  try {
+    execute_command(spec, tree, env, out, report_ptr);
+  } catch (const CommandError& e) {
+    if (session.has_value()) session->rollback();
+    // An over-budget abort still reports (aborted=true), exactly like
+    // `fpopt --stats` on the same inputs — the report rode through
+    // execute_command before the abort surfaced.
+    const std::string report_json =
+        (request.want_report && e.over_budget) ? report.to_json(false) : std::string();
+    return build_error_response(
+        request.id_json,
+        {e.over_budget ? ServiceErrorCode::kBudget : ServiceErrorCode::kOption,
+         e.message},
+        report_json);
+  } catch (...) {
+    if (session.has_value()) session->rollback();
+    throw;
+  }
+  if (session.has_value()) session->commit();
+  ok = true;
+  return build_ok_response(request.id_json, out.str(),
+                           request.want_report ? report.to_json(false) : std::string());
+}
+
+}  // namespace fpopt

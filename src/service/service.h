@@ -1,0 +1,94 @@
+// The fpoptd request engine: one frame in, one response line out.
+//
+// A Service owns the two resources a batching daemon shares across
+// requests — one process-wide work-stealing ThreadPool and one
+// SharedMemoCache — and executes every request through the same
+// execution core as the standalone CLI (io/command.h). The determinism
+// contracts underneath (parallel engine bit-identical for every worker
+// count, incremental engine byte-identical for any cache content) are
+// what make this safe: a response is a pure function of its request
+// document, no matter what other requests ran before or concurrently.
+//
+// handle_frame is thread-safe; the transports (server.h) call it from one
+// thread per connection. Each request gets its own CacheSession over the
+// shared cache (committed on success, rolled back on failure) and its
+// own BudgetTracker-driven admission: an over-budget run is rejected
+// with an E_BUDGET error response carrying the run report (aborted=true)
+// — the daemon never crashes or drops the connection for it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cache/shared_cache.h"
+#include "runtime/thread_pool.h"
+#include "service/protocol.h"
+
+namespace fpopt {
+
+struct ServiceConfig {
+  /// Workers of the process-wide pool serving every parallel request
+  /// (options.threads > 0). 0 = no shared pool; each parallel request
+  /// then spins up a run-owned pool, standalone-style.
+  unsigned pool_workers = 0;
+  /// Share one memo cache across incremental requests. Off = every
+  /// incremental request gets a cold run-local cache (the standalone
+  /// behavior), which is the daemon-side control for equivalence tests.
+  bool shared_cache = true;
+  /// Byte budget of the shared cache (0 = unlimited).
+  std::size_t cache_bytes = MemoCache::kDefaultByteBudget;
+  /// Frames longer than this are answered with E_OVERSIZED (and the
+  /// transports resynchronize to the next newline). 0 = unlimited.
+  std::size_t max_frame_bytes = 8u << 20;
+  /// Admission control: implementation budget applied to any request that
+  /// does not set "budget" itself. 0 = unlimited (the CLI default).
+  std::size_t default_impl_budget = 0;
+};
+
+/// Monotonic service counters (never reset; read with relaxed loads —
+/// they order nothing, they only report).
+struct ServiceStats {
+  std::uint64_t requests_ok = 0;
+  std::uint64_t requests_error = 0;
+  std::uint64_t frames = 0;  ///< every frame seen, well-formed or not
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config);
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Process one frame (one line, newline stripped) and return the
+  /// response line (no trailing newline). Never throws; every failure
+  /// becomes an error response. Thread-safe.
+  [[nodiscard]] std::string handle_frame(const std::string& frame);
+
+  /// Set once a shutdown request has been processed; the transports
+  /// drain and exit when they see it.
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] ServiceStats stats() const;
+  /// The cross-request cache, or nullptr when shared_cache is off.
+  [[nodiscard]] const SharedMemoCache* cache() const {
+    return cache_.has_value() ? &*cache_ : nullptr;
+  }
+
+ private:
+  [[nodiscard]] std::string handle_request(const ServiceRequest& request, bool& ok);
+
+  ServiceConfig config_;
+  std::optional<ThreadPool> pool_;
+  std::optional<SharedMemoCache> cache_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> requests_ok_{0};
+  std::atomic<std::uint64_t> requests_error_{0};
+  std::atomic<std::uint64_t> frames_{0};
+};
+
+}  // namespace fpopt

@@ -4,11 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <optional>
+#include <random>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/cache_key.h"
 #include "cache/memo_cache.h"
+#include "cache/shared_cache.h"
 #include "topology/polish.h"
 #include "workload/module_gen.h"
 
@@ -203,6 +208,194 @@ TEST(CacheKeyTest, BudgetAndThreadsDoNotChangeKeys) {
   other.incremental = true;
   EXPECT_EQ(base, derive_node_keys(bt, tree, other))
       << "budget/threads never change a completed node's bytes";
+}
+
+// ---------------------------------------------------------------------------
+// Cross-request isolation (cache/shared_cache.h): concurrent-epoch
+// property tests for the daemon's SharedMemoCache / CacheSession pair.
+
+/// Deterministic payload per key so any cross-session leak or corruption
+/// shows up as a content mismatch, not just a wrong count.
+std::size_t payload_impls(std::uint64_t n) { return (n % 5) + 2; }
+
+TEST(SharedCacheIsolation, SessionSeesOwnInsertsButNotOthers) {
+  SharedMemoCache shared(0);
+  CacheSession a(shared);
+  CacheSession b(shared);
+  const MemoCache::Entry payload = make_payload(3);
+  a.insert(key_of(1), payload.result, payload.profile);
+  ASSERT_NE(a.find(key_of(1)), nullptr);
+  EXPECT_EQ(b.find(key_of(1)), nullptr) << "provisional insert leaked across sessions";
+  EXPECT_EQ(shared.size(), 0u) << "provisional insert leaked into the shared store";
+  a.commit();
+  EXPECT_EQ(shared.size(), 1u);
+  // Still invisible to b's earlier miss bookkeeping, but a new probe hits.
+  ASSERT_NE(b.find(key_of(1)), nullptr);
+  EXPECT_EQ(b.find(key_of(1))->result.rlist.size(), 3u);
+  b.rollback();
+}
+
+TEST(SharedCacheIsolation, UncommittedProbesNeverTouchSharedStatsOrLru) {
+  SharedMemoCache shared(0);
+  {
+    CacheSession s(shared);
+    const MemoCache::Entry payload = make_payload(4);
+    EXPECT_EQ(s.find(key_of(9)), nullptr);
+    s.insert(key_of(9), payload.result, payload.profile);
+    (void)s.find(key_of(9));
+    s.rollback();
+  }
+  const MemoCacheStats stats = shared.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(shared.bytes(), 0u);
+  EXPECT_EQ(shared.size(), 0u);
+}
+
+/// N simulated requests interleaved at random: every find must see
+/// exactly (own session contents) ∪ (entries committed so far) — never
+/// another request's provisional inserts — and the final shared store
+/// must equal a serial replay of only the committed trajectories.
+TEST(SharedCacheIsolation, RandomInterleavingsMatchCommittedReplay) {
+  constexpr std::uint64_t kKeySpace = 20;
+  constexpr int kSessions = 6;
+  for (std::uint32_t seed = 0; seed < 8; ++seed) {
+    std::mt19937 rng(seed);
+    // A tight byte budget on odd seeds exercises commit-order eviction.
+    const std::size_t budget = (seed % 2 == 0) ? 0 : 4096;
+    SharedMemoCache shared(budget);
+
+    struct Sim {
+      std::optional<CacheSession> session;
+      std::set<std::uint64_t> seen;              ///< keys find() returned or inserted
+      std::vector<std::uint64_t> inserted;       ///< provisional inserts, in order
+      std::size_t hits = 0;
+      std::size_t misses = 0;
+      bool will_commit = false;
+      int ops_left = 0;
+    };
+    std::vector<Sim> sims(kSessions);
+    for (Sim& sim : sims) {
+      sim.session.emplace(shared);
+      sim.will_commit = rng() % 3 != 0;  // ~1/3 of requests roll back
+      sim.ops_left = 10 + static_cast<int>(rng() % 20);
+    }
+    std::set<std::uint64_t> committed;  ///< keys in the shared store right now
+    struct CommittedTrajectory {
+      std::vector<std::uint64_t> inserted;
+      std::size_t hits = 0;
+      std::size_t misses = 0;
+    };
+    std::vector<CommittedTrajectory> commit_log;
+
+    int open = kSessions;
+    while (open > 0) {
+      const std::size_t pick = rng() % sims.size();
+      Sim& sim = sims[pick];
+      if (!sim.session.has_value()) continue;
+      if (sim.ops_left-- > 0) {
+        const std::uint64_t k = rng() % kKeySpace;
+        const bool expect_hit = sim.seen.count(k) != 0 || committed.count(k) != 0;
+        const MemoCache::Entry* found = sim.session->find(key_of(k));
+        if (budget == 0) {
+          // With no eviction, visibility is exact: own view ∪ committed.
+          ASSERT_EQ(found != nullptr, expect_hit)
+              << "seed " << seed << " key " << k << " session " << pick;
+        } else if (found != nullptr) {
+          ASSERT_TRUE(expect_hit) << "provisional entry leaked: seed " << seed
+                                  << " key " << k << " session " << pick;
+        }
+        if (found != nullptr) {
+          ++sim.hits;
+          // Content must match the key's canonical payload: a leak of
+          // another session's in-flight overwrite would betray itself.
+          EXPECT_EQ(found->result.rlist.size(), payload_impls(k));
+          sim.seen.insert(k);
+        } else {
+          ++sim.misses;
+          const MemoCache::Entry payload = make_payload(payload_impls(k));
+          sim.session->insert(key_of(k), payload.result, payload.profile);
+          sim.seen.insert(k);
+          sim.inserted.push_back(k);
+        }
+      } else {
+        if (sim.will_commit) {
+          EXPECT_EQ(sim.session->stats().hits, sim.hits);
+          EXPECT_EQ(sim.session->stats().misses, sim.misses);
+          sim.session->commit();
+          for (const std::uint64_t k : sim.inserted) committed.insert(k);
+          commit_log.push_back({sim.inserted, sim.hits, sim.misses});
+        } else {
+          sim.session->rollback();
+        }
+        sim.session.reset();
+        --open;
+      }
+    }
+
+    // Serial replay of only the committed trajectories, in commit order,
+    // must reproduce the shared store exactly: stats, bytes, size,
+    // eviction history. Rolled-back sessions left no trace by contract.
+    MemoCache replay(budget);
+    for (const CommittedTrajectory& t : commit_log) {
+      replay.note_probes(t.hits, t.misses);
+      for (const std::uint64_t k : t.inserted) {
+        const MemoCache::Entry payload = make_payload(payload_impls(k));
+        replay.insert(key_of(k), payload.result, payload.profile);
+      }
+    }
+    const MemoCacheStats got = shared.stats();
+    const MemoCacheStats want = replay.stats();
+    EXPECT_EQ(got.hits, want.hits) << "seed " << seed;
+    EXPECT_EQ(got.misses, want.misses) << "seed " << seed;
+    EXPECT_EQ(got.insertions, want.insertions) << "seed " << seed;
+    EXPECT_EQ(got.evictions, want.evictions) << "seed " << seed;
+    EXPECT_EQ(got.peak_bytes, want.peak_bytes) << "seed " << seed;
+    EXPECT_EQ(shared.bytes(), replay.bytes()) << "seed " << seed;
+    EXPECT_EQ(shared.size(), replay.size()) << "seed " << seed;
+  }
+}
+
+TEST(SharedCacheIsolation, ConcurrentSessionsAreRaceFreeAndConsistent) {
+  // The TSan-guarded case: many threads run full session lifecycles
+  // against one shared store. Every observed entry must carry its key's
+  // canonical payload, and the final store must be consistent.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 40;
+  constexpr std::uint64_t kKeySpace = 12;
+  SharedMemoCache shared(0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, t] {
+      std::mt19937 rng(static_cast<std::uint32_t>(t) * 7919u + 13u);
+      for (int round = 0; round < kRounds; ++round) {
+        CacheSession session(shared);
+        for (int op = 0; op < 6; ++op) {
+          const std::uint64_t k = rng() % kKeySpace;
+          const MemoCache::Entry* found = session.find(key_of(k));
+          if (found != nullptr) {
+            // Torn or cross-session state would show the wrong payload.
+            EXPECT_EQ(found->result.rlist.size(), payload_impls(k));
+          } else {
+            const MemoCache::Entry payload = make_payload(payload_impls(k));
+            session.insert(key_of(k), payload.result, payload.profile);
+          }
+        }
+        if (rng() % 4 == 0) {
+          session.rollback();
+        } else {
+          session.commit();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(shared.size(), kKeySpace);
+  const MemoCacheStats stats = shared.stats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.probes());
+  EXPECT_GE(stats.insertions, shared.size());
 }
 
 TEST(CacheKeyTest, ConfigFingerprintSeparatesKnobs) {

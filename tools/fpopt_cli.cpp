@@ -1,11 +1,20 @@
 // fpopt: command-line front end (see src/io/cli.h for usage).
+//
+// The `client` verb routes to the fpoptd service client (service/client.h)
+// here at the tool layer, keeping the io library free of any dependency
+// on the service stack — everything else goes through run_cli.
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "io/cli.h"
+#include "service/client.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "client") {
+    return fpopt::run_client(std::vector<std::string>(args.begin() + 1, args.end()),
+                             std::cin, std::cout, std::cerr);
+  }
   return fpopt::run_cli(args, std::cout, std::cerr);
 }

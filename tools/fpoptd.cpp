@@ -1,0 +1,104 @@
+// fpoptd: the batching floorplan-optimization daemon (docs/SERVICE.md).
+//
+// Speaks newline-delimited JSON over a Unix socket (--socket) or
+// stdin/stdout (--stdio, the test and shell-pipeline transport). All
+// requests share one work-stealing thread pool and one cross-request
+// memo cache; every response is byte-identical to what the standalone
+// `fpopt` tool would print for the same inputs.
+#include <csignal>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "service/server.h"
+#include "service/service.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fpoptd (--stdio | --socket <path>) [flags]\n"
+    "flags:\n"
+    "  --workers N         shared thread-pool workers (default 0: per-request pools)\n"
+    "  --no-shared-cache   per-request cold caches instead of the shared store\n"
+    "  --cache-mb N        shared-cache byte budget in MiB (default 64)\n"
+    "  --max-frame-mb N    reject request frames larger than N MiB (default 8)\n"
+    "  --default-budget N  implementation budget for requests that set none\n"
+    "                      (admission control; default 0: unlimited)\n";
+
+struct DaemonError {
+  std::string message;
+};
+
+long parse_uint(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(value, &pos);
+    if (pos != value.size() || v < 0) throw DaemonError{""};
+    return v;
+  } catch (...) {
+    throw DaemonError{"bad value '" + value + "' for " + flag};
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A client vanishing mid-response must not kill the daemon; write
+  // failures are handled per connection.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  bool stdio = false;
+  std::string socket_path;
+  fpopt::ServiceConfig config;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      const auto need_value = [&]() -> const std::string& {
+        if (i + 1 >= args.size()) throw DaemonError{"flag " + a + " needs a value"};
+        return args[++i];
+      };
+      if (a == "--stdio") {
+        stdio = true;
+      } else if (a == "--socket") {
+        socket_path = need_value();
+      } else if (a == "--workers") {
+        config.pool_workers = static_cast<unsigned>(parse_uint(a, need_value()));
+      } else if (a == "--no-shared-cache") {
+        config.shared_cache = false;
+      } else if (a == "--cache-mb") {
+        const long mb = parse_uint(a, need_value());
+        if (mb <= 0 || static_cast<unsigned long>(mb) >
+                           (std::numeric_limits<std::size_t>::max() >> 20)) {
+          throw DaemonError{"--cache-mb out of range"};
+        }
+        config.cache_bytes = static_cast<std::size_t>(mb) << 20;
+      } else if (a == "--max-frame-mb") {
+        const long mb = parse_uint(a, need_value());
+        if (mb <= 0 || static_cast<unsigned long>(mb) >
+                           (std::numeric_limits<std::size_t>::max() >> 20)) {
+          throw DaemonError{"--max-frame-mb out of range"};
+        }
+        config.max_frame_bytes = static_cast<std::size_t>(mb) << 20;
+      } else if (a == "--default-budget") {
+        config.default_impl_budget = static_cast<std::size_t>(parse_uint(a, need_value()));
+      } else if (a == "--help" || a == "help") {
+        std::cout << kUsage;
+        return 0;
+      } else {
+        throw DaemonError{"unknown flag " + a};
+      }
+    }
+    if (stdio ? !socket_path.empty() : socket_path.empty()) {
+      throw DaemonError{"exactly one of --stdio or --socket <path> is required"};
+    }
+  } catch (const DaemonError& e) {
+    std::cerr << "fpoptd: " << e.message << '\n' << kUsage;
+    return 2;
+  }
+
+  fpopt::Service service(config);
+  if (stdio) return fpopt::serve_stdio(service, std::cin, std::cout);
+  return fpopt::serve_unix(service, socket_path, std::cerr);
+}
