@@ -1,0 +1,336 @@
+// Kernel-backend ablation: scalar reference vs AVX2 row-sweep kernels.
+//
+// Three tiers, each with a built-in divergence check (the backends promise
+// bit-identical results, so any mismatch is FATAL, not a statistic):
+//  1. row sweep — the error(i, j) DP relaxation over full rows at several
+//     list sizes, three ways: the pre-PR per-query loop (oracle call per
+//     (i, j)), the batched scalar kernel (fill_row + argmin_add_scalar)
+//     and the batched AVX2 kernel. The acceptance targets live here:
+//     avx2_speedup >= 1.3x over the batched scalar row at some n, and the
+//     batched scalar row within 3% of the per-query baseline.
+//  2. combine/merge — wheel-close over a generated L-set and a Stockmeyer
+//     curve fold, wall time per backend.
+//  3. end to end — FP3/FP4 paper cases under --kernel scalar vs avx2 with
+//     a canonical-dump equality check, plus an embedded telemetry
+//     RunReport (schema v1, validated by fpopt_report_check in CI).
+//
+// Emits machine-readable BENCH_kernels.json next to the binary.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "table_common.h"
+#include "core/interval_cspp.h"
+#include "core/r_error.h"
+#include "io/run_report_build.h"
+#include "kernel/arena.h"
+#include "kernel/kernel.h"
+#include "kernel/sweep.h"
+#include "optimize/artifact_dump.h"
+#include "optimize/combine.h"
+#include "optimize/optimizer.h"
+#include "optimize/stockmeyer.h"
+#include "shape/r_list.h"
+#include "telemetry/run_report.h"
+#include "workload/floorplans.h"
+#include "workload/rng.h"
+
+namespace {
+
+using namespace fpopt;
+using namespace fpopt::bench;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Best of three reps (damps cold-start and scheduler noise).
+template <typename Fn>
+double best_of_three(Fn&& fn) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double secs = seconds_since(t0);
+    if (rep == 0 || secs < best) best = secs;
+  }
+  return best;
+}
+
+RList random_staircase(std::size_t n, Pcg32& rng) {
+  std::vector<RectImpl> impls(n);
+  Dim w = 1 + static_cast<Dim>(rng.below(16));
+  Dim h = 1 + static_cast<Dim>(rng.below(16));
+  for (std::size_t i = n; i-- > 0;) {
+    impls[i].w = w;
+    w += 1 + static_cast<Dim>(rng.below(7));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    impls[i].h = h;
+    h += 1 + static_cast<Dim>(rng.below(7));
+  }
+  return RList::from_sorted_unchecked(std::move(impls));
+}
+
+/// Checksum of a full DP relaxation pass: every row's winning index and
+/// the bit pattern of every winning value, folded together. Equal work
+/// must produce equal checksums regardless of how the rows were computed.
+struct SweepResult {
+  std::uint64_t checksum = 0;
+  void fold(std::size_t index, Weight value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    checksum = checksum * 1099511628211ull + bits;
+    checksum = checksum * 1099511628211ull + index;
+  }
+};
+
+struct RowSweepSample {
+  std::size_t n = 0;
+  double per_query_seconds = 0;
+  double scalar_seconds = 0;
+  double avx2_seconds = 0;
+};
+
+/// One full "DP layer": for every destination j, the row argmin of
+/// prev[i] + error(i, j) over i < j. This is exactly the inner loop the
+/// kernel pass batched, isolated from the rest of the optimizer.
+RowSweepSample bench_row_sweep(std::size_t n, Pcg32& rng) {
+  const RList list = random_staircase(n, rng);
+  const RErrorOracle oracle(list.impls());
+  std::vector<Weight> prev(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    prev[i] = static_cast<Weight>(rng.below(1u << 20));
+  }
+
+  SweepResult per_query, scalar, avx2;
+  RowSweepSample sample;
+  sample.n = n;
+
+  sample.per_query_seconds = best_of_three([&] {
+    per_query = {};
+    for (std::size_t j = 1; j < n; ++j) {
+      Weight best = kInfiniteWeight;
+      std::size_t best_i = 0;
+      for (std::size_t i = 0; i < j; ++i) {
+        const Weight cand = prev[i] + oracle(i, j);
+        if (cand < best) {
+          best = cand;
+          best_i = i;
+        }
+      }
+      per_query.fold(best_i, best);
+    }
+  });
+
+  // The real DP inner step: detail::best_predecessor picks the fused
+  // literal loop on the scalar backend and the fill_row + argmin_add
+  // batch on AVX2 — exactly what `--kernel scalar|avx2` runs.
+  const auto dp_layer = [&](SweepResult& out) {
+    out = {};
+    for (std::size_t j = 1; j < n; ++j) {
+      const auto [best, best_i] = detail::best_predecessor(prev, oracle, j, 0, j - 1);
+      out.fold(best_i, best);
+    }
+  };
+  {
+    kernel::KernelModeGuard guard(kernel::KernelMode::Scalar);
+    sample.scalar_seconds = best_of_three([&] { dp_layer(scalar); });
+  }
+  {
+    kernel::KernelModeGuard guard(kernel::KernelMode::Avx2);
+    sample.avx2_seconds = best_of_three([&] { dp_layer(avx2); });
+  }
+
+  if (per_query.checksum != scalar.checksum || scalar.checksum != avx2.checksum) {
+    std::cerr << "FATAL: row-sweep variants diverged at n=" << n << "\n";
+    std::exit(1);
+  }
+  return sample;
+}
+
+struct CombineSample {
+  std::string name;
+  double scalar_seconds = 0;
+  double avx2_seconds = 0;
+};
+
+template <typename Fn>
+CombineSample bench_combine(const std::string& name, Fn&& fn) {
+  CombineSample sample;
+  sample.name = name;
+  std::uint64_t sig_scalar = 0, sig_avx2 = 0;
+  {
+    kernel::KernelModeGuard guard(kernel::KernelMode::Scalar);
+    sample.scalar_seconds = best_of_three([&] { sig_scalar = fn(); });
+  }
+  {
+    kernel::KernelModeGuard guard(kernel::KernelMode::Avx2);
+    sample.avx2_seconds = best_of_three([&] { sig_avx2 = fn(); });
+  }
+  if (sig_scalar != sig_avx2) {
+    std::cerr << "FATAL: " << name << " diverged between kernel backends\n";
+    std::exit(1);
+  }
+  return sample;
+}
+
+std::uint64_t curve_signature(const RList& list) {
+  std::uint64_t sig = 0;
+  for (const RectImpl& r : list) {
+    sig = sig * 1099511628211ull + static_cast<std::uint64_t>(r.w);
+    sig = sig * 1099511628211ull + static_cast<std::uint64_t>(r.h);
+  }
+  return sig;
+}
+
+struct EndToEndSample {
+  std::string name;
+  double scalar_seconds = 0;
+  double avx2_seconds = 0;
+  std::string run_report_json;
+};
+
+EndToEndSample bench_end_to_end(const std::string& name, const FloorplanTree& tree,
+                                const OptimizerOptions& opts) {
+  EndToEndSample sample;
+  sample.name = name;
+  std::string dump_scalar, dump_avx2;
+  OptimizeOutcome last;
+  {
+    kernel::KernelModeGuard guard(kernel::KernelMode::Scalar);
+    sample.scalar_seconds = best_of_three([&] {
+      OptimizeOutcome out = optimize_floorplan(tree, opts);
+      if (out.out_of_memory) {
+        std::cerr << "FATAL: " << name << " exceeded its memory budget\n";
+        std::exit(1);
+      }
+      dump_scalar = dump_outcome(tree, out);
+    });
+  }
+  {
+    kernel::KernelModeGuard guard(kernel::KernelMode::Avx2);
+    sample.avx2_seconds = best_of_three([&] {
+      OptimizeOutcome out = optimize_floorplan(tree, opts);
+      if (out.out_of_memory) {
+        std::cerr << "FATAL: " << name << " exceeded its memory budget\n";
+        std::exit(1);
+      }
+      dump_avx2 = dump_outcome(tree, out);
+      last = std::move(out);
+    });
+    telemetry::RunReport report("ablation_kernels", name);
+    report.add_config("kernel", std::string(kernel::kernel_backend_name()));
+    report_optimizer(report, last);
+    sample.run_report_json = report.to_json(false);
+  }
+  if (dump_scalar != dump_avx2) {
+    std::cerr << "FATAL: " << name << " canonical dump diverged between kernel backends\n";
+    std::exit(1);
+  }
+  return sample;
+}
+
+double ratio(double num, double den) { return den > 0 ? num / den : 0; }
+
+}  // namespace
+
+int main() {
+  Pcg32 rng(0xab1a7e);
+  std::cout << "kernel ablation (avx2 compiled " << kernel::avx2_compiled() << ", supported "
+            << kernel::avx2_supported() << ")\n\n";
+
+  std::ostringstream json;
+  json << "{\n  \"avx2_compiled\": " << (kernel::avx2_compiled() ? "true" : "false")
+       << ",\n  \"avx2_supported\": " << (kernel::avx2_supported() ? "true" : "false")
+       << ",\n  \"row_sweep\": [";
+
+  bool first = true;
+  for (const std::size_t n : {std::size_t{512}, std::size_t{2048}, std::size_t{8192}}) {
+    const RowSweepSample s = bench_row_sweep(n, rng);
+    const double speedup = ratio(s.scalar_seconds, s.avx2_seconds);
+    const double scalar_vs_per_query = ratio(s.per_query_seconds, s.scalar_seconds);
+    std::cout << "row sweep n=" << s.n << ": per-query " << s.per_query_seconds
+              << " s, scalar " << s.scalar_seconds << " s, avx2 " << s.avx2_seconds
+              << " s  (avx2 speedup " << speedup << ")\n";
+    json << (first ? "" : ",") << "\n    {\"n\": " << s.n
+         << ", \"per_query_seconds\": " << s.per_query_seconds
+         << ", \"scalar_seconds\": " << s.scalar_seconds
+         << ", \"avx2_seconds\": " << s.avx2_seconds << ", \"avx2_speedup\": " << speedup
+         << ", \"scalar_vs_per_query\": " << scalar_vs_per_query << "}";
+    first = false;
+  }
+  json << "\n  ],\n  \"combine\": [";
+
+  // Wheel close: the widest combine kernel (chain SoA + two broadcasts +
+  // candidate assembly per b-implementation).
+  const RList d = random_staircase(24, rng);
+  const RList a = random_staircase(24, rng);
+  const RList b = random_staircase(24, rng);
+  const CombineSample wheel = bench_combine("wheel_close", [&] {
+    BudgetTracker budget(0);
+    OptimizerStats stats;
+    const LCombineResult stacked = combine_wheel_stack(d, a, LPruning::PerChain, budget, stats);
+    const RCombineResult closed = combine_wheel_close(stacked.set, b, budget, stats);
+    return curve_signature(closed.list);
+  });
+
+  // Stockmeyer fold over a wheel-free slicing grid.
+  WorkloadConfig grid_cfg;
+  grid_cfg.seed = 7;
+  grid_cfg.impls_per_module = 6;
+  const FloorplanTree grid = make_grid(5, 6, grid_cfg);
+  const CombineSample merge = bench_combine("stockmeyer_merge", [&] {
+    const std::optional<RList> curve = stockmeyer_shape_curve(grid);
+    if (!curve) {
+      std::cerr << "FATAL: grid workload is not slicing\n";
+      std::exit(1);
+    }
+    return curve_signature(*curve);
+  });
+
+  first = true;
+  for (const CombineSample& s : {wheel, merge}) {
+    const double speedup = ratio(s.scalar_seconds, s.avx2_seconds);
+    std::cout << s.name << ": scalar " << s.scalar_seconds << " s, avx2 " << s.avx2_seconds
+              << " s  (speedup " << speedup << ")\n";
+    json << (first ? "" : ",") << "\n    {\"name\": \"" << s.name
+         << "\", \"scalar_seconds\": " << s.scalar_seconds
+         << ", \"avx2_seconds\": " << s.avx2_seconds << ", \"speedup\": " << speedup << "}";
+    first = false;
+  }
+  json << "\n  ],\n  \"end_to_end\": [";
+
+  first = true;
+  const struct {
+    const char* name;
+    FloorplanTree tree;
+    OptimizerOptions opts;
+  } cases[] = {{"fp3_case1_exact", make_paper_floorplan(3, 1), exact_options()},
+               // FP4 exact exhausts the paper budget (the "-" rows of
+               // Table 4); bench case 3 with the paper's R+L knobs.
+               {"fp4_case3_rl", make_paper_floorplan(4, 3),
+                rl_selection_options(40, 50, 0.8, 256)}};
+  for (const auto& c : cases) {
+    const EndToEndSample s = bench_end_to_end(c.name, c.tree, c.opts);
+    const double speedup = ratio(s.scalar_seconds, s.avx2_seconds);
+    std::cout << s.name << ": scalar " << s.scalar_seconds << " s, avx2 " << s.avx2_seconds
+              << " s  (speedup " << speedup << ")\n";
+    json << (first ? "" : ",") << "\n    {\"name\": \"" << s.name
+         << "\", \"scalar_seconds\": " << s.scalar_seconds
+         << ", \"avx2_seconds\": " << s.avx2_seconds << ", \"speedup\": " << speedup
+         << ", \"run_report\": " << s.run_report_json << "}";
+    first = false;
+  }
+  json << "\n  ]\n}\n";
+
+  std::ofstream out("BENCH_kernels.json", std::ios::binary);
+  out << json.str();
+  std::cout << "\nwrote BENCH_kernels.json\n";
+  return 0;
+}

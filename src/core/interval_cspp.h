@@ -30,11 +30,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "geometry/types.h"
+#include "kernel/arena.h"
+#include "kernel/kernel.h"
+#include "kernel/sweep.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
 #include "telemetry/trace.h"
@@ -46,7 +52,74 @@ struct IntervalCsppResult {
   Weight weight = 0;
 };
 
+/// Weights that can materialize a whole predecessor row at once:
+/// fill_row(j, i_lo, i_end, out) writes out[t] = weight(i_lo + t, j) for
+/// t in [0, i_end - i_lo). The oracles in r_error.h / l_error.h model
+/// this; such weights take the SoA kernel path below (row fill + vector
+/// argmin), which is pinned bit-identical to the literal scan.
+template <typename W>
+concept RowFillWeight = requires(const W& w, std::size_t j, std::size_t i_lo,
+                                 std::size_t i_end, Weight* out) {
+  w.fill_row(j, i_lo, i_end, out);
+};
+
+/// Weights that can additionally run the whole DP relaxation fused:
+/// best_over_row(prev_row, j, i_lo, i_end) returns the first strict
+/// minimum of prev_row[t] + weight(i_lo + t, j) in one pass, no scratch
+/// row (r_error.h models this with the fused sweep kernel). Preferred
+/// over RowFillWeight on the AVX2 backend.
+template <typename W>
+concept RowArgminWeight = requires(const W& w, const Weight* prev_row, std::size_t j,
+                                   std::size_t i_lo, std::size_t i_end) {
+  { w.best_over_row(prev_row, j, i_lo, i_end) } -> std::same_as<kernel::RowArgmin>;
+};
+
 namespace detail {
+
+/// Best predecessor of j among i in [i_lo, i_end] (inclusive, non-empty):
+/// minimizes prev[i] + weight(i, j), first minimum winning, infinite
+/// prev[i] never winning. Row-fill weights batch the row into arena
+/// scratch and run the argmin kernel when the AVX2 backend is active; the
+/// kernel performs the identical per-element double addition and
+/// strict-< tie-break, and an infinite prev[i] stays infinite under the
+/// addition, so both branches return the same bits
+/// (tests/kernel_equivalence_test.cpp). On the scalar backend the fused
+/// literal loop below wins — batching pays a store/reload per element
+/// that only vector width amortizes — so `--kernel scalar` keeps the
+/// exact pre-kernel-pass code path and speed.
+template <typename WeightFn>
+std::pair<Weight, std::size_t> best_predecessor(const std::vector<Weight>& prev,
+                                                WeightFn& weight, std::size_t j,
+                                                std::size_t i_lo, std::size_t i_end) {
+  assert(i_lo <= i_end && i_end < j);
+  if constexpr (RowArgminWeight<std::remove_cvref_t<WeightFn>>) {
+    if (kernel::kernel_backend() == kernel::KernelBackend::Avx2) {
+      const kernel::RowArgmin best =
+          weight.best_over_row(prev.data() + i_lo, j, i_lo, i_end + 1);
+      return {best.value, i_lo + best.index};
+    }
+  } else if constexpr (RowFillWeight<std::remove_cvref_t<WeightFn>>) {
+    if (kernel::kernel_backend() == kernel::KernelBackend::Avx2) {
+      const std::size_t count = i_end - i_lo + 1;
+      kernel::ArenaScope scope(kernel::scratch_arena());
+      Weight* row = scope.alloc_array<Weight>(count);
+      weight.fill_row(j, i_lo, i_end + 1, row);
+      const kernel::RowArgmin best = kernel::argmin_add(prev.data() + i_lo, row, count);
+      return {best.value, i_lo + best.index};
+    }
+  }
+  Weight best = kInfiniteWeight;
+  std::size_t best_i = i_lo;
+  for (std::size_t i = i_lo; i <= i_end; ++i) {
+    if (prev[i] == kInfiniteWeight) continue;
+    const Weight cand = prev[i] + static_cast<Weight>(weight(i, j));
+    if (cand < best) {
+      best = cand;
+      best_i = i;
+    }
+  }
+  return {best, best_i};
+}
 
 /// Shared path-retrieval: parent[l][j] = predecessor of j on the best
 /// l-vertex path ending at j.
@@ -100,18 +173,9 @@ template <typename WeightFn>
     std::fill(cur.begin(), cur.end(), kInfiniteWeight);
     std::vector<std::uint32_t>& parent_row = parent[l];
     parallel_for(pool, j_lo, j_hi + 1, row_grain, [&](std::size_t j) {
-      Weight best = kInfiniteWeight;
-      std::uint32_t best_i = 0;
-      for (std::size_t i = l - 2; i < j; ++i) {
-        if (prev[i] == kInfiniteWeight) continue;
-        const Weight cand = prev[i] + static_cast<Weight>(weight(i, j));
-        if (cand < best) {
-          best = cand;
-          best_i = static_cast<std::uint32_t>(i);
-        }
-      }
+      const auto [best, best_i] = detail::best_predecessor(prev, weight, j, l - 2, j - 1);
       cur[j] = best;
-      parent_row[j] = best_i;
+      parent_row[j] = static_cast<std::uint32_t>(best_i);
     });
     std::swap(prev, cur);
   }
@@ -132,16 +196,8 @@ void monge_layer(const std::vector<Weight>& prev, std::vector<Weight>& cur,
   if (j_lo > j_hi) return;
   const std::size_t j_mid = j_lo + (j_hi - j_lo) / 2;
 
-  Weight best = kInfiniteWeight;
-  std::size_t best_i = i_lo;
-  const std::size_t i_end = std::min(i_hi, j_mid - 1);
-  for (std::size_t i = i_lo; i <= i_end; ++i) {
-    const Weight cand = prev[i] + static_cast<Weight>(weight(i, j_mid));
-    if (cand < best) {
-      best = cand;
-      best_i = i;
-    }
-  }
+  const auto [best, best_i] =
+      best_predecessor(prev, weight, j_mid, i_lo, std::min(i_hi, j_mid - 1));
   cur[j_mid] = best;
   parent_row[j_mid] = static_cast<std::uint32_t>(best_i);
 
@@ -169,16 +225,8 @@ void monge_layer_tasks(const std::vector<Weight>& prev, std::vector<Weight>& cur
       return;
     }
     const std::size_t j_mid = j_lo + (j_hi - j_lo) / 2;
-    Weight best = kInfiniteWeight;
-    std::size_t best_i = i_lo;
-    const std::size_t i_end = std::min(i_hi, j_mid - 1);
-    for (std::size_t i = i_lo; i <= i_end; ++i) {
-      const Weight cand = prev[i] + static_cast<Weight>(weight(i, j_mid));
-      if (cand < best) {
-        best = cand;
-        best_i = i;
-      }
-    }
+    const auto [best, best_i] =
+        best_predecessor(prev, weight, j_mid, i_lo, std::min(i_hi, j_mid - 1));
     cur[j_mid] = best;
     parent_row[j_mid] = static_cast<std::uint32_t>(best_i);
 

@@ -54,12 +54,13 @@ SelectionResult l_selection(const LList& chain, std::size_t k, const LSelectionO
 
   SelectionResult result;
   if (opts.metric == LpMetric::L1) {
+    // Passed as the weight directly: operator() + fill_row give the DP
+    // its batched two-pointer row path (see l_error.h).
     const L1ErrorOracle oracle(shapes);
-    const auto weight = [&oracle](std::size_t i, std::size_t j) { return oracle.error(i, j); };
     const IntervalCsppResult path =
         (opts.dp == SelectionDp::Generic)
-            ? interval_constrained_shortest_path(n, k, weight, pool)
-            : interval_constrained_shortest_path_monge(n, k, weight, pool);
+            ? interval_constrained_shortest_path(n, k, oracle, pool)
+            : interval_constrained_shortest_path_monge(n, k, oracle, pool);
     result = {path.indices, path.weight};
   } else {
     // Non-L1 metrics: the paper's table-based path (Compute_L_Error is the

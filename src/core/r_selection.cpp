@@ -23,15 +23,14 @@ SelectionResult r_selection(const RList& list, std::size_t k, SelectionDp dp,
   }
   assert(k >= 2 && "a reduced staircase must keep both endpoints");
 
+  // The oracle itself is the DP weight (operator() + fill_row), so the
+  // selector takes interval_cspp's batched SoA row path.
   const RErrorOracle oracle(list.impls());
-  const auto weight = [&oracle](std::size_t i, std::size_t j) {
-    return static_cast<Weight>(oracle.error(i, j));
-  };
 
   const IntervalCsppResult path =
       (dp == SelectionDp::Generic)
-          ? interval_constrained_shortest_path(n, k, weight, pool)
-          : interval_constrained_shortest_path_monge(n, k, weight, pool);
+          ? interval_constrained_shortest_path(n, k, oracle, pool)
+          : interval_constrained_shortest_path_monge(n, k, oracle, pool);
   const SelectionResult result{path.indices, path.weight};
 #if defined(FPOPT_VALIDATE)
   enforce(check_selection_certificate(list, result, k), "r_selection");

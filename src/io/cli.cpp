@@ -8,6 +8,7 @@
 #include "cache/memo_cache.h"
 #include "floorplan/serialize.h"
 #include "io/command.h"
+#include "kernel/kernel.h"
 #include "io/run_report_build.h"
 #include "io/svg.h"
 #include "optimize/optimizer.h"
@@ -41,6 +42,7 @@ struct ParsedArgs {
   bool show_stats = false;      // --stats: human-readable run report
   std::string stats_json_path;  // --stats-json: write the JSON run report
   std::string trace_path;       // --trace: write a Chrome trace-event JSON
+  kernel::KernelMode kernel_mode = kernel::KernelMode::Auto;  // --kernel
   // anneal:
   AnnealingOptions anneal;
   std::string netlist_path;
@@ -160,6 +162,13 @@ ParsedArgs parse_args(const std::vector<std::string>& args) {
       parsed.netlist_path = need_value();
     } else if (a == "--out") {
       parsed.out_path = need_value();
+    } else if (a == "--kernel" || a.rfind("--kernel=", 0) == 0) {
+      const std::string v = a == "--kernel" ? need_value() : a.substr(9);
+      const auto mode = kernel::parse_kernel_mode(v);
+      if (!mode) {
+        throw CliError{"unknown kernel '" + v + "' (expected scalar, avx2 or auto)"};
+      }
+      parsed.kernel_mode = *mode;
     } else if (a == "--metric") {
       const std::string& v = need_value();
       if (v == "l1") {
@@ -307,6 +316,7 @@ constexpr const char* kUsage =
     "  anneal <library-file> [--seed N --moves N --netlist F --lambda X --out F]\n"
     "  client --connect <socket> ...   (send requests to a running fpoptd; see docs/SERVICE.md)\n"
     "flags: --k1 N --k2 N --theta X --scap N --budget N --threads N --metric l1|l2|linf\n"
+    "       --kernel scalar|avx2|auto   (row-sweep backend; results are bit-identical)\n"
     "       --incremental [--cache-mb N]   (memo-cached re-optimization; see docs)\n"
     "       --stats (run-report table) --stats-json F (JSON run report; see docs §9)\n"
     "       --trace F (Chrome trace-event JSON of the run; see docs §10)\n";
@@ -329,6 +339,16 @@ int dispatch(const ParsedArgs& parsed, std::ostream& out) {
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   try {
     const ParsedArgs parsed = parse_args(args);
+    // Select the row-sweep backend for the whole process before any work
+    // runs. Outputs are bit-identical either way (kernel/sweep.h), so the
+    // flag is a performance/debugging knob, never a result knob — which is
+    // also why it is deliberately NOT recorded as trace meta: traces from
+    // both backends must diff clean (CI checks this).
+    if (!kernel::set_kernel_mode(parsed.kernel_mode)) {
+      throw CliError{std::string{"--kernel avx2 requested but this "} +
+                     (kernel::avx2_compiled() ? "CPU lacks AVX2"
+                                              : "build has FPOPT_AVX2=OFF")};
+    }
     if (parsed.trace_path.empty()) return dispatch(parsed, out);
 
     // Arm the trace for the whole command; the session must outlive every

@@ -1,0 +1,67 @@
+#include "kernel/arena.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fpopt::kernel {
+
+Arena::Arena(std::size_t initial_bytes) {
+  push_chunk(std::max<std::size_t>(initial_bytes, kAlign));
+  active_ = 0;
+}
+
+void Arena::push_chunk(std::size_t at_least) {
+  const std::size_t prev = chunks_.empty() ? 0 : chunks_.back().size;
+  const std::size_t size = std::max(at_least, prev * 2);
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(size + kAlign);
+  c.size = size;
+  c.used = 0;
+  chunks_.push_back(std::move(c));
+}
+
+void* Arena::allocate(std::size_t bytes) {
+  // Round every allocation up to the alignment quantum so the next bump
+  // stays aligned; the +kAlign slack in push_chunk absorbs the base offset.
+  const std::size_t need = (bytes + kAlign - 1) / kAlign * kAlign;
+  for (;;) {
+    Chunk& c = chunks_[active_];
+    void* base = c.data.get();
+    const auto addr = reinterpret_cast<std::uintptr_t>(base);
+    const std::size_t skew = (kAlign - addr % kAlign) % kAlign;
+    if (skew + c.used + need <= c.size + kAlign) {
+      void* out = c.data.get() + skew + c.used;
+      c.used += need;
+      return out;
+    }
+    if (active_ + 1 < chunks_.size() && chunks_[active_ + 1].size >= need) {
+      ++active_;
+      chunks_[active_].used = 0;
+      continue;
+    }
+    // Drop any retained-but-too-small successors and grow geometrically.
+    chunks_.resize(active_ + 1);
+    push_chunk(need);
+    ++active_;
+  }
+}
+
+void Arena::rewind(Mark m) {
+  assert(m.chunk <= active_ && m.chunk < chunks_.size());
+  for (std::size_t i = m.chunk + 1; i <= active_; ++i) chunks_[i].used = 0;
+  chunks_[m.chunk].used = m.used;
+  active_ = m.chunk;
+}
+
+std::size_t Arena::used() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i <= active_; ++i) total += chunks_[i].used;
+  return total;
+}
+
+Arena& scratch_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace fpopt::kernel

@@ -1,0 +1,73 @@
+#include "kernel/kernel.h"
+
+#include <atomic>
+
+namespace fpopt::kernel {
+namespace {
+
+/// Process-wide requested mode. Relaxed ordering is sufficient: the mode
+/// is configuration, not synchronization — it is set once at startup (or
+/// under a test guard) before the work it influences is launched, every
+/// load observes a valid enum regardless of ordering, and the dispatched
+/// backends are bit-identical anyway, so even a racy transition could not
+/// change any result.
+std::atomic<KernelMode> g_mode{KernelMode::Auto};
+
+bool detect_avx2() {
+#if defined(FPOPT_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool avx2_compiled() {
+#if defined(FPOPT_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_supported() {
+  // cpuid never changes while the process runs; cache the probe.
+  static const bool supported = detect_avx2();
+  return supported;
+}
+
+bool set_kernel_mode(KernelMode mode) {
+  if (mode == KernelMode::Avx2 && !avx2_supported()) return false;
+  g_mode.store(mode, std::memory_order_relaxed);  // see g_mode comment
+  return true;
+}
+
+KernelMode kernel_mode() {
+  return g_mode.load(std::memory_order_relaxed);  // see g_mode comment
+}
+
+KernelBackend kernel_backend() {
+  switch (kernel_mode()) {
+    case KernelMode::Scalar:
+      return KernelBackend::Scalar;
+    case KernelMode::Avx2:
+      return KernelBackend::Avx2;
+    case KernelMode::Auto:
+      break;
+  }
+  return avx2_supported() ? KernelBackend::Avx2 : KernelBackend::Scalar;
+}
+
+std::string_view kernel_backend_name() {
+  return kernel_backend() == KernelBackend::Avx2 ? "avx2" : "scalar";
+}
+
+std::optional<KernelMode> parse_kernel_mode(std::string_view text) {
+  if (text == "auto") return KernelMode::Auto;
+  if (text == "scalar") return KernelMode::Scalar;
+  if (text == "avx2") return KernelMode::Avx2;
+  return std::nullopt;
+}
+
+}  // namespace fpopt::kernel

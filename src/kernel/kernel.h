@@ -1,0 +1,69 @@
+// Kernel backend selection: scalar reference vs AVX2 vector paths.
+//
+// Every vectorized routine in this layer (sweep.h) is pinned bit-identical
+// to its scalar twin — "scalar is truth". The backend only decides *how*
+// a row is computed, never *what* it computes, so flipping it can never
+// change curves, selections, or OOM decisions (the kernel-equivalence
+// suite enforces this byte-for-byte over whole optimizer runs).
+//
+// Resolution order:
+//  * compile time: FPOPT_AVX2 (CMake option, default ON) gates whether the
+//    AVX2 translation unit is built at all;
+//  * run time: the process-wide mode (Auto by default) set via
+//    set_kernel_mode / the `--kernel scalar|avx2|auto` CLI flag, clamped
+//    by cpuid detection — Auto picks AVX2 exactly when the CPU has it.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace fpopt::kernel {
+
+/// Requested backend policy (process-wide).
+enum class KernelMode { Auto, Scalar, Avx2 };
+
+/// Concrete backend a dispatching kernel will run.
+enum class KernelBackend { Scalar, Avx2 };
+
+/// True when the AVX2 translation unit was compiled in (FPOPT_AVX2=ON).
+[[nodiscard]] bool avx2_compiled();
+
+/// True when both the build and the running CPU support AVX2.
+[[nodiscard]] bool avx2_supported();
+
+/// Sets the process-wide mode. Returns false (and leaves the mode
+/// unchanged) when Avx2 is requested but unavailable on this build/CPU.
+bool set_kernel_mode(KernelMode mode);
+
+/// The currently requested mode (Auto until set).
+[[nodiscard]] KernelMode kernel_mode();
+
+/// The backend dispatching kernels resolve to right now:
+/// Auto -> Avx2 iff avx2_supported(), explicit modes map directly.
+[[nodiscard]] KernelBackend kernel_backend();
+
+/// "scalar" or "avx2" — for reports and error messages.
+[[nodiscard]] std::string_view kernel_backend_name();
+
+/// Parses "scalar" / "avx2" / "auto"; nullopt on anything else.
+[[nodiscard]] std::optional<KernelMode> parse_kernel_mode(std::string_view text);
+
+/// RAII mode override for tests: restores the previous mode on scope exit.
+class KernelModeGuard {
+ public:
+  explicit KernelModeGuard(KernelMode mode) : previous_(kernel_mode()) {
+    applied_ = set_kernel_mode(mode);
+  }
+  ~KernelModeGuard() { set_kernel_mode(previous_); }
+  KernelModeGuard(const KernelModeGuard&) = delete;
+  KernelModeGuard& operator=(const KernelModeGuard&) = delete;
+
+  /// False when the requested mode was unavailable (mode left unchanged).
+  [[nodiscard]] bool applied() const { return applied_; }
+
+ private:
+  KernelMode previous_;
+  bool applied_ = false;
+};
+
+}  // namespace fpopt::kernel

@@ -1,0 +1,206 @@
+#include "kernel/sweep.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "kernel/kernel.h"
+
+namespace fpopt::kernel {
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations ("truth"). Every loop is written the way
+// the pre-SoA call sites iterated, so the kernels inherit their semantics
+// exactly: left-to-right scans, strict-< argmin updates, int64 arithmetic
+// with one final conversion where a Weight is produced.
+// ---------------------------------------------------------------------------
+
+RowArgmin argmin_add_scalar(const Weight* a, const Weight* b, std::size_t n) {
+  Weight best = kInfiniteWeight;
+  std::size_t best_i = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const Weight cand = a[t] + b[t];
+    if (cand < best) {
+      best = cand;
+      best_i = t;
+    }
+  }
+  return {best, best_i};
+}
+
+void r_error_row_scalar(const Dim* w, const Area* g, std::size_t n, Dim wj, Dim hj, Area gj,
+                        Weight* out) {
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] = static_cast<Weight>(hj * (w[t] - wj) - (gj - g[t]));
+  }
+}
+
+RowArgmin argmin_r_error_row_scalar(const Weight* prev, const Dim* w, const Area* g,
+                                    std::size_t n, Dim wj, Dim hj, Area gj) {
+  Weight best = kInfiniteWeight;
+  std::size_t best_i = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const Weight cand = prev[t] + static_cast<Weight>(hj * (w[t] - wj) - (gj - g[t]));
+    if (cand < best) {
+      best = cand;
+      best_i = t;
+    }
+  }
+  return {best, best_i};
+}
+
+void add_broadcast_scalar(const Dim* in, std::size_t n, Dim c, Dim* out) {
+  for (std::size_t t = 0; t < n; ++t) out[t] = in[t] + c;
+}
+
+void max_broadcast_scalar(const Dim* in, std::size_t n, Dim c, Dim* out) {
+  for (std::size_t t = 0; t < n; ++t) out[t] = std::max(in[t], c);
+}
+
+void max_add_broadcast_scalar(const Dim* a, const Dim* b, std::size_t n, Dim c, Dim* out) {
+  for (std::size_t t = 0; t < n; ++t) out[t] = std::max(a[t], b[t] + c);
+}
+
+void max_rows_scalar(const Dim* a, const Dim* b, std::size_t n, Dim* out) {
+  for (std::size_t t = 0; t < n; ++t) out[t] = std::max(a[t], b[t]);
+}
+
+std::optional<std::size_t> argmin_area_in_outline_scalar(const Dim* w, const Dim* h,
+                                                         std::size_t n, Dim max_w, Dim max_h) {
+  std::optional<std::size_t> best;
+  Area best_area = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (w[t] > max_w || h[t] > max_h) continue;
+    const Area area = w[t] * h[t];
+    if (!best || area < best_area) {
+      best = t;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+Dim min_max_side_scalar(const Dim* w, const Dim* h, std::size_t n) {
+  Dim best = std::numeric_limits<Dim>::max();
+  for (std::size_t t = 0; t < n; ++t) best = std::min(best, std::max(w[t], h[t]));
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// FPOPT_AVX2=OFF: the vector twins still have to link (the differential
+// tests call them unconditionally); forward to the truth.
+// ---------------------------------------------------------------------------
+
+#if !defined(FPOPT_AVX2)
+
+RowArgmin argmin_add_avx2(const Weight* a, const Weight* b, std::size_t n) {
+  return argmin_add_scalar(a, b, n);
+}
+
+void r_error_row_avx2(const Dim* w, const Area* g, std::size_t n, Dim wj, Dim hj, Area gj,
+                      Weight* out) {
+  r_error_row_scalar(w, g, n, wj, hj, gj, out);
+}
+
+RowArgmin argmin_r_error_row_avx2(const Weight* prev, const Dim* w, const Area* g,
+                                  std::size_t n, Dim wj, Dim hj, Area gj) {
+  return argmin_r_error_row_scalar(prev, w, g, n, wj, hj, gj);
+}
+
+void add_broadcast_avx2(const Dim* in, std::size_t n, Dim c, Dim* out) {
+  add_broadcast_scalar(in, n, c, out);
+}
+
+void max_broadcast_avx2(const Dim* in, std::size_t n, Dim c, Dim* out) {
+  max_broadcast_scalar(in, n, c, out);
+}
+
+void max_add_broadcast_avx2(const Dim* a, const Dim* b, std::size_t n, Dim c, Dim* out) {
+  max_add_broadcast_scalar(a, b, n, c, out);
+}
+
+void max_rows_avx2(const Dim* a, const Dim* b, std::size_t n, Dim* out) {
+  max_rows_scalar(a, b, n, out);
+}
+
+std::optional<std::size_t> argmin_area_in_outline_avx2(const Dim* w, const Dim* h,
+                                                       std::size_t n, Dim max_w, Dim max_h) {
+  return argmin_area_in_outline_scalar(w, h, n, max_w, max_h);
+}
+
+Dim min_max_side_avx2(const Dim* w, const Dim* h, std::size_t n) {
+  return min_max_side_scalar(w, h, n);
+}
+
+#endif  // !defined(FPOPT_AVX2)
+
+// ---------------------------------------------------------------------------
+// Dispatchers. The backend read is one relaxed atomic load; the branch is
+// trivially predicted because the mode never changes mid-run.
+// ---------------------------------------------------------------------------
+
+namespace {
+inline bool use_avx2() { return kernel_backend() == KernelBackend::Avx2; }
+}  // namespace
+
+RowArgmin argmin_add(const Weight* a, const Weight* b, std::size_t n) {
+  return use_avx2() ? argmin_add_avx2(a, b, n) : argmin_add_scalar(a, b, n);
+}
+
+void r_error_row(const Dim* w, const Area* g, std::size_t n, Dim wj, Dim hj, Area gj,
+                 Weight* out) {
+  if (use_avx2()) {
+    r_error_row_avx2(w, g, n, wj, hj, gj, out);
+  } else {
+    r_error_row_scalar(w, g, n, wj, hj, gj, out);
+  }
+}
+
+RowArgmin argmin_r_error_row(const Weight* prev, const Dim* w, const Area* g, std::size_t n,
+                             Dim wj, Dim hj, Area gj) {
+  return use_avx2() ? argmin_r_error_row_avx2(prev, w, g, n, wj, hj, gj)
+                    : argmin_r_error_row_scalar(prev, w, g, n, wj, hj, gj);
+}
+
+void add_broadcast(const Dim* in, std::size_t n, Dim c, Dim* out) {
+  if (use_avx2()) {
+    add_broadcast_avx2(in, n, c, out);
+  } else {
+    add_broadcast_scalar(in, n, c, out);
+  }
+}
+
+void max_broadcast(const Dim* in, std::size_t n, Dim c, Dim* out) {
+  if (use_avx2()) {
+    max_broadcast_avx2(in, n, c, out);
+  } else {
+    max_broadcast_scalar(in, n, c, out);
+  }
+}
+
+void max_add_broadcast(const Dim* a, const Dim* b, std::size_t n, Dim c, Dim* out) {
+  if (use_avx2()) {
+    max_add_broadcast_avx2(a, b, n, c, out);
+  } else {
+    max_add_broadcast_scalar(a, b, n, c, out);
+  }
+}
+
+void max_rows(const Dim* a, const Dim* b, std::size_t n, Dim* out) {
+  if (use_avx2()) {
+    max_rows_avx2(a, b, n, out);
+  } else {
+    max_rows_scalar(a, b, n, out);
+  }
+}
+
+std::optional<std::size_t> argmin_area_in_outline(const Dim* w, const Dim* h, std::size_t n,
+                                                  Dim max_w, Dim max_h) {
+  return use_avx2() ? argmin_area_in_outline_avx2(w, h, n, max_w, max_h)
+                    : argmin_area_in_outline_scalar(w, h, n, max_w, max_h);
+}
+
+Dim min_max_side(const Dim* w, const Dim* h, std::size_t n) {
+  return use_avx2() ? min_max_side_avx2(w, h, n) : min_max_side_scalar(w, h, n);
+}
+
+}  // namespace fpopt::kernel

@@ -1,0 +1,284 @@
+// AVX2 twins of the sweep kernels. This translation unit is the only one
+// compiled with -mavx2 (see src/kernel/CMakeLists.txt) and is only built
+// when FPOPT_AVX2=ON; callers reach it through the dispatchers in
+// sweep.cpp after the cpuid check in kernel.cpp, so no AVX2 instruction
+// ever executes on a CPU without the feature.
+//
+// Bit-identity notes (the proofs behind the sweep.h contract):
+//  * int64 lanes use add/cmpgt/blend; 64x64->64 low multiply is emulated
+//    from three 32x32->64 partial products (the standard mullo trick) and
+//    agrees with scalar multiplication for every operand pair;
+//  * argmin kernels keep per-lane first minima with a strict < blend and
+//    reduce lanes by (value, index) lexicographic order, reproducing the
+//    scalar scan's first-occurrence winner;
+//  * the double add in argmin_add is one _mm256_add_pd per element — the
+//    same single IEEE addition the scalar loop performs, in no different
+//    order, so not even rounding can diverge.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "kernel/sweep.h"
+
+namespace fpopt::kernel {
+namespace {
+
+inline __m256i load_i64(const Dim* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store_i64(Dim* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+/// max of signed 64-bit lanes (AVX2 has no native epi64 max).
+inline __m256i max_i64(__m256i a, __m256i b) {
+  return _mm256_blendv_epi8(b, a, _mm256_cmpgt_epi64(a, b));
+}
+
+inline __m256i min_i64(__m256i a, __m256i b) {
+  return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
+}
+
+/// Low 64 bits of a*b per lane: lo(a)lo(b) + ((lo(a)hi(b)+hi(a)lo(b))<<32).
+/// Identical to scalar int64 multiplication (both are mod-2^64 products).
+inline __m256i mul_i64(__m256i a, __m256i b) {
+  const __m256i b_swap = _mm256_shuffle_epi32(b, 0xB1);       // hi<->lo halves
+  const __m256i cross = _mm256_mullo_epi32(a, b_swap);        // lo*hi, hi*lo
+  const __m256i cross_sum = _mm256_hadd_epi32(cross, _mm256_setzero_si256());
+  const __m256i cross_hi = _mm256_shuffle_epi32(cross_sum, 0x73);  // into hi halves
+  const __m256i lo_lo = _mm256_mul_epu32(a, b);               // lo*lo, full 64
+  return _mm256_add_epi64(lo_lo, cross_hi);
+}
+
+/// Exact int64 -> double, full range (cvtepi64_pd needs AVX-512DQ). The
+/// value splits into a low-32 part encoded against 2^52 and a signed
+/// high-32 part encoded against 2^84 + 2^63; both encodings are exact,
+/// their mathematical sum is the original integer, and the one final
+/// add_pd performs the only rounding — so every lane equals the scalar
+/// static_cast<double> under the default round-to-nearest mode (the mode
+/// the whole program runs in; nothing here touches MXCSR).
+inline __m256d i64_to_f64(__m256i v) {
+  const __m256i magic_lo = _mm256_set1_epi64x(0x4330000000000000);    // 2^52
+  const __m256i magic_hi32 = _mm256_set1_epi64x(0x4530000080000000);  // 2^84 + 2^63
+  const __m256i magic_all = _mm256_set1_epi64x(0x4530000080100000);   // both + 2^52
+  const __m256i v_lo = _mm256_blend_epi32(magic_lo, v, 0b01010101);
+  const __m256i v_hi = _mm256_xor_si256(_mm256_srli_epi64(v, 32), magic_hi32);
+  const __m256d hi_dbl =
+      _mm256_sub_pd(_mm256_castsi256_pd(v_hi), _mm256_castsi256_pd(magic_all));
+  return _mm256_add_pd(hi_dbl, _mm256_castsi256_pd(v_lo));
+}
+
+}  // namespace
+
+RowArgmin argmin_add_avx2(const Weight* a, const Weight* b, std::size_t n) {
+  Weight best = kInfiniteWeight;
+  std::size_t best_i = 0;
+  std::size_t t = 0;
+  if (n >= 4) {
+    __m256d best_v = _mm256_set1_pd(kInfiniteWeight);
+    __m256i best_idx = _mm256_setzero_si256();
+    __m256i idx = _mm256_setr_epi64x(0, 1, 2, 3);
+    const __m256i four = _mm256_set1_epi64x(4);
+    for (; t + 4 <= n; t += 4) {
+      const __m256d cand = _mm256_add_pd(_mm256_loadu_pd(a + t), _mm256_loadu_pd(b + t));
+      const __m256d lt = _mm256_cmp_pd(cand, best_v, _CMP_LT_OQ);  // strict: first wins
+      best_v = _mm256_blendv_pd(best_v, cand, lt);
+      best_idx = _mm256_castpd_si256(
+          _mm256_blendv_pd(_mm256_castsi256_pd(best_idx), _mm256_castsi256_pd(idx), lt));
+      idx = _mm256_add_epi64(idx, four);
+    }
+    alignas(32) double lane_v[4];
+    alignas(32) std::int64_t lane_i[4];
+    _mm256_store_pd(lane_v, best_v);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane_i), best_idx);
+    for (int lane = 0; lane < 4; ++lane) {
+      const auto i = static_cast<std::size_t>(lane_i[lane]);
+      // Smallest value, ties to the smallest index: the global first
+      // occurrence, because each lane already holds its first minimum.
+      if (lane_v[lane] < best || (lane_v[lane] == best && i < best_i)) {
+        best = lane_v[lane];
+        best_i = i;
+      }
+    }
+  }
+  for (; t < n; ++t) {
+    // Tail indices exceed every vector index, so a plain strict < (never
+    // replacing on equality) preserves the first-occurrence rule.
+    const Weight cand = a[t] + b[t];
+    if (cand < best) {
+      best = cand;
+      best_i = t;
+    }
+  }
+  return {best, best_i};
+}
+
+void r_error_row_avx2(const Dim* w, const Area* g, std::size_t n, Dim wj, Dim hj, Area gj,
+                      Weight* out) {
+  const __m256i wj_v = _mm256_set1_epi64x(wj);
+  const __m256i hj_v = _mm256_set1_epi64x(hj);
+  const __m256i gj_v = _mm256_set1_epi64x(gj);
+  std::size_t t = 0;
+  for (; t + 4 <= n; t += 4) {
+    // hj*(w - wj) - (gj - g)  ==  hj*(w - wj) + (g - gj), exactly, in int64.
+    const __m256i strip = mul_i64(hj_v, _mm256_sub_epi64(load_i64(w + t), wj_v));
+    const __m256i err = _mm256_add_epi64(strip, _mm256_sub_epi64(load_i64(g + t), gj_v));
+    _mm256_storeu_pd(out + t, i64_to_f64(err));
+  }
+  for (; t < n; ++t) {
+    out[t] = static_cast<Weight>(hj * (w[t] - wj) - (gj - g[t]));
+  }
+}
+
+RowArgmin argmin_r_error_row_avx2(const Weight* prev, const Dim* w, const Area* g,
+                                  std::size_t n, Dim wj, Dim hj, Area gj) {
+  Weight best = kInfiniteWeight;
+  std::size_t best_i = 0;
+  std::size_t t = 0;
+  if (n >= 4) {
+    const __m256i wj_v = _mm256_set1_epi64x(wj);
+    const __m256i hj_v = _mm256_set1_epi64x(hj);
+    const __m256i gj_v = _mm256_set1_epi64x(gj);
+    __m256d best_v = _mm256_set1_pd(kInfiniteWeight);
+    __m256i best_idx = _mm256_setzero_si256();
+    __m256i idx = _mm256_setr_epi64x(0, 1, 2, 3);
+    const __m256i four = _mm256_set1_epi64x(4);
+    for (; t + 4 <= n; t += 4) {
+      // Same int64 row as r_error_row_avx2, converted and added to prev
+      // in-register: one rounding for the convert, one for the add —
+      // exactly the scalar loop's operations.
+      const __m256i strip = mul_i64(hj_v, _mm256_sub_epi64(load_i64(w + t), wj_v));
+      const __m256i err = _mm256_add_epi64(strip, _mm256_sub_epi64(load_i64(g + t), gj_v));
+      const __m256d cand = _mm256_add_pd(_mm256_loadu_pd(prev + t), i64_to_f64(err));
+      const __m256d lt = _mm256_cmp_pd(cand, best_v, _CMP_LT_OQ);  // strict: first wins
+      best_v = _mm256_blendv_pd(best_v, cand, lt);
+      best_idx = _mm256_castpd_si256(
+          _mm256_blendv_pd(_mm256_castsi256_pd(best_idx), _mm256_castsi256_pd(idx), lt));
+      idx = _mm256_add_epi64(idx, four);
+    }
+    alignas(32) double lane_v[4];
+    alignas(32) std::int64_t lane_i[4];
+    _mm256_store_pd(lane_v, best_v);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane_i), best_idx);
+    for (int lane = 0; lane < 4; ++lane) {
+      const auto i = static_cast<std::size_t>(lane_i[lane]);
+      if (lane_v[lane] < best || (lane_v[lane] == best && i < best_i)) {
+        best = lane_v[lane];
+        best_i = i;
+      }
+    }
+  }
+  for (; t < n; ++t) {
+    const Weight cand = prev[t] + static_cast<Weight>(hj * (w[t] - wj) - (gj - g[t]));
+    if (cand < best) {
+      best = cand;
+      best_i = t;
+    }
+  }
+  return {best, best_i};
+}
+
+void add_broadcast_avx2(const Dim* in, std::size_t n, Dim c, Dim* out) {
+  const __m256i c_v = _mm256_set1_epi64x(c);
+  std::size_t t = 0;
+  for (; t + 4 <= n; t += 4) store_i64(out + t, _mm256_add_epi64(load_i64(in + t), c_v));
+  for (; t < n; ++t) out[t] = in[t] + c;
+}
+
+void max_broadcast_avx2(const Dim* in, std::size_t n, Dim c, Dim* out) {
+  const __m256i c_v = _mm256_set1_epi64x(c);
+  std::size_t t = 0;
+  for (; t + 4 <= n; t += 4) store_i64(out + t, max_i64(load_i64(in + t), c_v));
+  for (; t < n; ++t) out[t] = std::max(in[t], c);
+}
+
+void max_add_broadcast_avx2(const Dim* a, const Dim* b, std::size_t n, Dim c, Dim* out) {
+  const __m256i c_v = _mm256_set1_epi64x(c);
+  std::size_t t = 0;
+  for (; t + 4 <= n; t += 4) {
+    store_i64(out + t, max_i64(load_i64(a + t), _mm256_add_epi64(load_i64(b + t), c_v)));
+  }
+  for (; t < n; ++t) out[t] = std::max(a[t], b[t] + c);
+}
+
+void max_rows_avx2(const Dim* a, const Dim* b, std::size_t n, Dim* out) {
+  std::size_t t = 0;
+  for (; t + 4 <= n; t += 4) store_i64(out + t, max_i64(load_i64(a + t), load_i64(b + t)));
+  for (; t < n; ++t) out[t] = std::max(a[t], b[t]);
+}
+
+std::optional<std::size_t> argmin_area_in_outline_avx2(const Dim* w, const Dim* h,
+                                                       std::size_t n, Dim max_w, Dim max_h) {
+  std::optional<std::size_t> best;
+  Area best_area = 0;
+  std::size_t t = 0;
+  if (n >= 4) {
+    const __m256i max_w_v = _mm256_set1_epi64x(max_w);
+    const __m256i max_h_v = _mm256_set1_epi64x(max_h);
+    __m256i lane_area = _mm256_setzero_si256();
+    __m256i lane_idx = _mm256_setzero_si256();
+    __m256i lane_empty = _mm256_set1_epi64x(-1);  // all lanes start empty
+    __m256i idx = _mm256_setr_epi64x(0, 1, 2, 3);
+    const __m256i four = _mm256_set1_epi64x(4);
+    for (; t + 4 <= n; t += 4) {
+      const __m256i w_v = load_i64(w + t);
+      const __m256i h_v = load_i64(h + t);
+      const __m256i infeasible = _mm256_or_si256(_mm256_cmpgt_epi64(w_v, max_w_v),
+                                                 _mm256_cmpgt_epi64(h_v, max_h_v));
+      const __m256i area = mul_i64(w_v, h_v);
+      // Update on: feasible && (lane empty || area < lane best) — the
+      // scalar rule, per index subsequence.
+      const __m256i better =
+          _mm256_or_si256(lane_empty, _mm256_cmpgt_epi64(lane_area, area));
+      const __m256i take = _mm256_andnot_si256(infeasible, better);
+      lane_area = _mm256_blendv_epi8(lane_area, area, take);
+      lane_idx = _mm256_blendv_epi8(lane_idx, idx, take);
+      lane_empty = _mm256_andnot_si256(take, lane_empty);
+      idx = _mm256_add_epi64(idx, four);
+    }
+    alignas(32) std::int64_t areas[4];
+    alignas(32) std::int64_t idxs[4];
+    alignas(32) std::int64_t empties[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(areas), lane_area);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), lane_idx);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(empties), lane_empty);
+    for (int lane = 0; lane < 4; ++lane) {
+      if (empties[lane] != 0) continue;
+      const auto i = static_cast<std::size_t>(idxs[lane]);
+      if (!best || areas[lane] < best_area || (areas[lane] == best_area && i < *best)) {
+        best = i;
+        best_area = areas[lane];
+      }
+    }
+  }
+  for (; t < n; ++t) {
+    if (w[t] > max_w || h[t] > max_h) continue;
+    const Area area = w[t] * h[t];
+    if (!best || area < best_area) {
+      best = t;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+Dim min_max_side_avx2(const Dim* w, const Dim* h, std::size_t n) {
+  Dim best = std::numeric_limits<Dim>::max();
+  std::size_t t = 0;
+  if (n >= 4) {
+    __m256i best_v = _mm256_set1_epi64x(best);
+    for (; t + 4 <= n; t += 4) {
+      best_v = min_i64(best_v, max_i64(load_i64(w + t), load_i64(h + t)));
+    }
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best_v);
+    for (int lane = 0; lane < 4; ++lane) best = std::min(best, lanes[lane]);
+  }
+  for (; t < n; ++t) best = std::min(best, std::max(w[t], h[t]));
+  return best;
+}
+
+}  // namespace fpopt::kernel

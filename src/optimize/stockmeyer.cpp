@@ -1,7 +1,37 @@
 #include "optimize/stockmeyer.h"
 
+#include "kernel/arena.h"
+#include "kernel/soa.h"
+#include "kernel/sweep.h"
+
 namespace fpopt {
 namespace {
+
+/// One Stockmeyer merge step, batched: the right-hand curve is gathered
+/// into SoA rows once, then each a_i produces its whole candidate row
+/// with two broadcast kernels (w/h roles swap with the slice direction).
+/// Candidates appear in the same (i, j) order as the scalar double loop,
+/// and RList::from_candidates prunes order-insensitively on top.
+RList merge_curves(const RList& a_curve, const RList& b_curve, bool vertical) {
+  std::vector<RectImpl> cands;
+  cands.reserve(a_curve.size() * b_curve.size());
+  kernel::Arena& arena = kernel::scratch_arena();
+  kernel::ArenaScope scope(arena);
+  const kernel::RCurveSoA bs = kernel::load_r_curve(arena, b_curve.impls());
+  Dim* ow = scope.alloc_array<Dim>(bs.n);
+  Dim* oh = scope.alloc_array<Dim>(bs.n);
+  for (const RectImpl& a : a_curve) {
+    if (vertical) {
+      kernel::add_broadcast(bs.w, bs.n, a.w, ow);  // a.w + b.w
+      kernel::max_broadcast(bs.h, bs.n, a.h, oh);  // max(a.h, b.h)
+    } else {
+      kernel::max_broadcast(bs.w, bs.n, a.w, ow);  // max(a.w, b.w)
+      kernel::add_broadcast(bs.h, bs.n, a.h, oh);  // a.h + b.h
+    }
+    for (std::size_t i = 0; i < bs.n; ++i) cands.push_back({ow[i], oh[i]});
+  }
+  return RList::from_candidates(std::move(cands));
+}
 
 std::optional<RList> curve_of(const FloorplanNode& node, const FloorplanTree& tree) {
   switch (node.kind) {
@@ -21,16 +51,7 @@ std::optional<RList> curve_of(const FloorplanNode& node, const FloorplanTree& tr
       acc = std::move(c);
       continue;
     }
-    std::vector<RectImpl> cands;
-    cands.reserve(acc->size() * c->size());
-    for (const RectImpl& a : *acc) {
-      for (const RectImpl& b : *c) {
-        cands.push_back(node.dir == SliceDir::Vertical
-                            ? RectImpl{a.w + b.w, std::max(a.h, b.h)}
-                            : RectImpl{std::max(a.w, b.w), a.h + b.h});
-      }
-    }
-    acc = RList::from_candidates(std::move(cands));
+    acc = merge_curves(*acc, *c, node.dir == SliceDir::Vertical);
   }
   return acc;
 }

@@ -1,0 +1,476 @@
+// Differential kernel-equivalence suite (ISSUE: SIMD + SoA kernel pass).
+//
+// "Scalar is truth": every AVX2 kernel in src/kernel/sweep.h must return
+// byte-identical results to its scalar twin on every input — including
+// empty rows, every tail length mod the vector width (0..17 covers two
+// full 4-lane blocks plus all remainders twice), ties, infinities and
+// large magnitudes. On top of the primitives, the suite pins
+//  * the oracles' batched fill_row rows against their per-query closed
+//    forms,
+//  * whole selections (kept indices + error bits) across backends,
+//  * whole optimizer runs (canonical artifact dump) across backends and
+//    thread counts, including the OOM/budget-abort decision,
+//  * the one float-order-sensitive path the audit found (the L2 error
+//    table's per-entry summation), against an explicit reference loop.
+//
+// On machines without AVX2 (or FPOPT_AVX2=OFF builds) the *_avx2 symbols
+// forward to scalar, so every test still runs and degrades to
+// scalar-vs-scalar; backend-switching tests additionally skip when the
+// Avx2 mode cannot be applied.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/l_error.h"
+#include "core/l_selection.h"
+#include "core/r_error.h"
+#include "core/r_selection.h"
+#include "kernel/kernel.h"
+#include "kernel/sweep.h"
+#include "optimize/artifact_dump.h"
+#include "optimize/optimizer.h"
+#include "runtime/thread_pool.h"
+#include "test_util.h"
+#include "workload/floorplans.h"
+#include "workload/rng.h"
+
+namespace fpopt {
+namespace {
+
+using kernel::KernelMode;
+using kernel::KernelModeGuard;
+
+/// Bitwise double comparison: NaN-safe, distinguishes -0.0 from 0.0 —
+/// stricter than ==, which is the point of the equivalence contract.
+bool same_bits(Weight a, Weight b) { return std::memcmp(&a, &b, sizeof(Weight)) == 0; }
+
+bool rows_same_bits(const std::vector<Weight>& a, const std::vector<Weight>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(Weight)) == 0);
+}
+
+/// Row lengths that cover n == 0, every AVX2 tail remainder twice over
+/// (0..17), and a few larger bulk sizes.
+std::vector<std::size_t> equivalence_lengths() {
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n <= 17; ++n) lengths.push_back(n);
+  lengths.insert(lengths.end(), {31, 32, 33, 100, 1000});
+  return lengths;
+}
+
+/// Weight generator biased toward collisions: small integers (ties),
+/// occasional infinities, occasional huge magnitudes.
+Weight random_weight(Pcg32& rng) {
+  const std::uint32_t shape = rng.below(8);
+  if (shape == 0) return kInfiniteWeight;
+  if (shape == 1) return static_cast<Weight>(rng.below(1u << 20)) * 4096.0;
+  return static_cast<Weight>(rng.below(16)) - 8.0;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive kernels, scalar twin vs AVX2 twin.
+// ---------------------------------------------------------------------------
+
+TEST(KernelEquivalence, ArgminAddEveryTailLength) {
+  Pcg32 rng(0x5eed0001);
+  for (const std::size_t n : equivalence_lengths()) {
+    for (int rep = 0; rep < 25; ++rep) {
+      std::vector<Weight> a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) a[i] = random_weight(rng);
+      for (std::size_t i = 0; i < n; ++i) b[i] = random_weight(rng);
+      const kernel::RowArgmin s = kernel::argmin_add_scalar(a.data(), b.data(), n);
+      const kernel::RowArgmin v = kernel::argmin_add_avx2(a.data(), b.data(), n);
+      ASSERT_EQ(s.index, v.index) << "n=" << n << " rep=" << rep;
+      ASSERT_TRUE(same_bits(s.value, v.value)) << "n=" << n << " rep=" << rep;
+    }
+  }
+}
+
+TEST(KernelEquivalence, ArgminAddTiesPickFirstIndex) {
+  // All-equal sums: the first index must win in both backends.
+  for (const std::size_t n : equivalence_lengths()) {
+    const std::vector<Weight> a(n, 3.0), b(n, -1.0);
+    const kernel::RowArgmin s = kernel::argmin_add_scalar(a.data(), b.data(), n);
+    const kernel::RowArgmin v = kernel::argmin_add_avx2(a.data(), b.data(), n);
+    EXPECT_EQ(s.index, 0u);
+    EXPECT_EQ(v.index, 0u);
+    EXPECT_TRUE(same_bits(s.value, v.value));
+  }
+  // Tie between a lane-0 element and a lane-2 element of a later block.
+  std::vector<Weight> a(11, 100.0), b(11, 0.0);
+  a[2] = 7.0;
+  a[6] = 7.0;  // same sum, later index: must lose
+  const kernel::RowArgmin s = kernel::argmin_add_scalar(a.data(), b.data(), 11);
+  const kernel::RowArgmin v = kernel::argmin_add_avx2(a.data(), b.data(), 11);
+  EXPECT_EQ(s.index, 2u);
+  EXPECT_EQ(v.index, 2u);
+}
+
+TEST(KernelEquivalence, ArgminAddAllInfinite) {
+  for (const std::size_t n : equivalence_lengths()) {
+    const std::vector<Weight> a(n, kInfiniteWeight);
+    std::vector<Weight> b(n, 0.0);
+    const kernel::RowArgmin s = kernel::argmin_add_scalar(a.data(), b.data(), n);
+    const kernel::RowArgmin v = kernel::argmin_add_avx2(a.data(), b.data(), n);
+    EXPECT_EQ(s.index, 0u);
+    EXPECT_EQ(v.index, 0u);
+    EXPECT_TRUE(same_bits(s.value, kInfiniteWeight));
+    EXPECT_TRUE(same_bits(v.value, kInfiniteWeight));
+  }
+}
+
+TEST(KernelEquivalence, RErrorRowEveryTailLength) {
+  Pcg32 rng(0x5eed0002);
+  for (const std::size_t n : equivalence_lengths()) {
+    for (int rep = 0; rep < 25; ++rep) {
+      // Magnitudes large enough to exercise the emulated 64-bit multiply's
+      // high partial products, small enough to stay clear of signed
+      // overflow (|hj * (w - wj)| < 2^61).
+      std::vector<Dim> w(n);
+      std::vector<Area> g(n);
+      const Dim wj = static_cast<Dim>(rng.below(1u << 20));
+      const Dim hj = static_cast<Dim>(rng.below(1u << 30)) + 1;
+      const Area gj = (static_cast<Area>(rng.below(1u << 30)) << 10);
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = wj + static_cast<Dim>(rng.below(1u << 30));
+        g[i] = (static_cast<Area>(rng.below(1u << 30)) << (rng.below(12)));
+      }
+      std::vector<Weight> out_s(n), out_v(n);
+      kernel::r_error_row_scalar(w.data(), g.data(), n, wj, hj, gj, out_s.data());
+      kernel::r_error_row_avx2(w.data(), g.data(), n, wj, hj, gj, out_v.data());
+      ASSERT_TRUE(rows_same_bits(out_s, out_v)) << "n=" << n << " rep=" << rep;
+    }
+  }
+}
+
+TEST(KernelEquivalence, FusedArgminRErrorRowEveryTailLength) {
+  // The fused DP relaxation must match both its own scalar twin and the
+  // two-kernel composition (row fill + argmin_add) bit for bit.
+  Pcg32 rng(0x5eed0009);
+  for (const std::size_t n : equivalence_lengths()) {
+    for (int rep = 0; rep < 25; ++rep) {
+      std::vector<Dim> w(n);
+      std::vector<Area> g(n);
+      std::vector<Weight> prev(n);
+      const Dim wj = static_cast<Dim>(rng.below(1u << 20));
+      const Dim hj = static_cast<Dim>(rng.below(1u << 30)) + 1;
+      const Area gj = (static_cast<Area>(rng.below(1u << 30)) << 10);
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = wj + static_cast<Dim>(rng.below(1u << 30));
+        g[i] = (static_cast<Area>(rng.below(1u << 30)) << (rng.below(12)));
+        prev[i] = rng.below(6) == 0 ? kInfiniteWeight
+                                    : static_cast<Weight>(rng.below(1u << 20));
+      }
+      const kernel::RowArgmin s =
+          kernel::argmin_r_error_row_scalar(prev.data(), w.data(), g.data(), n, wj, hj, gj);
+      const kernel::RowArgmin v =
+          kernel::argmin_r_error_row_avx2(prev.data(), w.data(), g.data(), n, wj, hj, gj);
+      ASSERT_EQ(s.index, v.index) << "n=" << n << " rep=" << rep;
+      ASSERT_TRUE(same_bits(s.value, v.value)) << "n=" << n << " rep=" << rep;
+
+      std::vector<Weight> row(n);
+      kernel::r_error_row_scalar(w.data(), g.data(), n, wj, hj, gj, row.data());
+      const kernel::RowArgmin two_pass = kernel::argmin_add_scalar(prev.data(), row.data(), n);
+      ASSERT_EQ(s.index, two_pass.index) << "n=" << n << " rep=" << rep;
+      ASSERT_TRUE(same_bits(s.value, two_pass.value)) << "n=" << n << " rep=" << rep;
+    }
+  }
+}
+
+TEST(KernelEquivalence, BroadcastKernelsEveryTailLength) {
+  Pcg32 rng(0x5eed0003);
+  const auto random_dim = [&rng] {
+    // Signed 61-bit magnitudes so a single add can never overflow.
+    const Area hi = static_cast<Area>(rng.below(1u << 29));
+    const Area lo = static_cast<Area>(rng.below(1u << 31));
+    const Area v = (hi << 31) | lo;
+    return static_cast<Dim>(rng.below(2) ? v : -v);
+  };
+  for (const std::size_t n : equivalence_lengths()) {
+    for (int rep = 0; rep < 10; ++rep) {
+      std::vector<Dim> a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) a[i] = random_dim();
+      for (std::size_t i = 0; i < n; ++i) b[i] = random_dim();
+      const Dim c = random_dim();
+      std::vector<Dim> s(n), v(n);
+
+      kernel::add_broadcast_scalar(a.data(), n, c, s.data());
+      kernel::add_broadcast_avx2(a.data(), n, c, v.data());
+      ASSERT_EQ(s, v) << "add_broadcast n=" << n;
+
+      kernel::max_broadcast_scalar(a.data(), n, c, s.data());
+      kernel::max_broadcast_avx2(a.data(), n, c, v.data());
+      ASSERT_EQ(s, v) << "max_broadcast n=" << n;
+
+      kernel::max_add_broadcast_scalar(a.data(), b.data(), n, c, s.data());
+      kernel::max_add_broadcast_avx2(a.data(), b.data(), n, c, v.data());
+      ASSERT_EQ(s, v) << "max_add_broadcast n=" << n;
+
+      kernel::max_rows_scalar(a.data(), b.data(), n, s.data());
+      kernel::max_rows_avx2(a.data(), b.data(), n, v.data());
+      ASSERT_EQ(s, v) << "max_rows n=" << n;
+    }
+  }
+}
+
+TEST(KernelEquivalence, OutlineArgminEveryTailLength) {
+  Pcg32 rng(0x5eed0004);
+  for (const std::size_t n : equivalence_lengths()) {
+    for (int rep = 0; rep < 25; ++rep) {
+      std::vector<Dim> w(n), h(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Small palette: forces duplicate dimensions, equal areas from
+        // different shapes (2x6 vs 3x4), and frequent infeasibility ties.
+        w[i] = 1 + static_cast<Dim>(rng.below(8));
+        h[i] = 1 + static_cast<Dim>(rng.below(8));
+      }
+      // Outline sweeps from "nothing fits" through "everything fits".
+      for (const Dim box : {Dim{0}, Dim{2}, Dim{4}, Dim{8}, Dim{100}}) {
+        const std::optional<std::size_t> s =
+            kernel::argmin_area_in_outline_scalar(w.data(), h.data(), n, box, box + 1);
+        const std::optional<std::size_t> v =
+            kernel::argmin_area_in_outline_avx2(w.data(), h.data(), n, box, box + 1);
+        ASSERT_EQ(s, v) << "n=" << n << " box=" << box;
+      }
+      if (n > 0) {
+        ASSERT_EQ(kernel::min_max_side_scalar(w.data(), h.data(), n),
+                  kernel::min_max_side_avx2(w.data(), h.data(), n))
+            << "n=" << n;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle rows: batched fill_row vs the per-query closed forms.
+// ---------------------------------------------------------------------------
+
+TEST(KernelEquivalence, RErrorOracleFillRowMatchesPerQuery) {
+  Pcg32 rng(0x5eed0005);
+  for (const KernelMode mode : {KernelMode::Scalar, KernelMode::Avx2}) {
+    KernelModeGuard guard(mode);
+    if (!guard.applied()) continue;  // no AVX2: the scalar pass covers it
+    for (const std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{17},
+                                std::size_t{40}, std::size_t{173}}) {
+      const RList list = test::random_r_list(n, rng);
+      const RErrorOracle oracle(list.impls());
+      for (std::size_t j = 1; j < n; ++j) {
+        const std::size_t i_lo = j >= 5 ? j / 2 : 0;
+        std::vector<Weight> row(j - i_lo);
+        oracle.fill_row(j, i_lo, j, row.data());
+        for (std::size_t t = 0; t < row.size(); ++t) {
+          ASSERT_TRUE(same_bits(row[t], oracle(i_lo + t, j)))
+              << "n=" << n << " j=" << j << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, L1OracleFillRowMatchesPerQueryEverySubrange) {
+  // The two-pointer row fill must choose the same split as error()'s
+  // upper_bound for every (j, i_lo) start, not just i_lo == 0.
+  Pcg32 rng(0x5eed0006);
+  for (const std::size_t n :
+       {std::size_t{2}, std::size_t{3}, std::size_t{9}, std::size_t{33}, std::size_t{120}}) {
+    const LList chain = test::random_l_chain(n, rng);
+    const L1ErrorOracle oracle(chain.shapes());
+    for (std::size_t j = 1; j < n; ++j) {
+      for (const std::size_t i_lo : {std::size_t{0}, j / 3, j - 1}) {
+        std::vector<Weight> row(j - i_lo);
+        oracle.fill_row(j, i_lo, j, row.data());
+        for (std::size_t t = 0; t < row.size(); ++t) {
+          ASSERT_TRUE(same_bits(row[t], oracle(i_lo + t, j)))
+              << "n=" << n << " j=" << j << " i_lo=" << i_lo << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole selections and whole optimizer runs across backends.
+// ---------------------------------------------------------------------------
+
+TEST(KernelEquivalence, SelectionsAreBackendInvariant) {
+  if (!kernel::avx2_supported()) GTEST_SKIP() << "no AVX2 on this build/CPU";
+  Pcg32 rng(0x5eed0007);
+  ThreadPool pool(4);
+  for (const std::size_t n : {std::size_t{12}, std::size_t{60}}) {
+    const RList list = test::random_r_list(n, rng);
+    const LList chain = test::random_l_chain(n, rng);
+    for (const std::size_t k : {std::size_t{2}, std::size_t{5}, n - 2}) {
+      for (const SelectionDp dp : {SelectionDp::Generic, SelectionDp::Monge}) {
+        for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+          SelectionResult r_scalar, r_avx2, l_scalar, l_avx2;
+          LSelectionOptions lopts;
+          lopts.dp = dp;
+          {
+            KernelModeGuard guard(KernelMode::Scalar);
+            r_scalar = r_selection(list, k, dp, p);
+            l_scalar = l_selection(chain, k, lopts, p);
+          }
+          {
+            KernelModeGuard guard(KernelMode::Avx2);
+            ASSERT_TRUE(guard.applied());
+            r_avx2 = r_selection(list, k, dp, p);
+            l_avx2 = l_selection(chain, k, lopts, p);
+          }
+          ASSERT_EQ(r_scalar.kept, r_avx2.kept) << "n=" << n << " k=" << k;
+          ASSERT_TRUE(same_bits(r_scalar.error, r_avx2.error)) << "n=" << n << " k=" << k;
+          ASSERT_EQ(l_scalar.kept, l_avx2.kept) << "n=" << n << " k=" << k;
+          ASSERT_TRUE(same_bits(l_scalar.error, l_avx2.error)) << "n=" << n << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+std::string dump_under_mode(const FloorplanTree& tree, const OptimizerOptions& opts,
+                            KernelMode mode) {
+  KernelModeGuard guard(mode);
+  EXPECT_TRUE(guard.applied());
+  return dump_outcome(tree, optimize_floorplan(tree, opts));
+}
+
+TEST(KernelEquivalence, EndToEndCorpusAcrossThreadCounts) {
+  if (!kernel::avx2_supported()) GTEST_SKIP() << "no AVX2 on this build/CPU";
+  WorkloadConfig cfg;
+  cfg.seed = 1;
+  cfg.impls_per_module = 5;
+  const struct {
+    const char* name;
+    FloorplanTree tree;
+  } corpus[] = {{"fp1", make_fp1(cfg)},
+                {"fp2", make_fp2(cfg)},
+                {"fp3", make_fp3(cfg)},
+                {"fp4", make_fp4(cfg)},
+                {"grid4x5", make_grid(4, 5, cfg)}};
+  for (const auto& fp : corpus) {
+    for (const std::size_t threads :
+         {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      OptimizerOptions opts;
+      opts.selection.k1 = 8;
+      opts.selection.k2 = 10;
+      opts.impl_budget = 0;
+      opts.threads = threads;
+      const std::string scalar = dump_under_mode(fp.tree, opts, KernelMode::Scalar);
+      const std::string avx2 = dump_under_mode(fp.tree, opts, KernelMode::Avx2);
+      ASSERT_EQ(scalar, avx2) << fp.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(KernelEquivalence, BudgetAbortDecisionIsBackendInvariant) {
+  if (!kernel::avx2_supported()) GTEST_SKIP() << "no AVX2 on this build/CPU";
+  WorkloadConfig cfg;
+  cfg.seed = 1;
+  cfg.impls_per_module = 5;
+  const FloorplanTree tree = make_fp3(cfg);
+  bool saw_abort = false, saw_success = false;
+  for (const std::size_t budget :
+       {std::size_t{50}, std::size_t{500}, std::size_t{5000}, std::size_t{5'000'000}}) {
+    OptimizerOptions opts;
+    opts.selection.k1 = 8;
+    opts.selection.k2 = 10;
+    opts.impl_budget = budget;
+    bool oom_scalar = false, oom_avx2 = false;
+    std::string dump_scalar, dump_avx2;
+    {
+      KernelModeGuard guard(KernelMode::Scalar);
+      const OptimizeOutcome outcome = optimize_floorplan(tree, opts);
+      oom_scalar = outcome.out_of_memory;
+      dump_scalar = dump_outcome(tree, outcome);
+    }
+    {
+      KernelModeGuard guard(KernelMode::Avx2);
+      ASSERT_TRUE(guard.applied());
+      const OptimizeOutcome outcome = optimize_floorplan(tree, opts);
+      oom_avx2 = outcome.out_of_memory;
+      dump_avx2 = dump_outcome(tree, outcome);
+    }
+    EXPECT_EQ(oom_scalar, oom_avx2) << "budget=" << budget;
+    EXPECT_EQ(dump_scalar, dump_avx2) << "budget=" << budget;
+    saw_abort |= oom_scalar;
+    saw_success |= !oom_scalar;
+  }
+  // The budget sweep must actually exercise both decisions, or the
+  // equality above proves nothing about abort points.
+  EXPECT_TRUE(saw_abort);
+  EXPECT_TRUE(saw_success);
+}
+
+// ---------------------------------------------------------------------------
+// Mode plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(KernelEquivalence, ModeParsingAndDispatch) {
+  EXPECT_EQ(kernel::parse_kernel_mode("auto"), KernelMode::Auto);
+  EXPECT_EQ(kernel::parse_kernel_mode("scalar"), KernelMode::Scalar);
+  EXPECT_EQ(kernel::parse_kernel_mode("avx2"), KernelMode::Avx2);
+  EXPECT_EQ(kernel::parse_kernel_mode("sse2"), std::nullopt);
+  EXPECT_EQ(kernel::parse_kernel_mode(""), std::nullopt);
+
+  const KernelMode before = kernel::kernel_mode();
+  {
+    KernelModeGuard guard(KernelMode::Scalar);
+    ASSERT_TRUE(guard.applied());  // scalar is always available
+    EXPECT_EQ(kernel::kernel_mode(), KernelMode::Scalar);
+    EXPECT_EQ(kernel::kernel_backend(), kernel::KernelBackend::Scalar);
+    EXPECT_EQ(kernel::kernel_backend_name(), "scalar");
+  }
+  EXPECT_EQ(kernel::kernel_mode(), before);  // guard restored
+
+  if (kernel::avx2_supported()) {
+    KernelModeGuard guard(KernelMode::Avx2);
+    ASSERT_TRUE(guard.applied());
+    EXPECT_EQ(kernel::kernel_backend(), kernel::KernelBackend::Avx2);
+    EXPECT_EQ(kernel::kernel_backend_name(), "avx2");
+  } else {
+    // Unavailable modes are refused without changing the active mode.
+    EXPECT_FALSE(kernel::set_kernel_mode(KernelMode::Avx2));
+    EXPECT_EQ(kernel::kernel_mode(), before);
+  }
+  EXPECT_TRUE(kernel::avx2_compiled() || !kernel::avx2_supported());
+}
+
+// ---------------------------------------------------------------------------
+// Float-accumulation-order audit (docs/ALGORITHMS.md §11): the only float
+// accumulation feeding determinism-sensitive results is the L2 error
+// table's per-entry sum. Its canonical order is q ascending; this pins it
+// (serial and pooled) against an explicit reference loop.
+// ---------------------------------------------------------------------------
+
+TEST(KernelEquivalence, L2ErrorTableSummationOrderIsCanonical) {
+  Pcg32 rng(0x5eed0008);
+  const std::size_t n = 40;
+  const LList chain = test::random_l_chain(n, rng);
+  const std::vector<LImpl> shapes = chain.shapes();
+
+  std::vector<Weight> want(n * (n - 1) / 2, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      Weight sum = 0;  // canonical order: q strictly ascending, one += per q
+      for (std::size_t q = i + 1; q < j; ++q) {
+        sum += std::min(l_dist(shapes[i], shapes[q], LpMetric::L2),
+                        l_dist(shapes[q], shapes[j], LpMetric::L2));
+      }
+      want[triangular_index(n, i, j)] = sum;
+    }
+  }
+
+  const std::vector<Weight> serial = compute_l_error_table(shapes, LpMetric::L2, nullptr);
+  ASSERT_TRUE(rows_same_bits(serial, want));
+
+  ThreadPool pool(4);
+  const std::vector<Weight> pooled = compute_l_error_table(shapes, LpMetric::L2, &pool);
+  ASSERT_TRUE(rows_same_bits(pooled, want));
+}
+
+}  // namespace
+}  // namespace fpopt

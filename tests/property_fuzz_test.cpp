@@ -13,7 +13,9 @@
 #include "core/l_selection.h"
 #include "core/r_selection.h"
 #include "geometry/staircase.h"
+#include "kernel/kernel.h"
 #include "optimize/combine.h"
+#include "optimize/curve_queries.h"
 #include "optimize/optimizer.h"
 #include "runtime/thread_pool.h"
 #include "shape/r_list.h"
@@ -310,6 +312,115 @@ TEST(ParallelFuzzTest, ParallelOptimizeArtifactsValidate) {
       EXPECT_EQ(p.lprov, s.lprov) << "node " << id;
     }
   }
+}
+
+// ---- kernel-backend fuzz ------------------------------------------------
+//
+// Satellite of the SIMD kernel pass: replay the combine/selection surfaces
+// under both kernel backends and require byte-identical results, leaning
+// on the shapes the row kernels care about — one-module lists (rows of
+// length 1, pure tail), equal-area ties (the argmin tie-break), and long
+// lists whose rows span many full vector blocks plus every tail. When the
+// build or CPU lacks AVX2 the Avx2 guard does not apply and the replay
+// degrades to scalar-vs-scalar.
+
+template <typename Fn>
+auto replay_under(kernel::KernelMode mode, Fn&& fn) {
+  kernel::KernelModeGuard guard(mode);
+  return fn();
+}
+
+TEST(KernelFuzzTest, DegenerateOneModuleListsMatchAcrossBackends) {
+  Pcg32 rng(1313);
+  BudgetTracker budget(0);
+  for (int iter = 0; iter < 10; ++iter) {
+    const RList d = random_r_list(1, rng);
+    const RList a = random_r_list(1, rng);
+    const RList e = random_r_list(1, rng);
+    const RList c = random_r_list(1, rng);
+    const RList b = random_r_list(1, rng);
+    const auto run = [&] {
+      OptimizerStats stats;
+      const LCombineResult stacked =
+          combine_wheel_stack(d, a, LPruning::PerChain, budget, stats);
+      const LCombineResult notched =
+          combine_wheel_fill_notch(stacked.set, e, LPruning::PerChain, budget, stats);
+      const LCombineResult extended =
+          combine_wheel_extend(notched.set, c, LPruning::PerChain, budget, stats);
+      RCombineResult closed = combine_wheel_close(extended.set, b, budget, stats);
+      const RCombineResult sliced = combine_slice(a, b, iter % 2 == 0, budget, stats);
+      closed.list = RList::from_candidates([&] {
+        std::vector<RectImpl> all(closed.list.begin(), closed.list.end());
+        all.insert(all.end(), sliced.list.begin(), sliced.list.end());
+        return all;
+      }());
+      return closed.list;
+    };
+    const RList scalar = replay_under(kernel::KernelMode::Scalar, run);
+    const RList avx2 = replay_under(kernel::KernelMode::Avx2, run);
+    EXPECT_EQ(scalar, avx2);
+    EXPECT_TRUE(check_r_list(scalar, "kernel-fuzz-degenerate").ok());
+  }
+}
+
+TEST(KernelFuzzTest, EqualAreaTiesMatchAcrossBackends) {
+  // Staircase whose corners share areas pairwise (24 = 12x2 = 8x3 = 6x4 =
+  // 4x6 = 3x8 = 2x12): every argmin in selection and the curve queries
+  // runs into value ties and must break them by first index identically.
+  const RList list = RList::from_sorted_unchecked(
+      std::vector<RectImpl>{{12, 2}, {8, 3}, {6, 4}, {4, 6}, {3, 8}, {2, 12}});
+  for (const std::size_t k : {std::size_t{2}, std::size_t{3}, std::size_t{4}}) {
+    for (const SelectionDp dp : {SelectionDp::Generic, SelectionDp::Monge}) {
+      const SelectionResult scalar = replay_under(kernel::KernelMode::Scalar,
+                                                  [&] { return r_selection(list, k, dp); });
+      const SelectionResult avx2 = replay_under(kernel::KernelMode::Avx2,
+                                                [&] { return r_selection(list, k, dp); });
+      EXPECT_EQ(scalar.kept, avx2.kept) << "k=" << k;
+      EXPECT_EQ(scalar.error, avx2.error) << "k=" << k;
+    }
+  }
+  for (const Dim box : {Dim{3}, Dim{6}, Dim{12}, Dim{24}}) {
+    const auto query = [&] { return best_in_outline(list, box, box); };
+    EXPECT_EQ(replay_under(kernel::KernelMode::Scalar, query),
+              replay_under(kernel::KernelMode::Avx2, query))
+        << "box=" << box;
+  }
+  const auto square = [&] { return smallest_square_side(list); };
+  EXPECT_EQ(replay_under(kernel::KernelMode::Scalar, square),
+            replay_under(kernel::KernelMode::Avx2, square));
+}
+
+TEST(KernelFuzzTest, LongListsMatchAcrossBackends) {
+  Pcg32 rng(1414);
+  BudgetTracker budget(0);
+  // Rows far past one vector block: 512-corner staircases and 300-element
+  // chains hit 128 full 4-lane blocks plus assorted tails as the DP layer
+  // bounds shift.
+  const RList list = random_r_list(512, rng, 3);
+  const LList chain = random_l_chain(300, rng, 3);
+  for (const SelectionDp dp : {SelectionDp::Generic, SelectionDp::Monge}) {
+    const auto run_r = [&] { return r_selection(list, 16, dp); };
+    const SelectionResult rs = replay_under(kernel::KernelMode::Scalar, run_r);
+    const SelectionResult rv = replay_under(kernel::KernelMode::Avx2, run_r);
+    EXPECT_EQ(rs.kept, rv.kept);
+    EXPECT_EQ(rs.error, rv.error);
+
+    LSelectionOptions lopts;
+    lopts.dp = dp;
+    const auto run_l = [&] { return l_selection(chain, 11, lopts); };
+    const SelectionResult ls = replay_under(kernel::KernelMode::Scalar, run_l);
+    const SelectionResult lv = replay_under(kernel::KernelMode::Avx2, run_l);
+    EXPECT_EQ(ls.kept, lv.kept);
+    EXPECT_EQ(ls.error, lv.error);
+  }
+  const RList a = random_r_list(200, rng, 3);
+  const RList b = random_r_list(200, rng, 3);
+  const auto run_slice = [&] {
+    OptimizerStats stats;
+    return combine_slice(a, b, false, budget, stats).list;
+  };
+  EXPECT_EQ(replay_under(kernel::KernelMode::Scalar, run_slice),
+            replay_under(kernel::KernelMode::Avx2, run_slice));
 }
 
 }  // namespace
