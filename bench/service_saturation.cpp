@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -46,7 +47,8 @@ WorkloadConfig bench_config() {
 }
 
 std::string request_frame(const std::string& id, const FloorplanTree& tree,
-                          const std::string& options_json, bool report = false) {
+                          const std::string& options_json, bool report = false,
+                          const std::string& extra_members = "") {
   std::string frame = "{\"fpopt_request\":{\"schema_version\":1,\"id\":" +
                       telemetry::json_quote(id) +
                       ",\"command\":\"optimize\",\"topology\":" +
@@ -54,6 +56,7 @@ std::string request_frame(const std::string& id, const FloorplanTree& tree,
                       telemetry::json_quote(to_module_library_string(tree.modules()));
   if (!options_json.empty()) frame += ",\"options\":{" + options_json + "}";
   if (report) frame += ",\"report\":true";
+  if (!extra_members.empty()) frame += "," + extra_members;
   frame += "}}";
   return frame;
 }
@@ -114,6 +117,98 @@ BatchResult run_batch(Service& service, const std::vector<std::string>& frames,
   return r;
 }
 
+struct MixedResult {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t deadline_candidates = 0;
+  std::uint64_t deadline_shed = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+/// The traffic-policy scenario: a gated service (max_inflight = 2) under
+/// 8 client workers, priorities round-robining 0/1/2 and every 8th
+/// request carrying a 1 ms deadline. Non-deadline requests must all
+/// answer ok; deadline requests may be shed with E_DEADLINE (whether any
+/// are depends on runner speed, so the count is reported, not gated).
+MixedResult run_mixed_priority(const FloorplanTree& fp1, const FloorplanTree& fp2,
+                               bool& failed) {
+  struct MixedFrame {
+    std::string frame;
+    bool has_deadline;
+  };
+  std::vector<MixedFrame> frames;
+  constexpr int kMixedRequests = 96;
+  for (int i = 0; i < kMixedRequests; ++i) {
+    const FloorplanTree& tree = (i % 2 == 0) ? fp1 : fp2;
+    const bool deadline = i % 8 == 7;
+    std::string extra = "\"priority\":" + std::to_string(i % 3);
+    if (deadline) extra += ",\"deadline_ms\":1";
+    const std::string options = (i % 4 < 2) ? "\"k1\":8,\"k2\":10,\"incremental\":true"
+                                            : "\"k1\":4,\"k2\":6,\"incremental\":true";
+    frames.push_back({request_frame("m" + std::to_string(i), tree, options,
+                                    /*report=*/false, extra),
+                      deadline});
+  }
+
+  ServiceConfig config;
+  config.max_inflight = 2;
+  Service service(config);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> ok_count{0};
+  std::atomic<bool> scenario_failed{false};
+  constexpr unsigned kWorkers = 8;
+  std::vector<std::vector<double>> latencies(kWorkers);
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      for (;;) {
+        // Queue ticket only; frames is read-only here, nothing to order.
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= frames.size()) break;
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string response = service.handle_frame(frames[i].frame);
+        const auto t1 = std::chrono::steady_clock::now();
+        latencies[w].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        if (response.find("\"status\":\"ok\"") != std::string::npos) {
+          // Counter only reports after the join below; nothing to order.
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // The only tolerated error is a shed deadline on a deadline frame.
+        if (!frames[i].has_deadline ||
+            response.find("\"code\":\"E_DEADLINE\"") == std::string::npos) {
+          std::cerr << "mixed-priority request failed: " << response << '\n';
+          // Flag only reports after the join below; nothing to order.
+          scenario_failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The joins above synchronize; these loads just read the settled values.
+  failed = scenario_failed.load(std::memory_order_relaxed);
+
+  MixedResult r;
+  r.requests = frames.size();
+  // The joins above synchronize; this just reads the settled count.
+  r.ok = ok_count.load(std::memory_order_relaxed);
+  for (const MixedFrame& f : frames) r.deadline_candidates += f.has_deadline ? 1 : 0;
+  r.deadline_shed = service.stats().requests_shed;
+  std::vector<double> all;
+  for (const std::vector<double>& per_worker : latencies) {
+    all.insert(all.end(), per_worker.begin(), per_worker.end());
+  }
+  std::sort(all.begin(), all.end());
+  r.p50_ms = percentile(all, 0.50);
+  r.p95_ms = percentile(all, 0.95);
+  r.p99_ms = percentile(all, 0.99);
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -161,6 +256,15 @@ int main() {
     }
   }
 
+  // Mixed-priority traffic through the dispatch gate (max_inflight = 2).
+  bool mixed_failed = false;
+  const MixedResult mixed = run_mixed_priority(fp1, fp2, mixed_failed);
+  std::printf(
+      "mixed-priority: %zu requests, %zu ok, %llu shed of %zu deadline candidates, "
+      "p50 %.3f ms, p99 %.3f ms\n",
+      mixed.requests, mixed.ok, static_cast<unsigned long long>(mixed.deadline_shed),
+      mixed.deadline_candidates, mixed.p50_ms, mixed.p99_ms);
+
   // Warm-cache hit rate of one fully warmed service (acceptance: > 0).
   Service warm_service(config);
   for (int round = 0; round < 2; ++round) {
@@ -193,10 +297,26 @@ int main() {
       << ",\n \"requests_per_batch\": " << batch.size() << ",\n \"runs\": [\n  "
       << runs_json.str() << "\n ]"
       << ",\n \"warm_cache_hit_rate\": " << telemetry::json_number(hit_rate)
+      << ",\n \"mixed_priority\": {\"requests\": " << mixed.requests
+      << ", \"ok\": " << mixed.ok
+      << ", \"deadline_candidates\": " << mixed.deadline_candidates
+      << ", \"deadline_shed\": " << mixed.deadline_shed
+      << ", \"p50_ms\": " << telemetry::json_number(mixed.p50_ms)
+      << ", \"p95_ms\": " << telemetry::json_number(mixed.p95_ms)
+      << ", \"p99_ms\": " << telemetry::json_number(mixed.p99_ms) << "}"
       << ",\n \"run_report\": {\"fpopt_run_report\": " << report->dump() << "}}\n";
   std::cout << "\nwrote BENCH_service.json\n";
   if (hit_rate <= 0) {
     std::cerr << "FAIL: warm shared-cache hit rate is zero\n";
+    return 1;
+  }
+  if (mixed_failed) {
+    std::cerr << "FAIL: mixed-priority scenario saw an unexpected error response\n";
+    return 1;
+  }
+  // Every answered request is accounted for: ok + shed == total.
+  if (mixed.ok + mixed.deadline_shed != mixed.requests) {
+    std::cerr << "FAIL: mixed-priority accounting mismatch\n";
     return 1;
   }
   return 0;

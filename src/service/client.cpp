@@ -1,6 +1,7 @@
 #include "service/client.h"
 
 #include <fcntl.h>
+#include <netdb.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -24,7 +25,8 @@ struct ClientError {
 };
 
 constexpr const char* kUsage =
-    "usage: fpopt client --connect <socket> [command ...]\n"
+    "usage: fpopt client --connect <endpoint> [command ...]\n"
+    "  <endpoint>: a Unix socket path, unix://<path>, or tcp://<host:port>\n"
     "  (no command)                      pipe JSONL request frames from stdin,\n"
     "                                    print response frames as they arrive\n"
     "  stats|optimize|place <topology-file> <library-file> [flags]\n"
@@ -32,7 +34,8 @@ constexpr const char* kUsage =
     "                                    standalone CLI's byte-exact output\n"
     "  ping | shutdown                   control verbs\n"
     "flags: --k1 N --k2 N --theta X --scap N --budget N --threads N\n"
-    "       --metric l1|l2|linf --incremental --cache-mb N --impl I --id S\n";
+    "       --metric l1|l2|linf --incremental --cache-mb N --impl I --id S\n"
+    "       --priority 0|1|2 --deadline-ms N\n";
 
 std::string read_file(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
@@ -55,6 +58,49 @@ int connect_unix(const std::string& path) {
     throw ClientError{"cannot connect to '" + path + "': " + reason};
   }
   return fd;
+}
+
+int connect_tcp(const std::string& host_port) {
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon + 1 == host_port.size()) {
+    throw ClientError{"tcp endpoint needs <host:port>, got '" + host_port + "'"};
+  }
+  std::string host = host_port.substr(0, colon);
+  const std::string port = host_port.substr(colon + 1);
+  if (host.size() >= 2 && host.front() == '[' && host.back() == ']') {
+    host = host.substr(1, host.size() - 2);
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &found);
+  if (gai != 0) {
+    throw ClientError{"cannot resolve '" + host_port + "': " + ::gai_strerror(gai)};
+  }
+  int fd = -1;
+  std::string reason = "no usable address";
+  for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    reason = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(found);
+  if (fd < 0) throw ClientError{"cannot connect to '" + host_port + "': " + reason};
+  return fd;
+}
+
+/// `--connect` endpoint: `tcp://host:port`, `unix://path`, or a bare
+/// Unix socket path (the historical form).
+int connect_endpoint(const std::string& target) {
+  constexpr const char* kTcp = "tcp://";
+  constexpr const char* kUnix = "unix://";
+  if (target.rfind(kTcp, 0) == 0) return connect_tcp(target.substr(std::strlen(kTcp)));
+  if (target.rfind(kUnix, 0) == 0) return connect_unix(target.substr(std::strlen(kUnix)));
+  return connect_unix(target);
 }
 
 /// Send `frames` (already newline-terminated as one byte stream) and
@@ -114,11 +160,13 @@ void pump(int fd, const std::string& outgoing, std::size_t expected, Fn&& on_res
 }
 
 struct ClientArgs {
-  std::string socket_path;
+  std::string endpoint;
   std::string command;  ///< empty = frames passthrough mode
   std::vector<std::string> positional;
   std::vector<std::pair<std::string, std::string>> options;  ///< JSON key -> token
   std::string id_json = "null";
+  std::string priority;     ///< top-level "priority" token; empty = omit
+  std::string deadline_ms;  ///< top-level "deadline_ms" token; empty = omit
 };
 
 /// JSON token for a numeric flag value; client-side validation is
@@ -145,9 +193,13 @@ ClientArgs parse_client_args(const std::vector<std::string>& args) {
       return args[++i];
     };
     if (a == "--connect") {
-      parsed.socket_path = need_value();
+      parsed.endpoint = need_value();
     } else if (a == "--id") {
       parsed.id_json = telemetry::json_quote(need_value());
+    } else if (a == "--priority") {
+      parsed.priority = number_token(a, need_value());
+    } else if (a == "--deadline-ms") {
+      parsed.deadline_ms = number_token(a, need_value());
     } else if (a == "--incremental") {
       parsed.options.emplace_back("incremental", "true");
     } else if (a == "--metric") {
@@ -166,7 +218,7 @@ ClientArgs parse_client_args(const std::vector<std::string>& args) {
       parsed.positional.push_back(a);
     }
   }
-  if (parsed.socket_path.empty()) throw ClientError{"--connect <socket> is required"};
+  if (parsed.endpoint.empty()) throw ClientError{"--connect <endpoint> is required"};
   return parsed;
 }
 
@@ -191,6 +243,8 @@ std::string build_request(const ClientArgs& parsed) {
       }
       body += '}';
     }
+    if (!parsed.priority.empty()) body += ",\"priority\":" + parsed.priority;
+    if (!parsed.deadline_ms.empty()) body += ",\"deadline_ms\":" + parsed.deadline_ms;
   }
   body += "}}";
   return body;
@@ -206,7 +260,7 @@ int run_frames_mode(const ClientArgs& parsed, std::istream& in, std::ostream& ou
     outgoing += f;
     outgoing += '\n';
   }
-  const int fd = connect_unix(parsed.socket_path);
+  const int fd = connect_endpoint(parsed.endpoint);
   try {
     pump(fd, outgoing, frames.size(),
          [&](const std::string& response) { out << response << '\n' << std::flush; });
@@ -220,7 +274,7 @@ int run_frames_mode(const ClientArgs& parsed, std::istream& in, std::ostream& ou
 
 int run_command_mode(const ClientArgs& parsed, std::ostream& out, std::ostream& err) {
   const std::string request = build_request(parsed) + "\n";
-  const int fd = connect_unix(parsed.socket_path);
+  const int fd = connect_endpoint(parsed.endpoint);
   std::string response;
   try {
     pump(fd, request, 1, [&](const std::string& line) { response = line; });

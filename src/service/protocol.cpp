@@ -1,5 +1,6 @@
 #include "service/protocol.h"
 
+#include <cmath>
 #include <limits>
 
 #include "telemetry/report_schema.h"
@@ -31,9 +32,13 @@ std::size_t option_uint(const std::string& name, const JsonValue& v) {
 }
 
 double option_double(const std::string& name, const JsonValue& v) {
-  if (!v.is_number()) {
+  // NaN/infinity must die here: the parser maps tokens like 1e999 to an
+  // infinite double, and NaN slips through ordered range checks (every
+  // comparison is false), so without this guard a NaN theta would reach
+  // the selection kernels. The CLI flag path rejects the same values.
+  if (!v.is_number() || !std::isfinite(v.number)) {
     throw DecodeFail{ServiceErrorCode::kOption,
-                     "option '" + name + "' must be a number"};
+                     "option '" + name + "' must be a finite number"};
   }
   return v.number;
 }
@@ -131,6 +136,10 @@ const char* to_string(ServiceErrorCode code) {
       return "E_BUDGET";
     case ServiceErrorCode::kOversized:
       return "E_OVERSIZED";
+    case ServiceErrorCode::kOverloaded:
+      return "E_OVERLOADED";
+    case ServiceErrorCode::kDeadline:
+      return "E_DEADLINE";
     case ServiceErrorCode::kInternal:
       return "E_INTERNAL";
   }
@@ -193,6 +202,32 @@ bool decode_request(const std::string& frame, ServiceRequest& out, ServiceError&
                            "request member 'report' must be a boolean"};
         }
         out.want_report = value.boolean;
+      } else if (key == "priority") {
+        if (control) {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "command '" + out.spec.command + "' takes no 'priority'"};
+        }
+        if (!value.is_number() || !value.is_integer || value.integer < 0 ||
+            value.integer > 2) {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "request member 'priority' must be an integer in 0..2 "
+                           "(2 = most urgent)"};
+        }
+        out.priority = static_cast<int>(value.integer);
+      } else if (key == "deadline_ms") {
+        if (control) {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "command '" + out.spec.command + "' takes no 'deadline_ms'"};
+        }
+        // Bounded so arrival + deadline can never overflow the clock.
+        constexpr std::int64_t kMaxDeadlineMs = 86'400'000;  // 24h
+        if (!value.is_number() || !value.is_integer || value.integer < 0 ||
+            value.integer > kMaxDeadlineMs) {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "request member 'deadline_ms' must be an integer in 0.." +
+                               std::to_string(kMaxDeadlineMs)};
+        }
+        out.deadline_ms = static_cast<std::uint64_t>(value.integer);
       } else if (key == "topology" || key == "library" || key == "options") {
         if (control) {
           throw DecodeFail{ServiceErrorCode::kSchema,
@@ -315,9 +350,10 @@ std::vector<std::string> validate_service_response(const telemetry::JsonValue& d
       fail("error response requires an object 'error'");
     } else {
       const JsonValue* code = err->find("code");
-      static const char* kCodes[] = {"E_PARSE",  "E_SCHEMA",    "E_COMMAND",
-                                     "E_OPTION", "E_INPUT",     "E_BUDGET",
-                                     "E_OVERSIZED", "E_INTERNAL"};
+      static const char* kCodes[] = {"E_PARSE",     "E_SCHEMA",     "E_COMMAND",
+                                     "E_OPTION",    "E_INPUT",      "E_BUDGET",
+                                     "E_OVERSIZED", "E_OVERLOADED", "E_DEADLINE",
+                                     "E_INTERNAL"};
       bool code_ok = false;
       if (code != nullptr && code->is_string()) {
         for (const char* c : kCodes) code_ok = code_ok || code->string == c;

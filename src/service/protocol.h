@@ -11,6 +11,8 @@
 //                  "metric": "l1"|"l2"|"linf", "budget": uint,
 //                  "threads": uint, "incremental": bool, "cache_mb": uint,
 //                  "impl": uint},                // all optional, CLI defaults
+//      "priority": 0 | 1 | 2,                    // dispatch urgency, default 1
+//      "deadline_ms": uint,                      // shed if not dispatched in time
 //      "report": bool}}                          // embed a run report
 //
 // Response (schema_version 1):
@@ -27,6 +29,8 @@
 // ServiceRequest or ServiceError on every replay.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,9 +48,11 @@ enum class ServiceErrorCode {
   kCommand,    ///< E_COMMAND: unknown command verb
   kOption,     ///< E_OPTION: option value out of range / wrong type
   kInput,      ///< E_INPUT: topology / library text fails to parse or validate
-  kBudget,     ///< E_BUDGET: run aborted over the implementation budget
-  kOversized,  ///< E_OVERSIZED: frame exceeds the server's max frame size
-  kInternal,   ///< E_INTERNAL: unexpected server-side failure
+  kBudget,      ///< E_BUDGET: run aborted over the implementation budget
+  kOversized,   ///< E_OVERSIZED: frame exceeds the server's max frame size
+  kOverloaded,  ///< E_OVERLOADED: server at its connection cap, connection refused
+  kDeadline,    ///< E_DEADLINE: request deadline expired before dispatch
+  kInternal,    ///< E_INTERNAL: unexpected server-side failure
 };
 
 [[nodiscard]] const char* to_string(ServiceErrorCode code);
@@ -71,6 +77,14 @@ struct ServiceRequest {
   /// True when the request set "budget" explicitly — the service's
   /// default implementation budget (admission control) applies otherwise.
   bool budget_set = false;
+  /// Dispatch urgency (0 lowest .. 2 most urgent, default 1). Only the
+  /// queue position in front of the shared pool depends on it; the
+  /// response bytes never do.
+  int priority = 1;
+  /// Relative dispatch deadline: if the request is still queued behind
+  /// the gate this many milliseconds after decode, it is shed with
+  /// E_DEADLINE instead of run. Absent = wait however long it takes.
+  std::optional<std::uint64_t> deadline_ms;
   /// True for the control verbs (ping / shutdown), which carry no
   /// topology or library.
   [[nodiscard]] bool is_control() const {

@@ -1,15 +1,20 @@
 #include "service/server.h"
 
+#include <netdb.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <istream>
 #include <ostream>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace fpopt {
@@ -18,6 +23,11 @@ namespace {
 /// Poll interval for shutdown-flag checks. Purely a liveness knob: how
 /// quickly a blocked transport notices the flag. No output depends on it.
 constexpr int kPollMillis = 100;
+
+/// Backoff when accept(2) fails with EMFILE/ENFILE: reaping finished
+/// connections frees their descriptors, and sleeping keeps the loop from
+/// burning a core on a condition only clients can clear.
+constexpr int kAcceptBackoffMillis = 50;
 
 bool write_all(int fd, const std::string& data) {
   std::size_t off = 0;
@@ -61,7 +71,116 @@ void connection_main(Service& service, int fd) {
   ::close(fd);
 }
 
+/// The accept loop both socket transports share: registry-bounded
+/// thread-per-connection, self-reaping, EMFILE backoff, drain on
+/// shutdown. Owns (and closes) `listen_fd`.
+int serve_listener(Service& service, int listen_fd, ConnectionRegistry& registry) {
+  while (!service.shutdown_requested()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0 && errno != EINTR) break;
+    // Join connection threads that exited since the last pass, so the
+    // thread count tracks live clients even while we sit idle.
+    registry.reap();
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE) {
+        registry.reap();
+        std::this_thread::sleep_for(std::chrono::milliseconds(kAcceptBackoffMillis));
+      }
+      continue;
+    }
+    if (!registry.spawn([&service, fd] { connection_main(service, fd); })) {
+      // Over the connection cap: one machine-readable refusal, then a
+      // clean close — the client sees why instead of a hang or a reset.
+      write_all(fd,
+                build_error_response(
+                    "null",
+                    {ServiceErrorCode::kOverloaded,
+                     "server is at its connection cap of " +
+                         std::to_string(registry.max_live()) +
+                         "; retry later or raise --max-connections"},
+                    "") +
+                    "\n");
+      ::close(fd);
+    }
+  }
+  registry.drain();
+  ::close(listen_fd);
+  return 0;
+}
+
 }  // namespace
+
+ConnectionRegistry::~ConnectionRegistry() { drain(); }
+
+bool ConnectionRegistry::spawn(std::function<void()> body) {
+  reap();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (max_live_ != 0 && live_.size() >= max_live_) {
+    ++rejected_;
+    return false;
+  }
+  const std::uint64_t id = next_id_++;
+  ++total_;
+  // finish() cannot race the emplace: it blocks on mu_ until we return.
+  live_.emplace(id, std::thread([this, id, body = std::move(body)] {
+                  body();
+                  finish(id);
+                }));
+  peak_live_ = std::max(peak_live_, live_.size());
+  return true;
+}
+
+void ConnectionRegistry::finish(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = live_.find(id);
+  // Moving our own handle out is fine — a std::thread object is only a
+  // handle; the thread itself exits right after this returns and the
+  // next reap() joins the (by then finished) handle.
+  finished_.push_back(std::move(it->second));
+  live_.erase(it);
+  cv_.notify_all();
+}
+
+void ConnectionRegistry::reap() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    done.swap(finished_);
+  }
+  for (std::thread& t : done) t.join();
+}
+
+void ConnectionRegistry::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return live_.empty(); });
+  std::vector<std::thread> done;
+  done.swap(finished_);
+  lk.unlock();
+  for (std::thread& t : done) t.join();
+}
+
+std::size_t ConnectionRegistry::live() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_.size();
+}
+
+std::size_t ConnectionRegistry::peak_live() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return peak_live_;
+}
+
+std::uint64_t ConnectionRegistry::total_spawned() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+std::uint64_t ConnectionRegistry::rejected() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rejected_;
+}
 
 int serve_stdio(Service& service, std::istream& in, std::ostream& out) {
   LineSplitter splitter(service.config().max_frame_bytes);
@@ -84,7 +203,8 @@ int serve_stdio(Service& service, std::istream& in, std::ostream& out) {
   return 0;
 }
 
-int serve_unix(Service& service, const std::string& socket_path, std::ostream& err) {
+int serve_unix(Service& service, const std::string& socket_path, std::ostream& err,
+               ConnectionRegistry* registry) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof addr.sun_path) {
@@ -92,6 +212,24 @@ int serve_unix(Service& service, const std::string& socket_path, std::ostream& e
     return 1;
   }
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  // Probe before replacing: a *live* daemon still answers connect(2) on
+  // its socket, and unlinking it would silently steal its clients. Only
+  // a stale file (connect refused / not a socket) may be replaced.
+  {
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const bool alive =
+          ::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0;
+      ::close(probe);
+      if (alive) {
+        err << "fpoptd: socket " << socket_path
+            << " is served by a live daemon; refusing to replace it (shut it "
+               "down first or pick another path)\n";
+        return 1;
+      }
+    }
+  }
 
   const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd < 0) {
@@ -106,20 +244,77 @@ int serve_unix(Service& service, const std::string& socket_path, std::ostream& e
     return 1;
   }
 
-  std::vector<std::thread> connections;
-  while (!service.shutdown_requested()) {
-    pollfd pfd{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollMillis);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) continue;
-    connections.emplace_back([&service, fd] { connection_main(service, fd); });
-  }
-  for (std::thread& t : connections) t.join();
-  ::close(listen_fd);
+  ConnectionRegistry local(service.config().max_connections);
+  const int rc = serve_listener(service, listen_fd, registry ? *registry : local);
   ::unlink(socket_path.c_str());
-  return 0;
+  return rc;
+}
+
+int serve_tcp(Service& service, const std::string& host_port, std::ostream& err,
+              ConnectionRegistry* registry,
+              std::function<void(unsigned short)> on_bound) {
+  // Split "host:port" at the last colon; "[v6::addr]:port" brackets are
+  // stripped, a leading-colon ":port" binds every interface.
+  const std::size_t colon = host_port.rfind(':');
+  if (colon == std::string::npos || colon + 1 == host_port.size()) {
+    err << "fpoptd: --listen needs <host:port>, got '" << host_port << "'\n";
+    return 1;
+  }
+  std::string host = host_port.substr(0, colon);
+  const std::string port = host_port.substr(colon + 1);
+  if (host.size() >= 2 && host.front() == '[' && host.back() == ']') {
+    host = host.substr(1, host.size() - 2);
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* found = nullptr;
+  const int gai =
+      ::getaddrinfo(host.empty() ? nullptr : host.c_str(), port.c_str(), &hints, &found);
+  if (gai != 0) {
+    err << "fpoptd: cannot resolve " << host_port << ": " << ::gai_strerror(gai) << '\n';
+    return 1;
+  }
+
+  int listen_fd = -1;
+  for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    listen_fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (listen_fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(listen_fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(listen_fd, SOMAXCONN) == 0) {
+      break;
+    }
+    ::close(listen_fd);
+    listen_fd = -1;
+  }
+  ::freeaddrinfo(found);
+  if (listen_fd < 0) {
+    err << "fpoptd: cannot listen on " << host_port << ": " << std::strerror(errno)
+        << '\n';
+    return 1;
+  }
+
+  if (on_bound) {
+    // Report the kernel-chosen port for ":0" binds before accepting.
+    sockaddr_storage bound{};
+    socklen_t len = sizeof bound;
+    unsigned short bound_port = 0;
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        bound_port = ntohs(reinterpret_cast<const sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        bound_port = ntohs(reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    on_bound(bound_port);
+  }
+
+  ConnectionRegistry local(service.config().max_connections);
+  return serve_listener(service, listen_fd, registry ? *registry : local);
 }
 
 }  // namespace fpopt

@@ -1,34 +1,118 @@
 // fpoptd transports: pump JSONL frames between clients and a Service.
 //
-// Two interchangeable front ends over the same Service::handle_frame:
+// Three interchangeable front ends over the same Service::handle_frame:
 //  * serve_stdio — one client on stdin/stdout; the test harness's and
 //    shell pipelines' transport (`fpoptd --stdio`).
 //  * serve_unix — an AF_UNIX stream socket, one thread per connection,
 //    many pipelined clients at once (`fpoptd --socket <path>`).
+//  * serve_tcp — the same thread-per-connection loop on a TCP listener
+//    (`fpoptd --listen <host:port>`), for multi-host traffic.
 //
-// Both resynchronize after an oversized frame (answer E_OVERSIZED, then
+// All resynchronize after an oversized frame (answer E_OVERSIZED, then
 // discard bytes to the next newline) and exit cleanly when a client sends
 // the shutdown command. The transports only move bytes; every decision
-// about a frame's meaning lives in the Service, so the two front ends
-// cannot diverge in behavior.
+// about a frame's meaning lives in the Service, so the front ends cannot
+// diverge in behavior.
+//
+// Connection lifecycle (both socket transports): every connection thread
+// registers in a ConnectionRegistry and removes itself on exit; the
+// accept loop joins finished threads between connections (no grow-only
+// thread vector), refuses connections past the configured cap with one
+// E_OVERLOADED response and a clean close, and backs off instead of
+// spinning when accept(2) runs out of file descriptors. Shutdown drains
+// the registry before the listener closes.
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "service/service.h"
 
 namespace fpopt {
+
+/// Bookkeeping for the thread-per-connection transports: a bounded set of
+/// live connection threads that reap themselves. A connection thread's
+/// last act is to hand its own std::thread handle to the finished list;
+/// the accept loop joins those handles between connections, so the live
+/// thread count tracks live clients instead of growing with every
+/// connection ever served. Header-exposed so the lifecycle tests can
+/// observe live/peak counts directly.
+class ConnectionRegistry {
+ public:
+  /// Cap of concurrently live connection threads (0 = unlimited).
+  explicit ConnectionRegistry(std::size_t max_live) : max_live_(max_live) {}
+  ~ConnectionRegistry();
+  ConnectionRegistry(const ConnectionRegistry&) = delete;
+  ConnectionRegistry& operator=(const ConnectionRegistry&) = delete;
+
+  /// Join already-finished threads, then start `body` on a registered
+  /// connection thread. Returns false (spawning nothing) at the cap.
+  [[nodiscard]] bool spawn(std::function<void()> body);
+
+  /// Join every thread that has already finished. Called by the accept
+  /// loop between connections; cheap when nothing finished.
+  void reap();
+
+  /// Block until every live connection thread has exited, then join them
+  /// all. The accept loop calls this once shutdown is requested (the
+  /// connection threads observe the same flag and drain out).
+  void drain();
+
+  [[nodiscard]] std::size_t max_live() const { return max_live_; }
+  /// Currently live connection threads.
+  [[nodiscard]] std::size_t live() const;
+  /// High-water mark of live(), over the registry's lifetime.
+  [[nodiscard]] std::size_t peak_live() const;
+  /// Every connection thread ever spawned.
+  [[nodiscard]] std::uint64_t total_spawned() const;
+  /// Connections refused at the cap.
+  [[nodiscard]] std::uint64_t rejected() const;
+
+ private:
+  void finish(std::uint64_t id);
+
+  const std::size_t max_live_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t peak_live_ = 0;
+  std::map<std::uint64_t, std::thread> live_;
+  std::vector<std::thread> finished_;  ///< exited, handle not yet joined
+};
 
 /// Serve one client on an istream/ostream pair until EOF or shutdown.
 /// Returns 0 (clean exit) — every request-level failure is an error
 /// response, not an exit code.
 int serve_stdio(Service& service, std::istream& in, std::ostream& out);
 
-/// Bind `socket_path` (an existing stale socket file is replaced) and
-/// serve connections until a shutdown request. Returns 0 on clean
-/// shutdown, 1 on transport setup failure (message on `err`).
-int serve_unix(Service& service, const std::string& socket_path, std::ostream& err);
+/// Bind `socket_path` and serve connections until a shutdown request.
+/// A stale socket file (no listener behind it) is replaced; a *live*
+/// daemon's socket — one that still answers connect(2) — is refused with
+/// a distinct error, never stolen. Returns 0 on clean shutdown, 1 on
+/// transport setup failure (message on `err`). `registry` overrides the
+/// internally-created one (cap `service.config().max_connections`) so
+/// tests can observe connection lifecycle.
+int serve_unix(Service& service, const std::string& socket_path, std::ostream& err,
+               ConnectionRegistry* registry = nullptr);
+
+/// Bind `host_port` ("127.0.0.1:7070", "[::1]:7070", ":7070" = all
+/// interfaces; port 0 = kernel-chosen) and serve TCP connections until a
+/// shutdown request, sharing the connection loop — and therefore every
+/// protocol behavior — with serve_unix. `on_bound` (when set) receives
+/// the actually-bound port before accepting begins. Returns 0 on clean
+/// shutdown, 1 on setup failure.
+int serve_tcp(Service& service, const std::string& host_port, std::ostream& err,
+              ConnectionRegistry* registry = nullptr,
+              std::function<void(unsigned short)> on_bound = nullptr);
 
 /// Incremental JSONL splitter with oversized-frame resynchronization:
 /// feed raw bytes, get complete lines back. Once a partial line exceeds

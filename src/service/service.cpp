@@ -6,7 +6,67 @@
 
 namespace fpopt {
 
-Service::Service(ServiceConfig config) : config_(config) {
+bool DispatchGate::acquire(int priority,
+                           const std::optional<Clock::time_point>& deadline) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // A deadline already in the past sheds unconditionally — "never runs"
+  // must hold even when a slot is free (deadline_ms: 0 is the
+  // deterministic always-shed request the tests lean on).
+  if (deadline.has_value() && Clock::now() >= *deadline) {  // FPOPT-LINT-OK(wall-clock): deadline shedding, traffic policy only
+    ++shed_;
+    return false;
+  }
+  if (slots_ == 0) return true;
+  const std::pair<int, std::uint64_t> me{-priority, next_seq_++};
+  queue_.insert(me);
+  const auto ready = [&] { return in_use_ < slots_ && *queue_.begin() == me; };
+  while (!ready()) {
+    if (deadline.has_value()) {
+      if (cv_.wait_until(lk, *deadline) == std::cv_status::timeout && !ready()) {
+        queue_.erase(me);
+        ++shed_;
+        // The slot this waiter was competing for may now belong to a
+        // lower-priority one; let the queue re-evaluate.
+        cv_.notify_all();
+        return false;
+      }
+    } else {
+      cv_.wait(lk);
+    }
+  }
+  queue_.erase(me);
+  ++in_use_;
+  // More than one slot may be free; wake the next-best waiter too.
+  cv_.notify_all();
+  return true;
+}
+
+void DispatchGate::release() {
+  if (slots_ == 0) return;  // unlimited gate: acquire took nothing
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --in_use_;
+  }
+  cv_.notify_all();
+}
+
+std::size_t DispatchGate::waiting() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+unsigned DispatchGate::in_use() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_use_;
+}
+
+std::uint64_t DispatchGate::shed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return shed_;
+}
+
+Service::Service(ServiceConfig config)
+    : config_(config), gate_(config.max_inflight) {
   if (config_.pool_workers > 0) pool_.emplace(config_.pool_workers);
   if (config_.shared_cache) cache_.emplace(config_.cache_bytes);
 }
@@ -17,6 +77,7 @@ ServiceStats Service::stats() const {
   s.requests_ok = requests_ok_.load(std::memory_order_relaxed);
   s.requests_error = requests_error_.load(std::memory_order_relaxed);
   s.frames = frames_.load(std::memory_order_relaxed);
+  s.requests_shed = gate_.shed();
   return s;
 }
 
@@ -74,6 +135,26 @@ std::string Service::handle_request(const ServiceRequest& request, bool& ok) {
   if (!request.budget_set && config_.default_impl_budget > 0) {
     spec.options.impl_budget = config_.default_impl_budget;
   }
+
+  // Dispatch gate, ahead of any per-request work: a shed request burns no
+  // parse or optimize cycles. The deadline is relative to decode time.
+  std::optional<DispatchGate::Clock::time_point> deadline;
+  if (request.deadline_ms.has_value()) {
+    deadline = DispatchGate::Clock::now() +  // FPOPT-LINT-OK(wall-clock): deadline anchor, traffic policy only
+               std::chrono::milliseconds(*request.deadline_ms);
+  }
+  if (!gate_.acquire(request.priority, deadline)) {
+    return build_error_response(
+        request.id_json,
+        {ServiceErrorCode::kDeadline,
+         "deadline of " + std::to_string(*request.deadline_ms) +
+             " ms expired before dispatch"},
+        "");
+  }
+  struct GateSlot {
+    DispatchGate& gate;
+    ~GateSlot() { gate.release(); }
+  } slot{gate_};
 
   FloorplanTree tree;
   try {

@@ -15,12 +15,24 @@
 // own BudgetTracker-driven admission: an over-budget run is rejected
 // with an E_BUDGET error response carrying the run report (aborted=true)
 // — the daemon never crashes or drops the connection for it.
+//
+// Run commands additionally pass a DispatchGate: with --max-inflight N
+// set, at most N requests execute concurrently, freed slots go to the
+// most urgent waiting request ("priority" 0..2), and a request whose
+// "deadline_ms" expires while still queued is shed with E_DEADLINE
+// before doing any work. Requests that set neither field behave exactly
+// as before — the gate can delay them but never changes their bytes.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "cache/shared_cache.h"
 #include "runtime/thread_pool.h"
@@ -45,6 +57,60 @@ struct ServiceConfig {
   /// Admission control: implementation budget applied to any request that
   /// does not set "budget" itself. 0 = unlimited (the CLI default).
   std::size_t default_impl_budget = 0;
+  /// Connection cap of the socket transports (Unix and TCP): a connection
+  /// accepted past this many live ones is answered E_OVERLOADED and
+  /// closed. 0 = unlimited.
+  std::size_t max_connections = 256;
+  /// Run-command requests executing at once; excess requests queue in the
+  /// priority-aware DispatchGate in front of the shared pool. 0 =
+  /// unlimited (no queuing, the gate is a pass-through).
+  unsigned max_inflight = 0;
+};
+
+/// Priority-aware admission queue in front of the shared ThreadPool: at
+/// most `slots` run-command requests execute at once; the rest wait, and
+/// each freed slot goes to the most urgent (then oldest) waiter. A waiter
+/// whose deadline expires before it is dispatched is shed (acquire
+/// returns false) and never runs. The gate orders only *dispatch*; the
+/// bytes of every dispatched response are unaffected by it.
+class DispatchGate {
+ public:
+  /// The gate's clock. Deadlines are traffic policy by design: they pick
+  /// which requests run, never what a dispatched request answers.
+  using Clock = std::chrono::steady_clock;  // FPOPT-LINT-OK(wall-clock): deadline shedding is time-driven traffic policy; response bytes of dispatched requests never depend on it
+
+  /// `slots` concurrent executions (0 = unlimited: acquire never blocks).
+  explicit DispatchGate(unsigned slots) : slots_(slots) {}
+  DispatchGate(const DispatchGate&) = delete;
+  DispatchGate& operator=(const DispatchGate&) = delete;
+
+  /// Block until a slot is free and no more urgent request is waiting.
+  /// Returns false — without ever dispatching — when `deadline` passed
+  /// first (including a deadline already expired on entry, even for an
+  /// unlimited gate). `priority` is 0..2, higher = dispatched earlier.
+  [[nodiscard]] bool acquire(int priority,
+                             const std::optional<Clock::time_point>& deadline);
+
+  /// Return the slot taken by a successful bounded acquire.
+  void release();
+
+  /// Requests currently blocked in acquire (test/stats observability).
+  [[nodiscard]] std::size_t waiting() const;
+  /// Slots currently held (0 when the gate is unlimited).
+  [[nodiscard]] unsigned in_use() const;
+  /// Requests shed because their deadline expired before dispatch.
+  [[nodiscard]] std::uint64_t shed() const;
+
+ private:
+  const unsigned slots_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned in_use_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t shed_ = 0;
+  /// Waiters as (-priority, arrival seq): the set's begin() is always the
+  /// most urgent, then oldest, waiter — the one a freed slot belongs to.
+  std::set<std::pair<int, std::uint64_t>> queue_;
 };
 
 /// Monotonic service counters (never reset; read with relaxed loads —
@@ -52,7 +118,8 @@ struct ServiceConfig {
 struct ServiceStats {
   std::uint64_t requests_ok = 0;
   std::uint64_t requests_error = 0;
-  std::uint64_t frames = 0;  ///< every frame seen, well-formed or not
+  std::uint64_t frames = 0;         ///< every frame seen, well-formed or not
+  std::uint64_t requests_shed = 0;  ///< E_DEADLINE: expired before dispatch
 };
 
 class Service {
@@ -78,11 +145,15 @@ class Service {
   [[nodiscard]] const SharedMemoCache* cache() const {
     return cache_.has_value() ? &*cache_ : nullptr;
   }
+  /// The dispatch gate every run-command request passes through (exposed
+  /// so tests can saturate it deterministically and stats can read it).
+  [[nodiscard]] DispatchGate& gate() { return gate_; }
 
  private:
   [[nodiscard]] std::string handle_request(const ServiceRequest& request, bool& ok);
 
   ServiceConfig config_;
+  DispatchGate gate_;
   std::optional<ThreadPool> pool_;
   std::optional<SharedMemoCache> cache_;
   std::atomic<bool> shutdown_{false};

@@ -370,5 +370,39 @@ TEST(ServiceEquivalence, ConcurrentRequestsMatchSerialBaseline) {
   }
 }
 
+TEST(ServiceEquivalence, DispatchGateNeverChangesResponseBytes) {
+  // Traffic policy (max_inflight, priority, deadline_ms) steers WHEN a
+  // request runs, never WHAT it answers: a gated service must produce
+  // byte-identical responses to an ungated one, both for requests that
+  // omit the new members entirely and for requests that carry them.
+  const Workload w = corpus_text(1);
+  const std::string plain =
+      request_frame("p1", "optimize", w, "\"k1\":8,\"k2\":10");
+  // The same request with traffic policy spliced in as top-level members.
+  const auto with_policy = [&](const std::string& id, const std::string& extra) {
+    std::string frame = request_frame(id, "optimize", w, "\"k1\":8,\"k2\":10");
+    frame.insert(frame.size() - 2, "," + extra);
+    return frame;
+  };
+
+  ServiceConfig ungated;
+  ungated.pool_workers = 2;
+  Service baseline(ungated);
+  const std::string expected = baseline.handle_frame(plain);
+
+  ServiceConfig gated_config = ungated;
+  gated_config.max_inflight = 1;
+  Service gated(gated_config);
+  EXPECT_EQ(gated.handle_frame(plain), expected);
+  // priority and a generous deadline never appear in the response; only
+  // the id differs, and the ids here are chosen equal to the baseline's.
+  EXPECT_EQ(gated.handle_frame(with_policy("p1", "\"priority\":2")), expected);
+  EXPECT_EQ(gated.handle_frame(with_policy("p1", "\"priority\":0,\"deadline_ms\":60000")),
+            expected);
+  // And an ungated service accepts the members too, with the same bytes.
+  EXPECT_EQ(baseline.handle_frame(with_policy("p1", "\"priority\":2,\"deadline_ms\":60000")),
+            expected);
+}
+
 }  // namespace
 }  // namespace fpopt

@@ -86,6 +86,34 @@ TEST(ServiceProtocol, DistinctErrorCodesPerFailureClass) {
       {"{\"fpopt_request\":{\"schema_version\":1,\"command\":\"optimize\","
        "\"topology\":\"((((\",\"library\":\"\"}}",
        "E_INPUT"},
+      // Non-finite doubles: 1e999 parses to +/-inf, and NaN would sail
+      // through ordered range checks (every comparison is false) — both
+      // must be rejected at the option layer, not poison the solver.
+      {"{\"fpopt_request\":{\"schema_version\":1,\"command\":\"optimize\","
+       "\"topology\":\"(V m0 m1)\",\"library\":\"\",\"options\":{\"theta\":1e999}}}",
+       "E_OPTION"},
+      {"{\"fpopt_request\":{\"schema_version\":1,\"command\":\"optimize\","
+       "\"topology\":\"(V m0 m1)\",\"library\":\"\",\"options\":{\"theta\":-1e999}}}",
+       "E_OPTION"},
+      {"{\"fpopt_request\":{\"schema_version\":1,\"command\":\"optimize\","
+       "\"topology\":\"(V m0 m1)\",\"library\":\"\",\"options\":{\"theta\":0}}}",
+       "E_OPTION"},  // theta must be in (0, 1]
+      // Traffic-policy members: integer 0..2 priority, bounded deadline,
+      // run commands only.
+      {"{\"fpopt_request\":{\"schema_version\":1,\"command\":\"optimize\","
+       "\"topology\":\"(V m0 m1)\",\"library\":\"\",\"priority\":3}}",
+       "E_SCHEMA"},
+      {"{\"fpopt_request\":{\"schema_version\":1,\"command\":\"optimize\","
+       "\"topology\":\"(V m0 m1)\",\"library\":\"\",\"priority\":\"high\"}}",
+       "E_SCHEMA"},
+      {"{\"fpopt_request\":{\"schema_version\":1,\"command\":\"optimize\","
+       "\"topology\":\"(V m0 m1)\",\"library\":\"\",\"deadline_ms\":-5}}",
+       "E_SCHEMA"},
+      {"{\"fpopt_request\":{\"schema_version\":1,\"command\":\"optimize\","
+       "\"topology\":\"(V m0 m1)\",\"library\":\"\",\"deadline_ms\":99999999999}}",
+       "E_SCHEMA"},  // over the 24h ceiling
+      {"{\"fpopt_request\":{\"schema_version\":1,\"command\":\"ping\",\"priority\":2}}",
+       "E_SCHEMA"},  // control verbs take no traffic policy
   };
   for (const auto& c : kCases) {
     EXPECT_EQ(error_code(service.handle_frame(c.frame)), c.code) << "frame: " << c.frame;

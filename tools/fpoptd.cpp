@@ -17,14 +17,20 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: fpoptd (--stdio | --socket <path>) [flags]\n"
+    "usage: fpoptd (--stdio | --socket <path> | --listen <host:port>) [flags]\n"
     "flags:\n"
     "  --workers N         shared thread-pool workers (default 0: per-request pools)\n"
     "  --no-shared-cache   per-request cold caches instead of the shared store\n"
     "  --cache-mb N        shared-cache byte budget in MiB (default 64)\n"
     "  --max-frame-mb N    reject request frames larger than N MiB (default 8)\n"
     "  --default-budget N  implementation budget for requests that set none\n"
-    "                      (admission control; default 0: unlimited)\n";
+    "                      (admission control; default 0: unlimited)\n"
+    "  --max-connections N live socket connections; over-cap connects are\n"
+    "                      answered E_OVERLOADED and closed (default 256,\n"
+    "                      0: unlimited)\n"
+    "  --max-inflight N    run-command requests executing at once; the rest\n"
+    "                      queue by priority, expired deadlines are shed\n"
+    "                      with E_DEADLINE (default 0: unlimited)\n";
 
 struct DaemonError {
   std::string message;
@@ -51,6 +57,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
   bool stdio = false;
   std::string socket_path;
+  std::string listen_hostport;
   fpopt::ServiceConfig config;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -63,6 +70,8 @@ int main(int argc, char** argv) {
         stdio = true;
       } else if (a == "--socket") {
         socket_path = need_value();
+      } else if (a == "--listen") {
+        listen_hostport = need_value();
       } else if (a == "--workers") {
         config.pool_workers = static_cast<unsigned>(parse_uint(a, need_value()));
       } else if (a == "--no-shared-cache") {
@@ -83,6 +92,10 @@ int main(int argc, char** argv) {
         config.max_frame_bytes = static_cast<std::size_t>(mb) << 20;
       } else if (a == "--default-budget") {
         config.default_impl_budget = static_cast<std::size_t>(parse_uint(a, need_value()));
+      } else if (a == "--max-connections") {
+        config.max_connections = static_cast<std::size_t>(parse_uint(a, need_value()));
+      } else if (a == "--max-inflight") {
+        config.max_inflight = static_cast<unsigned>(parse_uint(a, need_value()));
       } else if (a == "--help" || a == "help") {
         std::cout << kUsage;
         return 0;
@@ -90,8 +103,12 @@ int main(int argc, char** argv) {
         throw DaemonError{"unknown flag " + a};
       }
     }
-    if (stdio ? !socket_path.empty() : socket_path.empty()) {
-      throw DaemonError{"exactly one of --stdio or --socket <path> is required"};
+    const int transports = static_cast<int>(stdio) +
+                           static_cast<int>(!socket_path.empty()) +
+                           static_cast<int>(!listen_hostport.empty());
+    if (transports != 1) {
+      throw DaemonError{
+          "exactly one of --stdio, --socket <path> or --listen <host:port> is required"};
     }
   } catch (const DaemonError& e) {
     std::cerr << "fpoptd: " << e.message << '\n' << kUsage;
@@ -100,5 +117,8 @@ int main(int argc, char** argv) {
 
   fpopt::Service service(config);
   if (stdio) return fpopt::serve_stdio(service, std::cin, std::cout);
+  if (!listen_hostport.empty()) {
+    return fpopt::serve_tcp(service, listen_hostport, std::cerr);
+  }
   return fpopt::serve_unix(service, socket_path, std::cerr);
 }
