@@ -33,6 +33,7 @@
 #include "service/protocol.h"
 #include "service/service.h"
 #include "telemetry/json.h"
+#include "telemetry/log.h"
 #include "workload/floorplans.h"
 
 namespace {
@@ -265,6 +266,73 @@ int main() {
       mixed.requests, mixed.ok, static_cast<unsigned long long>(mixed.deadline_shed),
       mixed.deadline_candidates, mixed.p50_ms, mixed.p99_ms);
 
+  // Observability overhead: the same warm batch through three services —
+  // the daemon default (metrics registry live, logging off), the full
+  // surface (metrics plus info-level structured logging into a
+  // discarding stream, i.e. formatting cost only), and both disabled at
+  // runtime. Rounds interleave the configurations so machine drift hits
+  // all three equally; best-of-3 each. The deltas are reported, not
+  // gated here — single-run noise easily exceeds the budget, and the
+  // ≤2% acceptance is judged on the recorded numbers.
+  double rps_metrics = 0;
+  double rps_full = 0;
+  double rps_plain = 0;
+  {
+    std::ostream null_stream(nullptr);  // badbit sink: formatting cost only
+    telemetry::LogSink log(null_stream, telemetry::LogLevel::kInfo);
+    struct OverheadConfig {
+      bool metrics;
+      bool logging;
+      double* best_rps;
+    };
+    const OverheadConfig overhead_configs[] = {
+        {true, false, &rps_metrics}, {true, true, &rps_full}, {false, false, &rps_plain}};
+    for (int round = 0; round < 3; ++round) {
+      for (const OverheadConfig& c : overhead_configs) {
+        ServiceConfig oc;
+        oc.metrics = c.metrics;
+        oc.log = c.logging ? &log : nullptr;
+        Service service(oc);
+        for (const std::string& v : variants) (void)service.handle_frame(v);
+        const BatchResult r = run_batch(service, batch, 4);
+        *c.best_rps =
+            std::max(*c.best_rps, static_cast<double>(batch.size()) / r.seconds);
+      }
+    }
+  }
+  const auto overhead_pct = [](double on, double off) {
+    return off > 0 ? (off - on) / off * 100.0 : 0.0;
+  };
+  std::printf(
+      "observability overhead: metrics-only %.1f req/s (%+.2f%%), metrics+log %.1f req/s "
+      "(%+.2f%%), off %.1f req/s\n",
+      rps_metrics, overhead_pct(rps_metrics, rps_plain), rps_full,
+      overhead_pct(rps_full, rps_plain), rps_plain);
+
+  // Post-run metrics snapshot from an instrumented service that served
+  // the whole batch — embedded so fpopt_report_check --metrics validates
+  // the bench artifact end to end.
+  std::string metrics_block = "null";
+  {
+    Service service{ServiceConfig{}};
+    for (const std::string& v : variants) (void)service.handle_frame(v);
+    (void)run_batch(service, batch, 4);
+    const std::string metrics_response = service.handle_frame(
+        "{\"fpopt_request\":{\"schema_version\":1,\"command\":\"metrics\"}}");
+    const telemetry::JsonParseResult mdoc = telemetry::parse_json(metrics_response);
+    if (!mdoc.value.has_value()) {
+      std::cerr << "unparseable metrics response: " << mdoc.error << '\n';
+      return 1;
+    }
+    const std::string& snapshot = mdoc.value->find("fpopt_response")->find("output")->string;
+    const telemetry::JsonParseResult sdoc = telemetry::parse_json(snapshot);
+    if (!sdoc.value.has_value()) {
+      std::cerr << "unparseable metrics snapshot: " << sdoc.error << '\n';
+      return 1;
+    }
+    metrics_block = sdoc.value->find("fpopt_metrics")->dump();
+  }
+
   // Warm-cache hit rate of one fully warmed service (acceptance: > 0).
   Service warm_service(config);
   for (int round = 0; round < 2; ++round) {
@@ -304,6 +372,15 @@ int main() {
       << ", \"p50_ms\": " << telemetry::json_number(mixed.p50_ms)
       << ", \"p95_ms\": " << telemetry::json_number(mixed.p95_ms)
       << ", \"p99_ms\": " << telemetry::json_number(mixed.p99_ms) << "}"
+      << ",\n \"observability_overhead\": {\"requests_per_sec_metrics\": "
+      << telemetry::json_number(rps_metrics)
+      << ", \"requests_per_sec_metrics_log\": " << telemetry::json_number(rps_full)
+      << ", \"requests_per_sec_off\": " << telemetry::json_number(rps_plain)
+      << ", \"metrics_overhead_pct\": "
+      << telemetry::json_number(overhead_pct(rps_metrics, rps_plain))
+      << ", \"metrics_log_overhead_pct\": "
+      << telemetry::json_number(overhead_pct(rps_full, rps_plain)) << "}"
+      << ",\n \"metrics\": {\"fpopt_metrics\": " << metrics_block << "}"
       << ",\n \"run_report\": {\"fpopt_run_report\": " << report->dump() << "}}\n";
   std::cout << "\nwrote BENCH_service.json\n";
   if (hit_rate <= 0) {

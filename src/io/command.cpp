@@ -5,6 +5,7 @@
 #include "floorplan/serialize.h"
 #include "io/run_report_build.h"
 #include "telemetry/json.h"
+#include "telemetry/trace.h"
 
 namespace fpopt {
 
@@ -47,6 +48,12 @@ OptimizeOutcome optimize_for_command(const CommandSpec& spec, const FloorplanTre
     add_command_config(*report, spec);
     report_optimizer(*report, result);
     if (cache != nullptr) report_cache(*report, cache->stats());
+    // When the run is being traced, surface ring-buffer overflow in the
+    // report: a nonzero count means the Chrome trace is incomplete and
+    // fpopt_trace check will warn about it.
+    if (const telemetry::TraceSession* session = telemetry::TraceSession::current()) {
+      report->add_counter("trace.events_dropped", session->dropped_events());
+    }
     if (env.report_ready) env.report_ready();
   }
   if (result.out_of_memory) {

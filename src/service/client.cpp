@@ -33,9 +33,19 @@ constexpr const char* kUsage =
     "                                    run one remote command; prints the\n"
     "                                    standalone CLI's byte-exact output\n"
     "  ping | shutdown                   control verbs\n"
+    "  metrics [--format json|prometheus]\n"
+    "                                    print the daemon's metrics snapshot\n"
+    "  trace [--pick recent|slowest|list]\n"
+    "                                    print a retained request trace\n"
     "flags: --k1 N --k2 N --theta X --scap N --budget N --threads N\n"
     "       --metric l1|l2|linf --incremental --cache-mb N --impl I --id S\n"
-    "       --priority 0|1|2 --deadline-ms N\n";
+    "       --priority 0|1|2 --deadline-ms N --trace\n";
+
+/// True for the verbs that carry no topology/library payload.
+bool is_control_verb(const std::string& command) {
+  return command == "ping" || command == "shutdown" || command == "metrics" ||
+         command == "trace";
+}
 
 std::string read_file(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
@@ -167,6 +177,9 @@ struct ClientArgs {
   std::string id_json = "null";
   std::string priority;     ///< top-level "priority" token; empty = omit
   std::string deadline_ms;  ///< top-level "deadline_ms" token; empty = omit
+  std::string format;       ///< metrics verb: "json"/"prometheus"; empty = omit
+  std::string pick;         ///< trace verb: "recent"/"slowest"/"list"; empty = omit
+  bool trace = false;       ///< run commands: request a server-side trace capture
 };
 
 /// JSON token for a numeric flag value; client-side validation is
@@ -200,6 +213,12 @@ ClientArgs parse_client_args(const std::vector<std::string>& args) {
       parsed.priority = number_token(a, need_value());
     } else if (a == "--deadline-ms") {
       parsed.deadline_ms = number_token(a, need_value());
+    } else if (a == "--format") {
+      parsed.format = need_value();
+    } else if (a == "--pick") {
+      parsed.pick = need_value();
+    } else if (a == "--trace") {
+      parsed.trace = true;
     } else if (a == "--incremental") {
       parsed.options.emplace_back("incremental", "true");
     } else if (a == "--metric") {
@@ -227,7 +246,10 @@ std::string build_request(const ClientArgs& parsed) {
                      std::to_string(kServiceSchemaVersion) +
                      ",\"id\":" + parsed.id_json +
                      ",\"command\":" + telemetry::json_quote(parsed.command);
-  if (parsed.command != "ping" && parsed.command != "shutdown") {
+  if (is_control_verb(parsed.command)) {
+    if (!parsed.format.empty()) body += ",\"format\":" + telemetry::json_quote(parsed.format);
+    if (!parsed.pick.empty()) body += ",\"pick\":" + telemetry::json_quote(parsed.pick);
+  } else {
     if (parsed.positional.size() < 2) {
       throw ClientError{"command '" + parsed.command +
                         "' needs <topology-file> <library-file>"};
@@ -245,6 +267,7 @@ std::string build_request(const ClientArgs& parsed) {
     }
     if (!parsed.priority.empty()) body += ",\"priority\":" + parsed.priority;
     if (!parsed.deadline_ms.empty()) body += ",\"deadline_ms\":" + parsed.deadline_ms;
+    if (parsed.trace) body += ",\"trace\":true";
   }
   body += "}}";
   return body;
@@ -298,12 +321,27 @@ int run_command_mode(const ClientArgs& parsed, std::ostream& out, std::ostream& 
     return 0;
   }
   const telemetry::JsonValue* error = r.find("error");
-  err << "fpopt: " << error->find("message")->string << " ["
-      << error->find("code")->string << "]\n";
-  return 2;
+  const std::string& code = error->find("code")->string;
+  err << "fpopt: " << error->find("message")->string << " [" << code << "]\n";
+  return client_exit_code(code);
 }
 
 }  // namespace
+
+int client_exit_code(const std::string& error_code) {
+  // Keep this table in sync with the header comment and the exit-code
+  // test table in service_observability_test.cpp.
+  if (error_code == "E_INPUT") return 3;
+  if (error_code == "E_OPTION") return 4;
+  if (error_code == "E_BUDGET") return 5;
+  if (error_code == "E_DEADLINE") return 6;
+  if (error_code == "E_OVERLOADED") return 7;
+  if (error_code == "E_OVERSIZED") return 8;
+  if (error_code == "E_SCHEMA") return 9;
+  if (error_code == "E_COMMAND") return 10;
+  if (error_code == "E_PARSE") return 11;
+  return 12;  // E_INTERNAL and anything a newer daemon invents
+}
 
 int run_client(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
                std::ostream& err) {

@@ -10,8 +10,10 @@
 //    --k1 8 ...`): builds one request from the standalone CLI's flag
 //    surface, sends it, and prints the response's output field — which
 //    the service guarantees is byte-identical to standalone `fpopt`
-//    stdout. Error responses render as `fpopt: <message>` on stderr with
-//    exit code 2, mirroring the standalone tool.
+//    stdout. Error responses render as one `fpopt: <message> [<code>]`
+//    line on stderr with a distinct exit code per error class (see
+//    client_exit_code), so shell scripts can branch on *why* a request
+//    failed without parsing stderr.
 #pragma once
 
 #include <iosfwd>
@@ -20,8 +22,22 @@
 
 namespace fpopt {
 
+/// Exit code for a server error envelope, by its E_* code string. Each
+/// error class gets its own code so callers can distinguish retryable
+/// congestion from caller bugs:
+///
+///   0  success                        7  E_OVERLOADED  (retryable)
+///   2  client-side usage/transport    8  E_OVERSIZED
+///   3  E_INPUT                        9  E_SCHEMA
+///   4  E_OPTION                      10  E_COMMAND
+///   5  E_BUDGET                      11  E_PARSE
+///   6  E_DEADLINE  (retryable)       12  E_INTERNAL
+///
+/// Unknown code strings (a newer daemon) map to 12.
+[[nodiscard]] int client_exit_code(const std::string& error_code);
+
 /// Run the client on argv-style arguments (the leading "client" verb
-/// excluded). Returns the process exit code.
+/// excluded). Returns the process exit code (see client_exit_code).
 int run_client(const std::vector<std::string>& args, std::istream& in, std::ostream& out,
                std::ostream& err);
 

@@ -1,0 +1,133 @@
+#include "service/metrics.h"
+
+#include <string>
+
+namespace fpopt {
+namespace {
+
+constexpr const char* kOutcomeHelp =
+    "Frames handled, by result (ok or the E_* error code answered)";
+
+/// Registration order of the outcome label values: index 0 = ok, then
+/// the E_* codes in enum order (outcome_index below must agree).
+const char* outcome_label(int index) {
+  if (index == 0) return "ok";
+  return to_string(static_cast<ServiceErrorCode>(index - 1));
+}
+
+int outcome_index(bool ok, ServiceErrorCode code) {
+  if (ok) return 0;
+  return 1 + static_cast<int>(code);
+}
+
+}  // namespace
+
+ServiceMetrics::ServiceMetrics(const DispatchGate& gate, const SharedMemoCache* cache) {
+  for (int i = 0; i < kOutcomes; ++i) {
+    outcomes_[i] =
+        &registry_.counter("fpoptd_requests_total", kOutcomeHelp, "outcome", outcome_label(i));
+  }
+  registry_.counter_fn(
+      "fpoptd_requests_shed_total",
+      "Requests shed because their deadline expired before dispatch (E_DEADLINE)",
+      [&gate] { return gate.shed(); });
+  request_seconds_ = &registry_.histogram("fpoptd_request_seconds",
+                                          "End-to-end frame handling latency in seconds");
+  execute_seconds_ = &registry_.histogram(
+      "fpoptd_execute_seconds", "Execute-phase latency of dispatched run requests in seconds");
+  for (int p = 0; p < 3; ++p) {
+    queue_wait_[p] =
+        &registry_.histogram("fpoptd_queue_wait_seconds",
+                             "Time dispatched requests spent blocked in the dispatch gate",
+                             "priority", std::to_string(p));
+  }
+  for (int p = 0; p < 3; ++p) {
+    registry_.gauge_fn(
+        "fpoptd_queue_depth", "Requests currently waiting in the dispatch gate",
+        [&gate, p] {
+          return static_cast<double>(gate.waiting_by_priority()[static_cast<std::size_t>(p)]);
+        },
+        "priority",
+        std::to_string(p));
+  }
+  registry_.gauge_fn("fpoptd_inflight", "Run requests currently executing", [this] {
+    // relaxed: monitoring read of a commutative counter.
+    return static_cast<double>(executing_.load(std::memory_order_relaxed));
+  });
+  registry_.gauge_fn("fpoptd_gate_in_use", "Bounded-gate execution slots currently held",
+                     [&gate] { return static_cast<double>(gate.in_use()); });
+
+  registry_.gauge_fn("fpoptd_connections_live", "Live connection threads", [this] {
+    std::lock_guard<std::mutex> lock(attach_mu_);
+    return connections_ != nullptr ? static_cast<double>(connections_->live()) : 0.0;
+  });
+  registry_.counter_fn("fpoptd_connections_total", "Connections ever accepted",
+                       [this]() -> std::uint64_t {
+                         std::lock_guard<std::mutex> lock(attach_mu_);
+                         return connections_ != nullptr ? connections_->total_spawned() : 0;
+                       });
+  registry_.counter_fn("fpoptd_connections_rejected_total",
+                       "Connections refused at the connection cap (E_OVERLOADED)",
+                       [this]() -> std::uint64_t {
+                         std::lock_guard<std::mutex> lock(attach_mu_);
+                         return connections_ != nullptr ? connections_->rejected() : 0;
+                       });
+
+  const struct {
+    const char* family;
+    const char* help;
+    std::size_t MemoCacheStats::*field;
+  } kCacheCounters[] = {
+      {"fpoptd_cache_hits_total", "Shared memo-cache hits", &MemoCacheStats::hits},
+      {"fpoptd_cache_misses_total", "Shared memo-cache misses", &MemoCacheStats::misses},
+      {"fpoptd_cache_insertions_total", "Shared memo-cache insertions",
+       &MemoCacheStats::insertions},
+      {"fpoptd_cache_evictions_total", "Shared memo-cache evictions (byte budget)",
+       &MemoCacheStats::evictions},
+  };
+  for (const auto& row : kCacheCounters) {
+    auto field = row.field;
+    registry_.counter_fn(row.family, row.help, [cache, field]() -> std::uint64_t {
+      return cache != nullptr ? cache->stats().*field : 0;
+    });
+  }
+  registry_.gauge_fn("fpoptd_cache_bytes", "Shared memo-cache footprint in bytes", [cache] {
+    return cache != nullptr ? static_cast<double>(cache->bytes()) : 0.0;
+  });
+  registry_.gauge_fn("fpoptd_cache_peak_bytes", "Largest shared memo-cache footprint ever held",
+                     [cache] {
+                       return cache != nullptr ? static_cast<double>(cache->stats().peak_bytes)
+                                               : 0.0;
+                     });
+
+  trace_events_dropped_ = &registry_.counter(
+      "fpoptd_trace_events_dropped_total",
+      "Trace events lost to ring-buffer overflow while capturing request traces");
+  registry_.counter_fn("fpoptd_log_lines_total", "Structured log lines written",
+                       [this]() -> std::uint64_t {
+                         std::lock_guard<std::mutex> lock(attach_mu_);
+                         return log_ != nullptr ? log_->lines() : 0;
+                       });
+}
+
+telemetry::Counter& ServiceMetrics::outcome(bool ok, ServiceErrorCode code) {
+  return *outcomes_[outcome_index(ok, code)];
+}
+
+telemetry::Histogram& ServiceMetrics::queue_wait_seconds(int priority) {
+  if (priority < 0) priority = 0;
+  if (priority > 2) priority = 2;
+  return *queue_wait_[priority];
+}
+
+void ServiceMetrics::attach_connections(const ConnectionRegistry* connections) {
+  std::lock_guard<std::mutex> lock(attach_mu_);
+  connections_ = connections;
+}
+
+void ServiceMetrics::attach_log(const telemetry::LogSink* log) {
+  std::lock_guard<std::mutex> lock(attach_mu_);
+  log_ = log;
+}
+
+}  // namespace fpopt

@@ -1,0 +1,85 @@
+// ServiceMetrics: the daemon's metric surface, one registry wiring the
+// Service request path, DispatchGate, ConnectionRegistry, SharedMemoCache
+// and LogSink into named families (all prefixed fpoptd_):
+//
+//   fpoptd_requests_total{outcome=ok|E_*}     every frame, by result
+//   fpoptd_requests_shed_total                E_DEADLINE sheds (== gate)
+//   fpoptd_request_seconds                    end-to-end handle_frame latency
+//   fpoptd_execute_seconds                    execute-phase latency (dispatched runs)
+//   fpoptd_queue_wait_seconds{priority}       time blocked in the gate
+//   fpoptd_queue_depth{priority}              waiters in the gate, live
+//   fpoptd_inflight                           run requests executing now
+//   fpoptd_gate_in_use                        bounded-gate slots held
+//   fpoptd_connections_{live,total,rejected_total}
+//   fpoptd_cache_{hits,misses,insertions,evictions}_total, _bytes, _peak_bytes
+//   fpoptd_trace_events_dropped_total         ring-buffer drops in request traces
+//   fpoptd_log_lines_total                    structured log lines written
+//
+// Every series is pre-registered in the constructor so two snapshots
+// with equal values are byte-identical and exposition never changes
+// shape under traffic. Publishing is relaxed-atomic only (metrics.h);
+// gauges backed by other subsystems are read through callbacks at
+// scrape time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "service/server.h"
+#include "telemetry/log.h"
+#include "telemetry/metrics.h"
+
+namespace fpopt {
+
+class ServiceMetrics {
+ public:
+  /// Number of request outcomes: "ok" plus the ten E_* codes.
+  static constexpr int kOutcomes = 11;
+
+  /// `gate` must outlive this object; `cache` may be null (families still
+  /// register and read 0 so the exposition shape is config-independent).
+  ServiceMetrics(const DispatchGate& gate, const SharedMemoCache* cache);
+
+  [[nodiscard]] telemetry::MetricsRegistry& registry() { return registry_; }
+
+  /// The requests_total series for one outcome ("ok" when `ok`).
+  [[nodiscard]] telemetry::Counter& outcome(bool ok, ServiceErrorCode code);
+  [[nodiscard]] telemetry::Histogram& request_seconds() { return *request_seconds_; }
+  [[nodiscard]] telemetry::Histogram& execute_seconds() { return *execute_seconds_; }
+  [[nodiscard]] telemetry::Histogram& queue_wait_seconds(int priority);
+  [[nodiscard]] telemetry::Counter& trace_events_dropped() { return *trace_events_dropped_; }
+
+  /// Bind the socket transport's connection registry / the daemon's log
+  /// sink once they exist (families are registered up front; until bound
+  /// they read 0). The transport detaches (nullptr) before its registry
+  /// dies; attach_mu_ is held across scrape callbacks so a detach cannot
+  /// race a scraper mid-read.
+  void attach_connections(const ConnectionRegistry* connections);
+  void attach_log(const telemetry::LogSink* log);
+
+  /// Bracket the execute phase (feeds the fpoptd_inflight gauge).
+  void begin_execute() {
+    // relaxed: commutative counter read only by monitoring scrapes.
+    executing_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void end_execute() {
+    // relaxed: commutative counter read only by monitoring scrapes.
+    executing_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+ private:
+  telemetry::MetricsRegistry registry_;
+  telemetry::Counter* outcomes_[kOutcomes] = {};
+  telemetry::Histogram* request_seconds_ = nullptr;
+  telemetry::Histogram* execute_seconds_ = nullptr;
+  telemetry::Histogram* queue_wait_[3] = {};
+  telemetry::Counter* trace_events_dropped_ = nullptr;
+  std::atomic<std::int64_t> executing_{0};
+  /// Guards the attachment pointers during scrapes and re-attachment.
+  mutable std::mutex attach_mu_;
+  const ConnectionRegistry* connections_ = nullptr;
+  const telemetry::LogSink* log_ = nullptr;
+};
+
+}  // namespace fpopt

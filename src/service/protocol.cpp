@@ -202,6 +202,37 @@ bool decode_request(const std::string& frame, ServiceRequest& out, ServiceError&
                            "request member 'report' must be a boolean"};
         }
         out.want_report = value.boolean;
+      } else if (key == "trace") {
+        if (control) {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "command '" + out.spec.command + "' takes no 'trace'"};
+        }
+        if (!value.is_bool()) {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "request member 'trace' must be a boolean"};
+        }
+        out.trace = value.boolean;
+      } else if (key == "format") {
+        if (out.spec.command != "metrics") {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "only the metrics command takes 'format'"};
+        }
+        if (!value.is_string() || (value.string != "json" && value.string != "prometheus")) {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "request member 'format' must be \"json\" or \"prometheus\""};
+        }
+        out.format = value.string;
+      } else if (key == "pick") {
+        if (out.spec.command != "trace") {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "only the trace command takes 'pick'"};
+        }
+        if (!value.is_string() || (value.string != "recent" && value.string != "slowest" &&
+                                   value.string != "list")) {
+          throw DecodeFail{ServiceErrorCode::kSchema,
+                           "request member 'pick' must be \"recent\", \"slowest\" or \"list\""};
+        }
+        out.pick = value.string;
       } else if (key == "priority") {
         if (control) {
           throw DecodeFail{ServiceErrorCode::kSchema,

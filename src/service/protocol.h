@@ -5,7 +5,8 @@
 //   {"fpopt_request": {
 //      "schema_version": 1,
 //      "id": <string | integer | null>,          // echoed back verbatim
-//      "command": "stats" | "optimize" | "place" | "ping" | "shutdown",
+//      "command": "stats" | "optimize" | "place" | "ping" | "shutdown"
+//               | "metrics" | "trace",            // admin verbs, no inputs
 //      "topology": str, "library": str,          // the two CLI input files
 //      "options": {"k1": uint, "k2": uint, "theta": number, "scap": uint,
 //                  "metric": "l1"|"l2"|"linf", "budget": uint,
@@ -13,7 +14,11 @@
 //                  "impl": uint},                // all optional, CLI defaults
 //      "priority": 0 | 1 | 2,                    // dispatch urgency, default 1
 //      "deadline_ms": uint,                      // shed if not dispatched in time
-//      "report": bool}}                          // embed a run report
+//      "report": bool,                           // embed a run report
+//      "trace": bool,                            // run commands: retain this
+//                                                //   request's trace server-side
+//      "format": "json" | "prometheus",          // metrics verb only
+//      "pick": "recent" | "slowest" | "list"}}   // trace verb only
 //
 // Response (schema_version 1):
 //   {"fpopt_response": {
@@ -85,10 +90,21 @@ struct ServiceRequest {
   /// the gate this many milliseconds after decode, it is shed with
   /// E_DEADLINE instead of run. Absent = wait however long it takes.
   std::optional<std::uint64_t> deadline_ms;
-  /// True for the control verbs (ping / shutdown), which carry no
-  /// topology or library.
+  /// Run commands: true asks the server to capture and retain this
+  /// request's TraceSession for the `trace` admin verb. Never changes the
+  /// response bytes.
+  bool trace = false;
+  /// Metrics verb: exposition format ("json" default, or "prometheus").
+  std::string format;
+  /// Trace verb: which retained trace to return ("recent" default,
+  /// "slowest", or "list" for the retention index).
+  std::string pick;
+  /// True for the control/admin verbs (ping / shutdown / metrics /
+  /// trace), which carry no topology or library and skip the dispatch
+  /// gate so a saturated daemon can still be probed and scraped.
   [[nodiscard]] bool is_control() const {
-    return spec.command == "ping" || spec.command == "shutdown";
+    return spec.command == "ping" || spec.command == "shutdown" ||
+           spec.command == "metrics" || spec.command == "trace";
   }
 };
 

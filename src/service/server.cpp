@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -16,6 +17,9 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "service/metrics.h"
+#include "telemetry/log.h"
 
 namespace fpopt {
 namespace {
@@ -73,8 +77,16 @@ void connection_main(Service& service, int fd) {
 
 /// The accept loop both socket transports share: registry-bounded
 /// thread-per-connection, self-reaping, EMFILE backoff, drain on
-/// shutdown. Owns (and closes) `listen_fd`.
-int serve_listener(Service& service, int listen_fd, ConnectionRegistry& registry) {
+/// shutdown. Owns (and closes) `listen_fd`. `transport` labels the
+/// connection-lifecycle log lines ("unix" / "tcp").
+int serve_listener(Service& service, int listen_fd, ConnectionRegistry& registry,
+                   const char* transport) {
+  if (service.metrics() != nullptr) service.metrics()->attach_connections(&registry);
+  telemetry::LogSink* log = service.log();
+  // Listener-scoped connection ids for log correlation (log identity
+  // only; the registry keeps its own bookkeeping ids).
+  // relaxed: ids only need to be unique; nothing orders against them.
+  std::atomic<std::uint64_t> next_conn{0};
   while (!service.shutdown_requested()) {
     pollfd pfd{listen_fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMillis);
@@ -91,9 +103,23 @@ int serve_listener(Service& service, int listen_fd, ConnectionRegistry& registry
       }
       continue;
     }
-    if (!registry.spawn([&service, fd] { connection_main(service, fd); })) {
+    // relaxed: see next_conn above.
+    const std::uint64_t conn = next_conn.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!registry.spawn([&service, fd, conn, transport, log] {
+          telemetry::LogEvent(log, telemetry::LogLevel::kInfo, "conn_open")
+              .str("transport", transport)
+              .num("conn", conn);
+          connection_main(service, fd);
+          telemetry::LogEvent(log, telemetry::LogLevel::kInfo, "conn_close")
+              .str("transport", transport)
+              .num("conn", conn);
+        })) {
       // Over the connection cap: one machine-readable refusal, then a
       // clean close — the client sees why instead of a hang or a reset.
+      telemetry::LogEvent(log, telemetry::LogLevel::kWarn, "conn_overloaded")
+          .str("transport", transport)
+          .num("conn", conn)
+          .num("cap", registry.max_live());
       write_all(fd,
                 build_error_response(
                     "null",
@@ -108,6 +134,7 @@ int serve_listener(Service& service, int listen_fd, ConnectionRegistry& registry
   }
   registry.drain();
   ::close(listen_fd);
+  if (service.metrics() != nullptr) service.metrics()->attach_connections(nullptr);
   return 0;
 }
 
@@ -245,20 +272,24 @@ int serve_unix(Service& service, const std::string& socket_path, std::ostream& e
   }
 
   ConnectionRegistry local(service.config().max_connections);
-  const int rc = serve_listener(service, listen_fd, registry ? *registry : local);
+  const int rc = serve_listener(service, listen_fd, registry ? *registry : local, "unix");
   ::unlink(socket_path.c_str());
   return rc;
 }
 
-int serve_tcp(Service& service, const std::string& host_port, std::ostream& err,
-              ConnectionRegistry* registry,
-              std::function<void(unsigned short)> on_bound) {
+namespace {
+
+/// Bind + listen on "host:port" (serve_tcp's address grammar). Returns
+/// the listening fd, or -1 with a message on `err`. `who` names the flag
+/// in error messages; `on_bound` receives the actually-bound port.
+int bind_tcp_listener(const std::string& host_port, std::ostream& err, const char* who,
+                      const std::function<void(unsigned short)>& on_bound) {
   // Split "host:port" at the last colon; "[v6::addr]:port" brackets are
   // stripped, a leading-colon ":port" binds every interface.
   const std::size_t colon = host_port.rfind(':');
   if (colon == std::string::npos || colon + 1 == host_port.size()) {
-    err << "fpoptd: --listen needs <host:port>, got '" << host_port << "'\n";
-    return 1;
+    err << "fpoptd: " << who << " needs <host:port>, got '" << host_port << "'\n";
+    return -1;
   }
   std::string host = host_port.substr(0, colon);
   const std::string port = host_port.substr(colon + 1);
@@ -275,7 +306,7 @@ int serve_tcp(Service& service, const std::string& host_port, std::ostream& err,
       ::getaddrinfo(host.empty() ? nullptr : host.c_str(), port.c_str(), &hints, &found);
   if (gai != 0) {
     err << "fpoptd: cannot resolve " << host_port << ": " << ::gai_strerror(gai) << '\n';
-    return 1;
+    return -1;
   }
 
   int listen_fd = -1;
@@ -295,7 +326,7 @@ int serve_tcp(Service& service, const std::string& host_port, std::ostream& err,
   if (listen_fd < 0) {
     err << "fpoptd: cannot listen on " << host_port << ": " << std::strerror(errno)
         << '\n';
-    return 1;
+    return -1;
   }
 
   if (on_bound) {
@@ -312,9 +343,108 @@ int serve_tcp(Service& service, const std::string& host_port, std::ostream& err,
     }
     on_bound(bound_port);
   }
+  return listen_fd;
+}
 
+}  // namespace
+
+int serve_tcp(Service& service, const std::string& host_port, std::ostream& err,
+              ConnectionRegistry* registry,
+              std::function<void(unsigned short)> on_bound) {
+  const int listen_fd = bind_tcp_listener(host_port, err, "--listen", on_bound);
+  if (listen_fd < 0) return 1;
   ConnectionRegistry local(service.config().max_connections);
-  return serve_listener(service, listen_fd, registry ? *registry : local);
+  return serve_listener(service, listen_fd, registry ? *registry : local, "tcp");
+}
+
+namespace {
+
+/// Minimal HTTP/1.0 request framing for the metrics endpoint: read until
+/// the blank line ending the request head (bounded, briefly), answer one
+/// response, close. Scrapes are rare and tiny; one connection at a time
+/// is plenty, and a stalled scraper cannot wedge the daemon past the
+/// read deadline below.
+std::string http_response(Service& service, const std::string& head) {
+  std::string body;
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) line_end = head.size();
+  const std::string request_line = head.substr(0, line_end);
+  const bool is_get = request_line.rfind("GET ", 0) == 0;
+  const std::size_t path_end = request_line.find(' ', 4);
+  const std::string path =
+      is_get ? request_line.substr(4, path_end == std::string::npos ? std::string::npos
+                                                                    : path_end - 4)
+             : std::string();
+  if (!is_get) {
+    status = "405 Method Not Allowed";
+    content_type = "text/plain; charset=utf-8";
+    body = "only GET is supported\n";
+  } else if (path != "/metrics" && path != "/") {
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "try /metrics\n";
+  } else if (service.metrics() == nullptr) {
+    status = "503 Service Unavailable";
+    content_type = "text/plain; charset=utf-8";
+    body = "metrics are disabled in this server's configuration\n";
+  } else {
+    body = service.metrics()->registry().to_prometheus();
+  }
+  return "HTTP/1.0 " + status + "\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n" + body;
+}
+
+void serve_one_scrape(Service& service, int fd) {
+  std::string head;
+  // Bounded read: at most ~20 poll intervals (~2s) and 16 KiB of head.
+  for (int spins = 0; spins < 20 && head.size() < (16u << 10); ++spins) {
+    if (head.find("\r\n\r\n") != std::string::npos) break;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    char chunk[2048];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    head.append(chunk, static_cast<std::size_t>(n));
+  }
+  if (!head.empty()) write_all(fd, http_response(service, head));
+  ::close(fd);
+}
+
+}  // namespace
+
+int serve_metrics_http(Service& service, const std::string& host_port, std::ostream& err,
+                       std::function<void(unsigned short)> on_bound) {
+  // Capture the actually-bound port so the log line resolves ":0" — a
+  // kernel-chosen port an operator could not otherwise discover.
+  unsigned short bound_port = 0;
+  const auto observe_bound = [&](unsigned short port) {
+    bound_port = port;
+    if (on_bound) on_bound(port);
+  };
+  const int listen_fd = bind_tcp_listener(host_port, err, "--metrics-port", observe_bound);
+  if (listen_fd < 0) return 1;
+  telemetry::LogEvent(service.log(), telemetry::LogLevel::kInfo, "metrics_listener")
+      .str("endpoint", host_port)
+      .num("port", bound_port);
+  while (!service.shutdown_requested()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    serve_one_scrape(service, fd);
+  }
+  ::close(listen_fd);
+  return 0;
 }
 
 }  // namespace fpopt

@@ -114,6 +114,17 @@ int serve_tcp(Service& service, const std::string& host_port, std::ostream& err,
               ConnectionRegistry* registry = nullptr,
               std::function<void(unsigned short)> on_bound = nullptr);
 
+/// Serve the Prometheus exposition of `service.metrics()` over plain
+/// HTTP on `host_port` (same address grammar as serve_tcp) until a
+/// shutdown request: GET /metrics (or /) answers 200 text/plain, other
+/// paths 404, non-GET 405, and a metrics-disabled server 503. One
+/// scrape is handled at a time with a bounded read deadline, so a
+/// stalled scraper cannot wedge the daemon. Runs on the caller's
+/// thread — fpoptd starts it on a sidecar thread next to the frame
+/// transport. Returns 0 on clean shutdown, 1 on setup failure.
+int serve_metrics_http(Service& service, const std::string& host_port, std::ostream& err,
+                       std::function<void(unsigned short)> on_bound = nullptr);
+
 /// Incremental JSONL splitter with oversized-frame resynchronization:
 /// feed raw bytes, get complete lines back. Once a partial line exceeds
 /// `max_line` the splitter reports it oversized exactly once and then

@@ -24,21 +24,28 @@
 // as before — the gate can delay them but never changes their bytes.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 
 #include "cache/shared_cache.h"
 #include "runtime/thread_pool.h"
 #include "service/protocol.h"
+#include "telemetry/log.h"
 
 namespace fpopt {
+
+class ServiceMetrics;
 
 struct ServiceConfig {
   /// Workers of the process-wide pool serving every parallel request
@@ -65,6 +72,24 @@ struct ServiceConfig {
   /// priority-aware DispatchGate in front of the shared pool. 0 =
   /// unlimited (no queuing, the gate is a pass-through).
   unsigned max_inflight = 0;
+  /// Publish per-request metrics into a ServiceMetrics registry served by
+  /// the `metrics` admin verb and --metrics-port. Off answers the verb
+  /// with E_OPTION and skips every publication (the bench's control leg
+  /// for measuring observability overhead at runtime; FPOPT_TELEMETRY=OFF
+  /// is the compile-time zero-overhead path).
+  bool metrics = true;
+  /// Structured JSONL log sink (telemetry/log.h), owned by the caller and
+  /// outliving the Service. Null = no logging.
+  telemetry::LogSink* log = nullptr;
+  /// Retain the captured traces of up to this many recent requests (plus
+  /// the slowest ever) for the `trace` admin verb. 0 = request tracing
+  /// off: "trace": true requests run untraced and the verb errors.
+  std::size_t trace_requests = 0;
+  /// Also capture every Nth run request (1 = all, 0 = only requests that
+  /// ask with "trace": true). Capture serializes execution (one traced
+  /// request at a time, alone in the engine), so sampling every request
+  /// is a debugging mode, not a production default.
+  std::size_t trace_sample = 0;
 };
 
 /// Priority-aware admission queue in front of the shared ThreadPool: at
@@ -96,6 +121,8 @@ class DispatchGate {
 
   /// Requests currently blocked in acquire (test/stats observability).
   [[nodiscard]] std::size_t waiting() const;
+  /// Waiters split by priority (index 0..2), for the queue-depth gauges.
+  [[nodiscard]] std::array<std::size_t, 3> waiting_by_priority() const;
   /// Slots currently held (0 when the gate is unlimited).
   [[nodiscard]] unsigned in_use() const;
   /// Requests shed because their deadline expired before dispatch.
@@ -125,6 +152,7 @@ struct ServiceStats {
 class Service {
  public:
   explicit Service(ServiceConfig config);
+  ~Service();
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
@@ -139,6 +167,11 @@ class Service {
     return shutdown_.load(std::memory_order_acquire);
   }
 
+  /// Raise the shutdown flag from outside the protocol — fpoptd uses
+  /// this to stop the metrics HTTP sidecar when the frame transport
+  /// exits for its own reasons (stdin EOF, listener failure).
+  void request_shutdown() { shutdown_.store(true, std::memory_order_release); }
+
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
   [[nodiscard]] ServiceStats stats() const;
   /// The cross-request cache, or nullptr when shared_cache is off.
@@ -148,18 +181,71 @@ class Service {
   /// The dispatch gate every run-command request passes through (exposed
   /// so tests can saturate it deterministically and stats can read it).
   [[nodiscard]] DispatchGate& gate() { return gate_; }
+  /// The metric registry behind the `metrics` verb, or nullptr when
+  /// config.metrics is off. The transports and fpoptd attach the
+  /// connection registry / log sink through this.
+  [[nodiscard]] ServiceMetrics* metrics() { return metrics_.get(); }
+  /// The structured log sink, or nullptr when logging is off.
+  [[nodiscard]] telemetry::LogSink* log() const { return config_.log; }
+
+  /// One retained request trace: the Chrome trace-event document a
+  /// traced request exported, plus the index fields the `trace` verb's
+  /// "list" pick reports.
+  struct RetainedTrace {
+    std::uint64_t request_id = 0;
+    std::string command;
+    double seconds = 0;  ///< traced request's execute-phase wall time
+    std::uint64_t dropped_events = 0;
+    std::string json;  ///< complete Chrome trace-event JSON document
+  };
 
  private:
-  [[nodiscard]] std::string handle_request(const ServiceRequest& request, bool& ok);
+  /// Per-request accounting filled by handle_request and published by
+  /// handle_frame (metrics + one structured log line per request).
+  struct RequestOutcome {
+    bool ok = false;
+    ServiceErrorCode error = ServiceErrorCode::kInternal;  ///< valid when !ok
+    bool dispatched = false;  ///< run command that passed the gate
+    double gate_wait_seconds = 0;
+    double execute_seconds = 0;
+    std::optional<double> deadline_slack_ms;  ///< remaining at dispatch
+    std::uint64_t cache_hits = 0;
+    bool traced = false;
+  };
+
+  [[nodiscard]] std::string handle_request(const ServiceRequest& request,
+                                           std::uint64_t request_id, RequestOutcome& outcome);
+  [[nodiscard]] std::string handle_metrics_verb(const ServiceRequest& request,
+                                                RequestOutcome& outcome);
+  [[nodiscard]] std::string handle_trace_verb(const ServiceRequest& request,
+                                              RequestOutcome& outcome);
+  void retain_trace(RetainedTrace trace);
+  void log_request(const ServiceRequest& request, std::uint64_t request_id,
+                   const RequestOutcome& outcome, double seconds);
 
   ServiceConfig config_;
   DispatchGate gate_;
   std::optional<ThreadPool> pool_;
   std::optional<SharedMemoCache> cache_;
+  std::unique_ptr<ServiceMetrics> metrics_;
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> requests_ok_{0};
   std::atomic<std::uint64_t> requests_error_{0};
   std::atomic<std::uint64_t> frames_{0};
+  /// Server-assigned request ids: monotonically increasing, first id 1.
+  std::atomic<std::uint64_t> next_request_id_{0};
+  /// Run-command arrivals, for trace_sample's every-Nth selection.
+  std::atomic<std::uint64_t> run_seq_{0};
+  /// Request-trace capture: one capture at a time (capture_mu_), and the
+  /// traced request runs alone — it takes exec_mu_ exclusively while
+  /// every untraced run request holds it shared, giving the quiescence
+  /// TraceSession's export contract needs without stopping the daemon.
+  std::mutex trace_capture_mu_;
+  std::shared_mutex exec_mu_;
+  mutable std::mutex traces_mu_;
+  std::deque<RetainedTrace> traces_;  ///< most recent last, bounded
+  RetainedTrace slowest_;
+  bool have_slowest_ = false;
 };
 
 }  // namespace fpopt

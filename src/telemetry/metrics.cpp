@@ -1,0 +1,258 @@
+#include "telemetry/metrics.h"
+
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+#include "telemetry/json.h"
+
+namespace fpopt::telemetry {
+namespace {
+
+/// Bucket upper bound in seconds, rendered once so JSON and Prometheus
+/// agree byte-for-byte on the `le` values.
+std::string le_seconds(std::size_t i) {
+  return json_number(static_cast<double>(Histogram::upper_ns(i)) * 1e-9);
+}
+
+std::string u64_str(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) {
+    // relaxed: monitoring read; see observe_ns.
+    n += b.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+double Histogram::sum_seconds() const {
+  // relaxed: monitoring read; see observe_ns.
+  return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(kBuckets + 1, 0);
+  for (std::size_t i = 0; i <= kBuckets; ++i) {
+    // relaxed: monitoring read; see observe_ns.
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_slot(const std::string& name,
+                                                      const std::string& help, Kind kind) {
+  for (auto& fam : families_) {
+    if (fam->name == name) {
+      assert(fam->kind == kind && "metric family re-registered with a different type");
+      return *fam;
+    }
+  }
+  families_.push_back(std::make_unique<Family>());
+  Family& fam = *families_.back();
+  fam.name = name;
+  fam.help = help;
+  fam.kind = kind;
+  return fam;
+}
+
+MetricsRegistry::Series& MetricsRegistry::series_slot(Family& fam, const std::string& label_key,
+                                                      const std::string& label_value) {
+  for (Series& s : fam.series) {
+    if (s.label_key == label_key && s.label_value == label_value) return s;
+  }
+  fam.series.emplace_back();
+  Series& s = fam.series.back();
+  s.label_key = label_key;
+  s.label_value = label_value;
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& family, const std::string& help,
+                                  const std::string& label_key, const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_slot(family_slot(family, help, Kind::kCounter), label_key, label_value);
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& family, const std::string& help,
+                              const std::string& label_key, const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_slot(family_slot(family, help, Kind::kGauge), label_key, label_value);
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& family, const std::string& help,
+                                      const std::string& label_key,
+                                      const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_slot(family_slot(family, help, Kind::kHistogram), label_key, label_value);
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>();
+  return *s.histogram;
+}
+
+void MetricsRegistry::counter_fn(const std::string& family, const std::string& help,
+                                 std::function<std::uint64_t()> fn, const std::string& label_key,
+                                 const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_slot(family_slot(family, help, Kind::kCounterFn), label_key, label_value);
+  s.counter_fn = std::move(fn);
+}
+
+void MetricsRegistry::gauge_fn(const std::string& family, const std::string& help,
+                               std::function<double()> fn, const std::string& label_key,
+                               const std::string& label_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_slot(family_slot(family, help, Kind::kGaugeFn), label_key, label_value);
+  s.gauge_fn = std::move(fn);
+}
+
+namespace {
+
+/// Callback metrics read state owned by other subsystems; when telemetry
+/// is compiled out the whole layer must be inert, so render zeros.
+std::uint64_t eval_counter_fn(const std::function<std::uint64_t()>& fn) {
+  if constexpr (!kEnabled) return 0;
+  return fn ? fn() : 0;
+}
+double eval_gauge_fn(const std::function<double()>& fn) {
+  if constexpr (!kEnabled) return 0;
+  return fn ? fn() : 0;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream counters;
+  std::ostringstream gauges;
+  std::ostringstream histograms;
+  bool first_counter = true;
+  bool first_gauge = true;
+  bool first_histogram = true;
+
+  auto open_family = [](std::ostringstream& os, bool& first, const Family& fam) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":" << json_quote(fam.name) << ",\"help\":" << json_quote(fam.help)
+       << ",\"series\":[";
+  };
+  auto labels_json = [](const Series& s) {
+    if (s.label_key.empty()) return std::string("{}");
+    return "{" + json_quote(s.label_key) + ":" + json_quote(s.label_value) + "}";
+  };
+
+  for (const auto& fam_ptr : families_) {
+    const Family& fam = *fam_ptr;
+    switch (fam.kind) {
+      case Kind::kCounter:
+      case Kind::kCounterFn: {
+        open_family(counters, first_counter, fam);
+        for (std::size_t i = 0; i < fam.series.size(); ++i) {
+          const Series& s = fam.series[i];
+          const std::uint64_t v =
+              fam.kind == Kind::kCounter ? s.counter->get() : eval_counter_fn(s.counter_fn);
+          if (i != 0) counters << ",";
+          counters << "{\"labels\":" << labels_json(s) << ",\"value\":" << u64_str(v) << "}";
+        }
+        counters << "]}";
+        break;
+      }
+      case Kind::kGauge:
+      case Kind::kGaugeFn: {
+        open_family(gauges, first_gauge, fam);
+        for (std::size_t i = 0; i < fam.series.size(); ++i) {
+          const Series& s = fam.series[i];
+          const double v = fam.kind == Kind::kGauge ? s.gauge->get() : eval_gauge_fn(s.gauge_fn);
+          if (i != 0) gauges << ",";
+          gauges << "{\"labels\":" << labels_json(s) << ",\"value\":" << json_number(v) << "}";
+        }
+        gauges << "]}";
+        break;
+      }
+      case Kind::kHistogram: {
+        open_family(histograms, first_histogram, fam);
+        for (std::size_t i = 0; i < fam.series.size(); ++i) {
+          const Series& s = fam.series[i];
+          const std::vector<std::uint64_t> buckets = s.histogram->bucket_counts();
+          if (i != 0) histograms << ",";
+          histograms << "{\"labels\":" << labels_json(s) << ",\"buckets\":[";
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < buckets.size(); ++b) {
+            cumulative += buckets[b];
+            if (b != 0) histograms << ",";
+            histograms << "{\"le\":";
+            if (b == Histogram::kBuckets) {
+              histograms << "\"+Inf\"";
+            } else {
+              histograms << le_seconds(b);
+            }
+            histograms << ",\"count\":" << u64_str(cumulative) << "}";
+          }
+          histograms << "],\"count\":" << u64_str(cumulative)
+                     << ",\"sum_seconds\":" << json_number(s.histogram->sum_seconds()) << "}";
+        }
+        histograms << "]}";
+        break;
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "{\"fpopt_metrics\":{\"schema_version\":1,\"telemetry\":" << (kEnabled ? "true" : "false")
+      << ",\"counters\":[" << counters.str() << "],\"gauges\":[" << gauges.str()
+      << "],\"histograms\":[" << histograms.str() << "]}}\n";
+  return out.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  auto label_block = [](const Series& s) {
+    if (s.label_key.empty()) return std::string();
+    return "{" + s.label_key + "=" + json_quote(s.label_value) + "}";
+  };
+  for (const auto& fam_ptr : families_) {
+    const Family& fam = *fam_ptr;
+    const bool is_counter = fam.kind == Kind::kCounter || fam.kind == Kind::kCounterFn;
+    const bool is_histogram = fam.kind == Kind::kHistogram;
+    out << "# HELP " << fam.name << " " << fam.help << "\n";
+    out << "# TYPE " << fam.name << " "
+        << (is_histogram ? "histogram" : (is_counter ? "counter" : "gauge")) << "\n";
+    for (const Series& s : fam.series) {
+      if (is_histogram) {
+        const std::vector<std::uint64_t> buckets = s.histogram->bucket_counts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < buckets.size(); ++b) {
+          cumulative += buckets[b];
+          out << fam.name << "_bucket{";
+          if (!s.label_key.empty()) out << s.label_key << "=" << json_quote(s.label_value) << ",";
+          out << "le=";
+          if (b == Histogram::kBuckets) {
+            out << "\"+Inf\"";
+          } else {
+            out << "\"" << le_seconds(b) << "\"";
+          }
+          out << "} " << u64_str(cumulative) << "\n";
+        }
+        out << fam.name << "_sum" << label_block(s) << " " << json_number(s.histogram->sum_seconds())
+            << "\n";
+        out << fam.name << "_count" << label_block(s) << " " << u64_str(cumulative) << "\n";
+      } else if (is_counter) {
+        const std::uint64_t v =
+            fam.kind == Kind::kCounter ? s.counter->get() : eval_counter_fn(s.counter_fn);
+        out << fam.name << label_block(s) << " " << u64_str(v) << "\n";
+      } else {
+        const double v = fam.kind == Kind::kGauge ? s.gauge->get() : eval_gauge_fn(s.gauge_fn);
+        out << fam.name << label_block(s) << " " << json_number(v) << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace fpopt::telemetry

@@ -1,0 +1,339 @@
+#include "telemetry/metrics_schema.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace fpopt::telemetry {
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (std::isalpha(static_cast<unsigned char>(c)) != 0) || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+bool nonneg_integer(const JsonValue& v) { return v.is_number() && v.is_integer && v.integer >= 0; }
+
+std::string labels_key(const JsonValue& labels) { return labels.dump(); }
+
+void check_series_array(const JsonValue& family, const std::string& where, bool histogram,
+                        std::vector<std::string>& out) {
+  const JsonValue* name = family.find("name");
+  const JsonValue* help = family.find("help");
+  const JsonValue* series = family.find("series");
+  if (name == nullptr || !name->is_string() || !valid_metric_name(name->string)) {
+    out.push_back(where + ": family is missing a valid string \"name\"");
+    return;
+  }
+  const std::string fam = name->string;
+  if (help == nullptr || !help->is_string() || help->string.empty()) {
+    out.push_back(fam + ": missing non-empty string \"help\"");
+  }
+  if (series == nullptr || !series->is_array() || series->array.empty()) {
+    out.push_back(fam + ": missing non-empty \"series\" array");
+    return;
+  }
+  std::set<std::string> seen_labels;
+  for (const JsonValue& s : series->array) {
+    if (!s.is_object()) {
+      out.push_back(fam + ": series entry is not an object");
+      continue;
+    }
+    const JsonValue* labels = s.find("labels");
+    if (labels == nullptr || !labels->is_object()) {
+      out.push_back(fam + ": series is missing the \"labels\" object");
+      continue;
+    }
+    for (const auto& [k, v] : labels->object) {
+      if (!v.is_string()) out.push_back(fam + ": label \"" + k + "\" is not a string");
+    }
+    if (!seen_labels.insert(labels_key(*labels)).second) {
+      out.push_back(fam + ": duplicate series labels " + labels->dump());
+    }
+    if (!histogram) {
+      const JsonValue* value = s.find("value");
+      if (value == nullptr || !value->is_number()) {
+        out.push_back(fam + ": series is missing a numeric \"value\"");
+      }
+      continue;
+    }
+    const JsonValue* buckets = s.find("buckets");
+    const JsonValue* count = s.find("count");
+    const JsonValue* sum = s.find("sum_seconds");
+    if (buckets == nullptr || !buckets->is_array() || buckets->array.empty()) {
+      out.push_back(fam + ": histogram series is missing the \"buckets\" array");
+      continue;
+    }
+    if (sum == nullptr || !sum->is_number() || sum->number < 0) {
+      out.push_back(fam + ": histogram series needs a non-negative \"sum_seconds\"");
+    }
+    double prev_le = -1;
+    std::int64_t prev_count = 0;
+    bool saw_inf = false;
+    for (const JsonValue& b : buckets->array) {
+      const JsonValue* le = b.find("le");
+      const JsonValue* c = b.find("count");
+      if (le == nullptr || c == nullptr || !nonneg_integer(*c)) {
+        out.push_back(fam + ": histogram bucket needs \"le\" and a non-negative integer \"count\"");
+        break;
+      }
+      if (c->integer < prev_count) {
+        out.push_back(fam + ": histogram bucket counts are not cumulative");
+        break;
+      }
+      prev_count = c->integer;
+      if (le->is_string() && le->string == "+Inf") {
+        saw_inf = true;
+      } else if (saw_inf) {
+        out.push_back(fam + ": histogram has buckets after le=\"+Inf\"");
+        break;
+      } else if (!le->is_number() || le->number <= prev_le) {
+        out.push_back(fam + ": histogram \"le\" bounds must be increasing numbers");
+        break;
+      } else {
+        prev_le = le->number;
+      }
+    }
+    if (!saw_inf) out.push_back(fam + ": histogram is missing the le=\"+Inf\" overflow bucket");
+    if (count == nullptr || !nonneg_integer(*count) || count->integer != prev_count) {
+      out.push_back(fam + ": histogram \"count\" must equal the final cumulative bucket count");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_metrics_snapshot(const JsonValue& snapshot) {
+  std::vector<std::string> out;
+  if (!snapshot.is_object()) {
+    out.emplace_back("fpopt_metrics: value is not an object");
+    return out;
+  }
+  const JsonValue* version = snapshot.find("schema_version");
+  if (version == nullptr || !version->is_number() || version->integer != 1) {
+    out.emplace_back("fpopt_metrics: schema_version must be the integer 1");
+  }
+  const JsonValue* telemetry = snapshot.find("telemetry");
+  if (telemetry == nullptr || !telemetry->is_bool()) {
+    out.emplace_back("fpopt_metrics: missing boolean \"telemetry\"");
+  }
+  std::set<std::string> family_names;
+  const struct {
+    const char* key;
+    bool histogram;
+  } kSections[] = {{"counters", false}, {"gauges", false}, {"histograms", true}};
+  for (const auto& section : kSections) {
+    const JsonValue* arr = snapshot.find(section.key);
+    if (arr == nullptr || !arr->is_array()) {
+      out.push_back(std::string("fpopt_metrics: missing \"") + section.key + "\" array");
+      continue;
+    }
+    for (const JsonValue& family : arr->array) {
+      if (!family.is_object()) {
+        out.push_back(std::string(section.key) + ": family entry is not an object");
+        continue;
+      }
+      const JsonValue* name = family.find("name");
+      if (name != nullptr && name->is_string() && !family_names.insert(name->string).second) {
+        out.push_back(name->string + ": duplicate family name");
+      }
+      check_series_array(family, section.key, section.histogram, out);
+    }
+  }
+  for (const auto& [key, value] : snapshot.object) {
+    (void)value;
+    if (key != "schema_version" && key != "telemetry" && key != "counters" && key != "gauges" &&
+        key != "histograms") {
+      out.push_back("fpopt_metrics: unknown member \"" + key + "\"");
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void find_metrics_blocks(const JsonValue& doc, std::vector<const JsonValue*>& blocks) {
+  if (doc.is_object()) {
+    const JsonValue* inner = doc.find("fpopt_metrics");
+    if (inner != nullptr) blocks.push_back(inner);
+    for (const auto& [key, value] : doc.object) {
+      (void)key;
+      find_metrics_blocks(value, blocks);
+    }
+  } else if (doc.is_array()) {
+    for (const JsonValue& v : doc.array) find_metrics_blocks(v, blocks);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_embedded_metrics(const JsonValue& doc) {
+  std::vector<const JsonValue*> blocks;
+  find_metrics_blocks(doc, blocks);
+  if (blocks.empty()) return {"document contains no \"fpopt_metrics\" block"};
+  std::vector<std::string> out;
+  for (const JsonValue* block : blocks) {
+    std::vector<std::string> v = validate_metrics_snapshot(*block);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+namespace {
+
+/// One parsed Prometheus sample line: name, raw label block, value.
+struct Sample {
+  std::string name;
+  std::string labels;
+  std::string value;
+};
+
+bool parse_sample_line(const std::string& line, Sample& out) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  out.name = line.substr(0, i);
+  if (!valid_metric_name(out.name)) return false;
+  if (i < line.size() && line[i] == '{') {
+    const std::size_t close = line.find('}', i);
+    if (close == std::string::npos) return false;
+    out.labels = line.substr(i + 1, close - i - 1);
+    i = close + 1;
+  } else {
+    out.labels.clear();
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  out.value = line.substr(i + 1);
+  if (out.value.empty()) return false;
+  char* end = nullptr;
+  std::strtod(out.value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Strip a trailing `le="..."` pair; returns the bound via `le`.
+bool split_le(const std::string& labels, std::string& rest, std::string& le) {
+  const std::string key = "le=\"";
+  const std::size_t pos = labels.rfind(key);
+  if (pos == std::string::npos) return false;
+  const std::size_t close = labels.find('"', pos + key.size());
+  if (close == std::string::npos || close + 1 != labels.size()) return false;
+  le = labels.substr(pos + key.size(), close - pos - key.size());
+  rest = labels.substr(0, pos);
+  if (!rest.empty() && rest.back() == ',') rest.pop_back();
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_prometheus_text(const std::string& text) {
+  std::vector<std::string> out;
+  std::map<std::string, std::string> family_type;  // name -> counter|gauge|histogram
+  // Per (histogram family, non-le labels): cumulative bucket state.
+  struct BucketState {
+    double prev_le = -1;
+    std::int64_t prev_count = -1;
+    bool saw_inf = false;
+    std::int64_t inf_count = 0;
+    bool counted = false;  // _count line seen and matched
+  };
+  std::map<std::string, BucketState> buckets;
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool any_sample = false;
+  auto fail = [&](const std::string& msg) {
+    out.push_back("line " + std::to_string(lineno) + ": " + msg);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, kind, name, tail;
+      meta >> hash >> kind >> name;
+      std::getline(meta, tail);
+      if (kind == "TYPE") {
+        if (tail != " counter" && tail != " gauge" && tail != " histogram") {
+          fail("TYPE must be counter, gauge or histogram");
+        } else if (!family_type.emplace(name, tail.substr(1)).second) {
+          fail("duplicate TYPE for family " + name);
+        }
+      } else if (kind != "HELP") {
+        fail("unknown comment directive (expected HELP or TYPE)");
+      }
+      continue;
+    }
+    Sample sample;
+    if (!parse_sample_line(line, sample)) {
+      fail("malformed sample line");
+      continue;
+    }
+    any_sample = true;
+    std::string base = sample.name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (base.size() > s.size() && base.compare(base.size() - s.size(), s.size(), s) == 0 &&
+          family_type.count(base.substr(0, base.size() - s.size())) != 0 &&
+          family_type.at(base.substr(0, base.size() - s.size())) == "histogram") {
+        base = base.substr(0, base.size() - s.size());
+        break;
+      }
+    }
+    const auto type_it = family_type.find(base);
+    if (type_it == family_type.end()) {
+      fail("sample " + sample.name + " has no preceding TYPE line");
+      continue;
+    }
+    if (type_it->second != "histogram") continue;
+    std::string rest;
+    std::string le;
+    const std::string suffix = sample.name.substr(base.size());
+    if (suffix == "_bucket") {
+      if (!split_le(sample.labels, rest, le)) {
+        fail("histogram bucket is missing the le label");
+        continue;
+      }
+      BucketState& st = buckets[base + "|" + rest];
+      const std::int64_t count = std::strtoll(sample.value.c_str(), nullptr, 10);
+      if (st.prev_count >= 0 && count < st.prev_count) fail("bucket counts are not cumulative");
+      st.prev_count = count;
+      if (le == "+Inf") {
+        if (st.saw_inf) fail("duplicate le=\"+Inf\" bucket");
+        st.saw_inf = true;
+        st.inf_count = count;
+      } else {
+        if (st.saw_inf) fail("bucket after le=\"+Inf\"");
+        const double bound = std::strtod(le.c_str(), nullptr);
+        if (bound <= st.prev_le) fail("bucket le bounds must be increasing");
+        st.prev_le = bound;
+      }
+    } else if (suffix == "_count") {
+      BucketState& st = buckets[base + "|" + sample.labels];
+      if (!st.saw_inf) {
+        fail("histogram _count before its le=\"+Inf\" bucket");
+      } else if (std::strtoll(sample.value.c_str(), nullptr, 10) != st.inf_count) {
+        fail("histogram _count does not match the +Inf bucket");
+      } else {
+        st.counted = true;
+      }
+    }
+  }
+  for (const auto& [key, st] : buckets) {
+    const std::string fam = key.substr(0, key.find('|'));
+    if (!st.saw_inf) out.push_back(fam + ": histogram is missing the le=\"+Inf\" bucket");
+    if (!st.counted) out.push_back(fam + ": histogram is missing a matching _count sample");
+  }
+  if (!any_sample) out.emplace_back("exposition contains no sample lines");
+  return out;
+}
+
+}  // namespace fpopt::telemetry

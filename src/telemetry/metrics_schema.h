@@ -1,0 +1,29 @@
+// Structural schema validation for metrics snapshots (metrics.h,
+// schema_version 1) in both exposition formats: the JSON snapshot the
+// `metrics` admin verb returns and the Prometheus text format served on
+// --metrics-port. Used by tests and by `fpopt_report_check --metrics`
+// (the "fpopt_metrics_check" CI gate).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace fpopt::telemetry {
+
+/// Validate one metrics wrapper object (the {"fpopt_metrics": ...}
+/// value). Returns human-readable violations; empty = valid.
+[[nodiscard]] std::vector<std::string> validate_metrics_snapshot(const JsonValue& snapshot);
+
+/// Recursively find every metrics block embedded anywhere in `doc`
+/// (objects holding an "fpopt_metrics" key) and validate each. Reports a
+/// violation when no block exists at all.
+[[nodiscard]] std::vector<std::string> validate_embedded_metrics(const JsonValue& doc);
+
+/// Validate Prometheus text exposition: HELP/TYPE lines, sample-line
+/// syntax, TYPE-before-samples per family, cumulative histogram buckets
+/// ending at le="+Inf" with a matching _count.
+[[nodiscard]] std::vector<std::string> validate_prometheus_text(const std::string& text);
+
+}  // namespace fpopt::telemetry

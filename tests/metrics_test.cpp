@@ -1,0 +1,277 @@
+// Unit tests for the service-observability primitives (ISSUE:
+// observability): the MetricsRegistry's registration/render contract,
+// the log2 latency histogram's exact bucket boundaries, and the
+// structured JSONL log's deterministic field order. Every suite passes
+// in both telemetry modes — under FPOPT_TELEMETRY=OFF mutations are
+// no-ops and snapshots render with all-zero values but full shape.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "telemetry/log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/metrics_schema.h"
+#include "telemetry/telemetry.h"
+
+namespace fpopt::telemetry {
+namespace {
+
+/// Expected value of a counter-style assertion given the build mode:
+/// all instrumentation reads render 0 when telemetry is compiled out.
+std::uint64_t when_on(std::uint64_t value) { return kEnabled ? value : 0; }
+
+std::vector<std::string> validate_json_snapshot(const std::string& snapshot) {
+  const JsonParseResult doc = parse_json(snapshot);
+  EXPECT_TRUE(doc.value.has_value()) << doc.error;
+  if (!doc.value.has_value()) return {"unparseable"};
+  return validate_embedded_metrics(*doc.value);
+}
+
+TEST(LatencyHistogram, ZeroLandsInTheFirstBucket) {
+  Histogram h;
+  h.observe_ns(0);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), Histogram::kBuckets + 1);
+  EXPECT_EQ(buckets[0], when_on(1));
+  EXPECT_EQ(h.count(), when_on(1));
+}
+
+TEST(LatencyHistogram, BucketUpperBoundsAreInclusive) {
+  // Prometheus `le` semantics: a sample exactly on a bucket's upper
+  // bound belongs to that bucket; one nanosecond more spills into the
+  // next. Exercise every finite boundary.
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    Histogram h;
+    h.observe_ns(Histogram::upper_ns(i));
+    EXPECT_EQ(h.bucket_counts()[i], when_on(1)) << "bound " << i;
+
+    Histogram spill;
+    spill.observe_ns(Histogram::upper_ns(i) + 1);
+    const std::size_t next = i + 1;  // kBuckets = the +Inf overflow slot
+    EXPECT_EQ(spill.bucket_counts()[next], when_on(1)) << "bound " << i << " + 1ns";
+  }
+}
+
+TEST(LatencyHistogram, OverflowGoesToTheInfBucket) {
+  Histogram h;
+  h.observe_ns(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket_counts()[Histogram::kBuckets], when_on(1));
+  EXPECT_EQ(h.count(), when_on(1));
+}
+
+TEST(LatencyHistogram, CountIsTheSumOfAllBuckets) {
+  Histogram h;
+  h.observe_ns(0);
+  h.observe_ns(500);
+  h.observe_ns(123456);
+  h.observe_ns(~std::uint64_t{0});
+  EXPECT_EQ(h.count(), when_on(4));
+}
+
+TEST(LatencyHistogram, NegativeSecondsClampToZero) {
+  Histogram h;
+  h.observe_seconds(-1.5);
+  EXPECT_EQ(h.bucket_counts()[0], when_on(1));
+  EXPECT_EQ(h.sum_seconds(), 0.0);
+}
+
+TEST(LatencyHistogram, SumAccumulatesObservedTime) {
+  Histogram h;
+  h.observe_ns(1'000'000'000);  // 1s
+  h.observe_ns(500'000'000);    // 0.5s
+  if (kEnabled) {
+    EXPECT_NEAR(h.sum_seconds(), 1.5, 1e-9);
+  } else {
+    EXPECT_EQ(h.sum_seconds(), 0.0);
+  }
+}
+
+TEST(LatencyHistogram, ConcurrentObserversLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe_ns(static_cast<std::uint64_t>(t) * 1000 + static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), when_on(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistry, RegistrationReturnsStableSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("demo_total", "help");
+  Counter& b = registry.counter("demo_total", "help");
+  EXPECT_EQ(&a, &b);  // same family + labels = same series
+  Counter& low = registry.counter("labeled_total", "help", "priority", "0");
+  Counter& high = registry.counter("labeled_total", "help", "priority", "1");
+  EXPECT_NE(&low, &high);
+  EXPECT_EQ(&low, &registry.counter("labeled_total", "help", "priority", "0"));
+}
+
+TEST(MetricsRegistry, JsonSnapshotValidatesAndCarriesValues) {
+  MetricsRegistry registry;
+  Counter& requests = registry.counter("demo_requests_total", "requests", "outcome", "ok");
+  registry.counter("demo_requests_total", "requests", "outcome", "E_PARSE");
+  Gauge& depth = registry.gauge("demo_depth", "queue depth");
+  Histogram& latency = registry.histogram("demo_seconds", "latency");
+  registry.counter_fn("demo_derived_total", "callback counter", [] { return 7u; });
+  registry.gauge_fn("demo_derived_gauge", "callback gauge", [] { return 2.5; });
+
+  requests.add(3);
+  depth.set(4);
+  latency.observe_seconds(0.001);
+
+  const std::string snapshot = registry.to_json();
+  EXPECT_EQ(validate_json_snapshot(snapshot), std::vector<std::string>{});
+
+  const JsonParseResult doc = parse_json(snapshot);
+  ASSERT_TRUE(doc.value.has_value());
+  const JsonValue& top = *doc.value->find("fpopt_metrics");
+  EXPECT_EQ(top.find("telemetry")->boolean, kEnabled);
+  // First counter family, first series = the "ok" outcome registered first.
+  const JsonValue& first_counter = top.find("counters")->array[0];
+  EXPECT_EQ(first_counter.find("name")->string, "demo_requests_total");
+  const JsonValue& ok_series = first_counter.find("series")->array[0];
+  EXPECT_EQ(ok_series.find("labels")->find("outcome")->string, "ok");
+  EXPECT_EQ(ok_series.find("value")->integer, static_cast<std::int64_t>(when_on(3)));
+  const JsonValue& derived = top.find("counters")->array[1].find("series")->array[0];
+  EXPECT_EQ(derived.find("value")->integer, static_cast<std::int64_t>(when_on(7)));
+}
+
+TEST(MetricsRegistry, PrometheusExpositionValidates) {
+  MetricsRegistry registry;
+  Counter& total = registry.counter("demo_total", "a counter");
+  Histogram& latency = registry.histogram("demo_seconds", "a histogram", "priority", "1");
+  total.add(2);
+  latency.observe_seconds(0.5);
+  latency.observe_seconds(200.0);  // lands in +Inf
+
+  const std::string text = registry.to_prometheus();
+  EXPECT_EQ(validate_prometheus_text(text), std::vector<std::string>{});
+  EXPECT_NE(text.find("# TYPE demo_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_bucket{priority=\"1\",le=\"+Inf\"}"), std::string::npos);
+  if (kEnabled) {
+    EXPECT_NE(text.find("demo_total 2"), std::string::npos);
+    EXPECT_NE(text.find("demo_seconds_count{priority=\"1\"} 2"), std::string::npos);
+  }
+}
+
+TEST(MetricsRegistry, EqualValuesRenderByteIdentically) {
+  MetricsRegistry registry;
+  registry.counter("demo_total", "a").inc();
+  registry.histogram("demo_seconds", "b").observe_seconds(0.25);
+  const std::string json_once = registry.to_json();
+  const std::string prom_once = registry.to_prometheus();
+  EXPECT_EQ(json_once, registry.to_json());
+  EXPECT_EQ(prom_once, registry.to_prometheus());
+}
+
+TEST(MetricsRegistry, SnapshotKeepsFullShapeWhenTelemetryIsOff) {
+  // The off-mode contract: same families, same series, zero values —
+  // so dashboards and validators never see a shape change.
+  MetricsRegistry registry;
+  registry.counter("demo_total", "a").add(100);
+  registry.gauge_fn("demo_gauge", "b", [] { return 9.0; });
+  const std::string snapshot = registry.to_json();
+  EXPECT_EQ(validate_json_snapshot(snapshot), std::vector<std::string>{});
+  if (!kEnabled) {
+    EXPECT_NE(snapshot.find("\"telemetry\":false"), std::string::npos);
+    EXPECT_EQ(snapshot.find("100"), std::string::npos);
+    EXPECT_EQ(snapshot.find("9"), std::string::npos);
+  }
+}
+
+TEST(StructuredLog, FieldsRenderInCallOrderDeterministically) {
+  std::ostringstream out;
+  LogSink sink(out, LogLevel::kDebug, /*stamp_time=*/false);
+  LogEvent(&sink, LogLevel::kInfo, "request")
+      .num("request_id", 7)
+      .str("command", "optimize")
+      .flag("ok", true)
+      .dbl("latency_ms", 1.5)
+      .num_signed("rc", -2);
+  if (kEnabled) {
+    EXPECT_EQ(out.str(),
+              "{\"level\":\"info\",\"event\":\"request\",\"request_id\":7,"
+              "\"command\":\"optimize\",\"ok\":true,\"latency_ms\":1.5,\"rc\":-2}\n");
+    EXPECT_EQ(sink.lines(), 1u);
+  } else {
+    EXPECT_EQ(out.str(), "");
+    EXPECT_EQ(sink.lines(), 0u);
+  }
+}
+
+TEST(StructuredLog, LevelsBelowThresholdFormatNothing) {
+  std::ostringstream out;
+  LogSink sink(out, LogLevel::kWarn, /*stamp_time=*/false);
+  LogEvent(&sink, LogLevel::kDebug, "noise").str("big", std::string(1 << 20, 'x'));
+  LogEvent(&sink, LogLevel::kInfo, "still_noise");
+  EXPECT_EQ(out.str(), "");
+  LogEvent(&sink, LogLevel::kError, "kept");
+  if (kEnabled) {
+    EXPECT_EQ(out.str(), "{\"level\":\"error\",\"event\":\"kept\"}\n");
+  }
+}
+
+TEST(StructuredLog, NullSinkIsSafe) {
+  LogEvent(nullptr, LogLevel::kError, "nowhere").str("k", "v").num("n", 1);
+  SUCCEED();
+}
+
+TEST(StructuredLog, EveryLineIsWellFormedJsonUnderConcurrency) {
+  std::ostringstream out;
+  LogSink sink(out, LogLevel::kInfo, /*stamp_time=*/false);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        LogEvent(&sink, LogLevel::kInfo, "tick")
+            .num("thread", static_cast<std::uint64_t>(t))
+            .num("i", static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (!kEnabled) {
+    EXPECT_EQ(out.str(), "");
+    return;
+  }
+  EXPECT_EQ(sink.lines(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    const JsonParseResult doc = parse_json(line);
+    ASSERT_TRUE(doc.value.has_value()) << "interleaved line: " << line;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(StructuredLog, LogLevelNamesRoundTrip) {
+  for (const char* name : {"debug", "info", "warn", "error", "off"}) {
+    LogLevel level = LogLevel::kInfo;
+    EXPECT_TRUE(parse_log_level(name, level)) << name;
+    EXPECT_STREQ(log_level_name(level), name);
+  }
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(parse_log_level("verbose", level));
+}
+
+}  // namespace
+}  // namespace fpopt::telemetry

@@ -1,11 +1,20 @@
-// fpopt_report_check: schema-validate fpopt run reports.
+// fpopt_report_check: schema-validate fpopt run reports and fpoptd
+// metrics snapshots.
 //
-// Usage: fpopt_report_check <file.json> [more.json ...]
+// Usage: fpopt_report_check [--metrics] <file> [more ...]
 //
-// Each file must parse as JSON and contain at least one embedded
-// "fpopt_run_report" block (at any nesting depth — --stats-json output has
-// it at the top level, BENCH_*.json embeds one per workload entry); every
-// block must satisfy run-report schema v1 (src/telemetry/run_report.h).
+// Default (run-report) mode: each file must parse as JSON and contain at
+// least one embedded "fpopt_run_report" block (at any nesting depth —
+// --stats-json output has it at the top level, BENCH_*.json embeds one
+// per workload entry); every block must satisfy run-report schema v1
+// (src/telemetry/run_report.h).
+//
+// --metrics mode (the `fpopt_metrics_check` entry point from ISSUE/CI
+// scripts): a file that starts with '{' is validated as a JSON metrics
+// snapshot — every embedded "fpopt_metrics" block must satisfy metrics
+// schema v1 (src/telemetry/metrics_schema.h). Any other file is
+// validated as Prometheus text exposition (HELP/TYPE consistency,
+// cumulative histogram buckets, +Inf terminators, _count agreement).
 //
 // All files are checked even after a failure; the exit code reports the
 // worst outcome across them (parse failures outrank schema violations so
@@ -21,23 +30,73 @@
 #include <vector>
 
 #include "telemetry/json.h"
+#include "telemetry/metrics_schema.h"
 #include "telemetry/report_schema.h"
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: fpopt_report_check <file.json> [more.json ...]\n"
-    "  Validates every embedded fpopt_run_report block (schema v1) in each file.\n"
+    "usage: fpopt_report_check [--metrics] <file> [more ...]\n"
+    "  Default: validates every embedded fpopt_run_report block (schema v1).\n"
+    "  --metrics: validates metrics snapshots instead — files starting with '{'\n"
+    "             as JSON fpopt_metrics blocks, anything else as Prometheus\n"
+    "             text exposition.\n"
     "exit codes: 0 all files valid, 1 schema violations, 2 usage or I/O error,\n"
     "            3 parse failure (a file is not well-formed JSON)\n";
+
+/// First non-whitespace byte decides JSON vs Prometheus text in
+/// --metrics mode (Prometheus exposition cannot start with '{': sample
+/// lines start with a metric name, comments with '#').
+bool looks_like_json(const std::string& text) {
+  for (const char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') continue;
+    return c == '{';
+  }
+  return false;
+}
+
+int check_metrics_file(const std::string& path, const std::string& text) {
+  if (looks_like_json(text)) {
+    const fpopt::telemetry::JsonParseResult parsed = fpopt::telemetry::parse_json(text);
+    if (!parsed.value.has_value()) {
+      std::cerr << path << ": " << parsed.error << '\n';
+      return 3;
+    }
+    const std::vector<std::string> errors =
+        fpopt::telemetry::validate_embedded_metrics(*parsed.value);
+    for (const std::string& e : errors) std::cerr << path << ": " << e << '\n';
+    return errors.empty() ? 0 : 1;
+  }
+  const std::vector<std::string> errors =
+      fpopt::telemetry::validate_prometheus_text(text);
+  for (const std::string& e : errors) std::cerr << path << ": " << e << '\n';
+  return errors.empty() ? 0 : 1;
+}
+
+int check_report_file(const std::string& path, const std::string& text) {
+  const fpopt::telemetry::JsonParseResult parsed = fpopt::telemetry::parse_json(text);
+  if (!parsed.value.has_value()) {
+    std::cerr << path << ": " << parsed.error << '\n';
+    return 3;
+  }
+  const std::vector<std::string> errors =
+      fpopt::telemetry::validate_embedded_run_reports(*parsed.value);
+  for (const std::string& e : errors) std::cerr << path << ": " << e << '\n';
+  return errors.empty() ? 0 : 1;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args(argv + 1, argv + argc);
   if (!args.empty() && (args[0] == "--help" || args[0] == "-h")) {
     std::cout << kUsage;
     return 0;
+  }
+  bool metrics_mode = false;
+  if (!args.empty() && args[0] == "--metrics") {
+    metrics_mode = true;
+    args.erase(args.begin());
   }
   if (args.empty()) {
     std::cerr << kUsage;
@@ -54,21 +113,10 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
 
-    const fpopt::telemetry::JsonParseResult parsed =
-        fpopt::telemetry::parse_json(buf.str());
-    if (!parsed.value.has_value()) {
-      std::cerr << path << ": " << parsed.error << '\n';
-      worst = std::max(worst, 3);
-      continue;
-    }
-    const std::vector<std::string> errors =
-        fpopt::telemetry::validate_embedded_run_reports(*parsed.value);
-    for (const std::string& e : errors) std::cerr << path << ": " << e << '\n';
-    if (errors.empty()) {
-      std::cout << path << ": ok\n";
-    } else {
-      worst = std::max(worst, 1);
-    }
+    const int rc = metrics_mode ? check_metrics_file(path, buf.str())
+                                : check_report_file(path, buf.str());
+    if (rc == 0) std::cout << path << ": ok\n";
+    worst = std::max(worst, rc);
   }
   return worst;
 }

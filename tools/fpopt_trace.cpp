@@ -94,6 +94,11 @@ int cmd_check(const std::string& path) {
               << " events dropped by full capture rings — analyses undercount";
   }
   std::cout << ")\n";
+  if (trace.dropped_events != 0) {
+    std::cout << "warning: " << trace.dropped_events
+              << " events were dropped at capture; raise the ring capacity or trace a "
+                 "smaller run for a complete picture\n";
+  }
   return 0;
 }
 

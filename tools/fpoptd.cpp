@@ -5,14 +5,24 @@
 // requests share one work-stealing thread pool and one cross-request
 // memo cache; every response is byte-identical to what the standalone
 // `fpopt` tool would print for the same inputs.
+//
+// Observability (docs/OBSERVABILITY.md): --log-file/--log-level emit
+// one structured JSONL line per request and connection event,
+// --metrics-port serves the Prometheus exposition over HTTP next to the
+// frame transport, and --trace-requests/--trace-sample retain
+// per-request Chrome traces for the `trace` admin verb.
 #include <csignal>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/server.h"
 #include "service/service.h"
+#include "telemetry/log.h"
 
 namespace {
 
@@ -30,7 +40,17 @@ constexpr const char* kUsage =
     "                      0: unlimited)\n"
     "  --max-inflight N    run-command requests executing at once; the rest\n"
     "                      queue by priority, expired deadlines are shed\n"
-    "                      with E_DEADLINE (default 0: unlimited)\n";
+    "                      with E_DEADLINE (default 0: unlimited)\n"
+    "observability flags (docs/OBSERVABILITY.md):\n"
+    "  --log-file PATH     append structured JSONL logs to PATH ('-': stderr)\n"
+    "  --log-level LEVEL   debug|info|warn|error|off (default info)\n"
+    "  --no-metrics        disable the metrics registry and `metrics` verb\n"
+    "  --metrics-port HP   also serve GET /metrics (Prometheus text) on\n"
+    "                      <host:port> (same grammar as --listen)\n"
+    "  --trace-requests N  retain Chrome traces for the last N requests that\n"
+    "                      asked for one, served by the `trace` verb\n"
+    "                      (default 0: tracing off)\n"
+    "  --trace-sample K    additionally trace every K-th run request\n";
 
 struct DaemonError {
   std::string message;
@@ -58,6 +78,9 @@ int main(int argc, char** argv) {
   bool stdio = false;
   std::string socket_path;
   std::string listen_hostport;
+  std::string log_file;
+  std::string metrics_hostport;
+  fpopt::telemetry::LogLevel log_level = fpopt::telemetry::LogLevel::kInfo;
   fpopt::ServiceConfig config;
   try {
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -96,6 +119,22 @@ int main(int argc, char** argv) {
         config.max_connections = static_cast<std::size_t>(parse_uint(a, need_value()));
       } else if (a == "--max-inflight") {
         config.max_inflight = static_cast<unsigned>(parse_uint(a, need_value()));
+      } else if (a == "--log-file") {
+        log_file = need_value();
+      } else if (a == "--log-level") {
+        const std::string& name = need_value();
+        if (!fpopt::telemetry::parse_log_level(name, log_level)) {
+          throw DaemonError{"bad value '" + name +
+                            "' for --log-level (debug|info|warn|error|off)"};
+        }
+      } else if (a == "--no-metrics") {
+        config.metrics = false;
+      } else if (a == "--metrics-port") {
+        metrics_hostport = need_value();
+      } else if (a == "--trace-requests") {
+        config.trace_requests = static_cast<std::size_t>(parse_uint(a, need_value()));
+      } else if (a == "--trace-sample") {
+        config.trace_sample = static_cast<std::size_t>(parse_uint(a, need_value()));
       } else if (a == "--help" || a == "help") {
         std::cout << kUsage;
         return 0;
@@ -110,15 +149,77 @@ int main(int argc, char** argv) {
       throw DaemonError{
           "exactly one of --stdio, --socket <path> or --listen <host:port> is required"};
     }
+    if (!metrics_hostport.empty() && !config.metrics) {
+      throw DaemonError{"--metrics-port needs metrics; drop --no-metrics"};
+    }
+    if (!metrics_hostport.empty() && stdio) {
+      // --stdio has no shutdown-free exit path for the sidecar thread
+      // until stdin closes, which is exactly when we'd stop it anyway —
+      // but more importantly the harness uses --stdio for byte-exact
+      // capture; keep that surface minimal.
+      throw DaemonError{"--metrics-port needs a socket transport (--socket/--listen)"};
+    }
   } catch (const DaemonError& e) {
     std::cerr << "fpoptd: " << e.message << '\n' << kUsage;
     return 2;
   }
 
-  fpopt::Service service(config);
-  if (stdio) return fpopt::serve_stdio(service, std::cin, std::cout);
-  if (!listen_hostport.empty()) {
-    return fpopt::serve_tcp(service, listen_hostport, std::cerr);
+  // The log sink outlives the Service (config_.log is a borrowed
+  // pointer) and writes either to an append-mode file or to stderr.
+  std::ofstream log_stream;
+  std::optional<fpopt::telemetry::LogSink> log;
+  if (!log_file.empty()) {
+    if (log_file != "-") {
+      log_stream.open(log_file, std::ios::app);
+      if (!log_stream) {
+        std::cerr << "fpoptd: cannot open log file '" << log_file << "'\n";
+        return 2;
+      }
+    }
+    log.emplace(log_file == "-" ? std::cerr : log_stream, log_level);
+    config.log = &*log;
   }
-  return fpopt::serve_unix(service, socket_path, std::cerr);
+
+  fpopt::Service service(config);
+  {
+    fpopt::telemetry::LogEvent start(config.log, fpopt::telemetry::LogLevel::kInfo,
+                                     "daemon_start");
+    start.str("transport", stdio ? "stdio" : (!socket_path.empty() ? "unix" : "tcp"))
+        .num("workers", config.pool_workers)
+        .flag("shared_cache", config.shared_cache)
+        .num("max_inflight", config.max_inflight)
+        .num("trace_requests", config.trace_requests)
+        .flag("metrics", config.metrics);
+    if (!metrics_hostport.empty()) start.str("metrics_endpoint", metrics_hostport);
+  }
+
+  // The metrics HTTP endpoint runs on a sidecar thread beside the frame
+  // transport and exits on the same shutdown flag. If the transport
+  // returns without a shutdown verb (listener setup failure), raising
+  // the flag here unblocks the join.
+  std::thread metrics_thread;
+  int metrics_rc = 0;
+  if (!metrics_hostport.empty()) {
+    metrics_thread = std::thread([&service, &metrics_hostport, &metrics_rc] {
+      metrics_rc = fpopt::serve_metrics_http(service, metrics_hostport, std::cerr);
+    });
+  }
+
+  int rc = 0;
+  if (stdio) {
+    rc = fpopt::serve_stdio(service, std::cin, std::cout);
+  } else if (!listen_hostport.empty()) {
+    rc = fpopt::serve_tcp(service, listen_hostport, std::cerr);
+  } else {
+    rc = fpopt::serve_unix(service, socket_path, std::cerr);
+  }
+
+  if (metrics_thread.joinable()) {
+    service.request_shutdown();
+    metrics_thread.join();
+    if (rc == 0) rc = metrics_rc;
+  }
+  fpopt::telemetry::LogEvent(config.log, fpopt::telemetry::LogLevel::kInfo, "daemon_exit")
+      .num_signed("rc", rc);
+  return rc;
 }
